@@ -1,0 +1,100 @@
+// Command whydb is an interactive demonstrator: it generates one of the
+// built-in data sets, runs a built-in query (or its failing variant), and
+// prints the why-query explanation report.
+//
+// Usage:
+//
+//	whydb -dataset ldbc -query "LDBC QUERY 2" -fail -lower 1
+//	whydb -dataset ldbc -query "LDBC QUERY 3" -lower 40 -upper 90
+//	whydb -dataset dbpedia -query "DBPEDIA QUERY 1" -fail
+//	whydb -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+func main() {
+	dataset := flag.String("dataset", "ldbc", "data set: ldbc or dbpedia")
+	name := flag.String("query", "LDBC QUERY 2", "built-in query name")
+	fail := flag.Bool("fail", false, "use the query's failing (why-empty) variant")
+	lower := flag.Int("lower", 1, "expected lower cardinality bound")
+	upper := flag.Int("upper", 0, "expected upper cardinality bound (0 = none)")
+	topo := flag.Bool("topology", false, "allow topology-changing rewritings")
+	list := flag.Bool("list", false, "list built-in queries and exit")
+	flag.Parse()
+
+	if *list {
+		for _, nq := range workload.LDBCQueries() {
+			fmt.Printf("ldbc    %-16s (C1=%d)\n", nq.Name, nq.C1)
+		}
+		for _, nq := range workload.DBpediaQueries() {
+			fmt.Printf("dbpedia %s\n", nq.Name)
+		}
+		return
+	}
+
+	var engine *core.Engine
+	var q *query.Query
+	var err error
+	switch *dataset {
+	case "ldbc":
+		engine = core.NewEngine(datagen.LDBC(datagen.DefaultLDBC()))
+		if *fail {
+			q, err = workload.FailingVariant(*name)
+		} else {
+			q = buildNamed(workload.LDBCQueries(), *name)
+		}
+	case "dbpedia":
+		engine = core.NewEngine(datagen.DBpedia(datagen.DefaultDBpedia()))
+		if *fail {
+			q, err = workload.DBpediaFailingVariant(*name)
+		} else {
+			q = buildNamed(workload.DBpediaQueries(), *name)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if q == nil {
+		fmt.Fprintf(os.Stderr, "unknown query %q (try -list)\n", *name)
+		os.Exit(2)
+	}
+
+	fmt.Println("query:")
+	fmt.Println(q)
+	rep, err := engine.Explain(q, core.Options{
+		Expected:      metrics.Interval{Lower: *lower, Upper: *upper},
+		AllowTopology: *topo,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(rep.Summary())
+	if len(rep.Rewritings) > 0 {
+		fmt.Println("\nbest rewriting:")
+		fmt.Println(rep.Rewritings[0].Query)
+	}
+}
+
+func buildNamed(qs []workload.Named, name string) *query.Query {
+	for _, nq := range qs {
+		if nq.Name == name {
+			return nq.Build()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+// Quickstart: build a tiny property graph, run a pattern query that comes
+// back empty, and ask the engine why.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A four-vertex graph: Anna works at TU Dresden, which is in Dresden;
+	// Bert studies there.
+	g := repro.NewGraph(4, 3)
+	anna := g.AddVertex(repro.Attrs{"type": repro.S("person"), "name": repro.S("Anna")})
+	bert := g.AddVertex(repro.Attrs{"type": repro.S("person"), "name": repro.S("Bert")})
+	uni := g.AddVertex(repro.Attrs{"type": repro.S("university"), "name": repro.S("TU Dresden")})
+	city := g.AddVertex(repro.Attrs{"type": repro.S("city"), "name": repro.S("Dresden")})
+	g.AddEdge(anna, uni, "workAt", repro.Attrs{"sinceYear": repro.N(2003)})
+	g.AddEdge(bert, uni, "studyAt", nil)
+	g.AddEdge(uni, city, "locatedIn", nil)
+
+	// The user asks: who works at a university located in Berlin?
+	q := repro.NewQuery()
+	p := q.AddVertex(map[string]repro.Predicate{"type": repro.EqS("person")})
+	u := q.AddVertex(map[string]repro.Predicate{"type": repro.EqS("university")})
+	c := q.AddVertex(map[string]repro.Predicate{"type": repro.EqS("city"), "name": repro.EqS("Berlin")})
+	q.AddEdge(p, u, []string{"workAt"}, nil)
+	q.AddEdge(u, c, []string{"locatedIn"}, nil)
+
+	engine := repro.NewEngine(g)
+	report, err := engine.Explain(q, repro.ExplainOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("-- why-query report --")
+	fmt.Println(report.Summary())
+	fmt.Println()
+	fmt.Println("The differential graph pinpoints the failing constraint:")
+	fmt.Println(report.Subgraph.Differential)
+	if len(report.Rewritings) > 0 {
+		fmt.Println("A repaired query that does deliver results:")
+		fmt.Println(report.Rewritings[0].Query)
+	}
+}

@@ -1,0 +1,51 @@
+// Social-network debugging session: the three cardinality problems —
+// why-empty, why-so-few, why-so-many — on the LDBC-like graph, mirroring
+// the thesis' running scenario (holistic support, §3.1.3 / Fig. 3.1).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	g := repro.GenerateLDBC(repro.DefaultLDBC())
+	engine := repro.NewEngine(g)
+	fmt.Printf("social network: %d vertices, %d edges\n\n", g.NumVertices(), g.NumEdges())
+
+	// 1. Why-empty: travel fans living in a country that does not exist.
+	q1 := repro.NewQuery()
+	p := q1.AddVertex(map[string]repro.Predicate{"type": repro.EqS("person")})
+	t := q1.AddVertex(map[string]repro.Predicate{"type": repro.EqS("tag"), "theme": repro.EqS("travel")})
+	ci := q1.AddVertex(map[string]repro.Predicate{"type": repro.EqS("city")})
+	co := q1.AddVertex(map[string]repro.Predicate{"type": repro.EqS("country"), "name": repro.EqS("Atlantis")})
+	q1.AddEdge(p, t, []string{"hasInterest"}, nil)
+	q1.AddEdge(p, ci, []string{"livesIn"}, nil)
+	q1.AddEdge(ci, co, []string{"locatedIn"}, nil)
+	report(engine, "why-empty: travel fans in Atlantis", q1, repro.AtLeastOne)
+
+	// 2. Why-so-few: the user expects at least 100 recent class-of-2013
+	// students, gets a handful.
+	q2 := repro.NewQuery()
+	s := q2.AddVertex(map[string]repro.Predicate{"type": repro.EqS("person")})
+	u := q2.AddVertex(map[string]repro.Predicate{"type": repro.EqS("university")})
+	q2.AddEdge(s, u, []string{"studyAt"}, map[string]repro.Predicate{"classYear": repro.EqN(2013)})
+	report(engine, "why-so-few: class of exactly 2013", q2, repro.Interval{Lower: 100})
+
+	// 3. Why-so-many: all knows pairs, but the analyst wants ≤ 50.
+	q3 := repro.NewQuery()
+	a := q3.AddVertex(map[string]repro.Predicate{"type": repro.EqS("person")})
+	b := q3.AddVertex(map[string]repro.Predicate{"type": repro.EqS("person")})
+	q3.AddEdge(a, b, []string{"knows"}, nil)
+	report(engine, "why-so-many: all friendships", q3, repro.Interval{Lower: 1, Upper: 50})
+}
+
+func report(engine *repro.Engine, title string, q *repro.Query, expected repro.Interval) {
+	rep, err := engine.Explain(q, repro.ExplainOptions{Expected: expected})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("=== %s ===\n%s\n\n", title, rep.Summary())
+}

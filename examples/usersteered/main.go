@@ -1,0 +1,70 @@
+// User-steered debugging (§4.4 and §5.4): a user who refuses to give up the
+// city constraint rates proposed rewritings; the preference model learns the
+// protection and the next proposals avoid the protected element.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	g := repro.GenerateLDBC(repro.DefaultLDBC())
+	engine := repro.NewEngine(g)
+	m := engine.Matcher()
+	st := engine.Stats()
+
+	// The failed query: young students at universities in a city that has
+	// none. The user cares about the city, not about the class year.
+	build := func() *repro.Query {
+		q := repro.NewQuery()
+		p := q.AddVertex(map[string]repro.Predicate{"type": repro.EqS("person")})
+		u := q.AddVertex(map[string]repro.Predicate{"type": repro.EqS("university")})
+		c := q.AddVertex(map[string]repro.Predicate{"type": repro.EqS("city"), "population": repro.AtLeast(99000000)})
+		q.AddEdge(p, u, []string{"studyAt"}, map[string]repro.Predicate{"classYear": repro.AtLeast(2013)})
+		q.AddEdge(u, c, []string{"locatedIn"}, nil)
+		return q
+	}
+
+	// User integration for the subgraph-based explanation: weight the
+	// locatedIn edge so the traversal covers the user's focus first (§4.4).
+	sub := repro.DiscoverMCS(m, st, build(), repro.MCSOptions{
+		UseWCC:      true,
+		EdgeWeights: map[int]float64{1: 10},
+	})
+	fmt.Printf("subgraph explanation: MCS %d edges, differential %d edges, rank %.2f\n\n",
+		sub.MCS.NumEdges(), sub.Differential.NumEdges(),
+		sub.Rank(map[int]float64{1: 10}, build()))
+
+	// User integration for rewriting (§5.4): simulate ratings. The hidden
+	// preference: never touch the city's population constraint.
+	rw := repro.NewRelaxer(m, st)
+	pm := repro.NewPreferenceModel(1.0)
+	protected := repro.Target{Kind: 0 /* vertex */, ID: 2, Attr: "population"}
+	accepts := func(ops []repro.Op) bool {
+		for _, op := range ops {
+			if op.Target() == protected {
+				return false
+			}
+		}
+		return true
+	}
+	for round := 1; round <= 5; round++ {
+		out := rw.Rewrite(build(), repro.RelaxOptions{MaxSolutions: 1, AllowTopology: true, Prefs: pm})
+		if len(out.Solutions) == 0 {
+			log.Fatal("no rewriting found")
+		}
+		sol := out.Solutions[0]
+		if accepts(sol.Ops) {
+			fmt.Printf("round %d: accepted %v (cardinality %d)\n", round, sol.Ops, sol.Cardinality)
+			fmt.Println("\naccepted rewriting:")
+			fmt.Println(sol.Query)
+			return
+		}
+		fmt.Printf("round %d: rejected %v (touches the protected city constraint)\n", round, sol.Ops)
+		pm.Rate(sol, 0)
+	}
+	fmt.Println("no acceptable rewriting within 5 rounds")
+}

@@ -1,0 +1,253 @@
+// Package core assembles the thesis' debugging layer into one engine: given
+// a pattern-matching query and an expected cardinality interval, it decides
+// which why-query applies (why-empty, why-so-few, why-so-many — the holistic
+// support of §3.1.3), produces both explanation kinds — the subgraph-based
+// explanation of Chapter 4 and the modification-based explanations of
+// Chapters 5–6 — and scores every rewriting on the three comparison levels
+// of Chapter 3 (syntactic, cardinality, result distance).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/mcs"
+	"repro/internal/metrics"
+	"repro/internal/modtree"
+	"repro/internal/query"
+	"repro/internal/relax"
+	"repro/internal/stats"
+)
+
+// Engine is the why-query engine over one data graph.
+type Engine struct {
+	g      *graph.Graph
+	m      *match.Matcher
+	st     *stats.Collector
+	domain *stats.Domain
+	rw     *relax.Rewriter
+	mt     *modtree.Searcher
+}
+
+// NewEngine builds an engine (matcher, statistics, domain catalog) over g.
+func NewEngine(g *graph.Graph) *Engine {
+	m := match.New(g)
+	st := stats.New(m)
+	return &Engine{
+		g: g, m: m, st: st,
+		domain: stats.BuildDomain(g, 16),
+		rw:     relax.New(m, st),
+		mt:     modtree.New(m, st),
+	}
+}
+
+// Graph returns the engine's data graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Matcher returns the engine's pattern matcher.
+func (e *Engine) Matcher() *match.Matcher { return e.m }
+
+// Stats returns the engine's statistics collector.
+func (e *Engine) Stats() *stats.Collector { return e.st }
+
+// Domain returns the engine's attribute-value catalog.
+func (e *Engine) Domain() *stats.Domain { return e.domain }
+
+// Options tunes Explain.
+type Options struct {
+	// Expected is the wanted cardinality interval; zero means "at least
+	// one result" (why-empty debugging).
+	Expected metrics.Interval
+	// MaxRewritings caps reported modification-based explanations (0 = 3).
+	MaxRewritings int
+	// FineGrained switches the rewriting engine: false = the Chapter 5
+	// coarse-grained relaxation (why-empty only), true = the Chapter 6
+	// TRAVERSESEARCHTREE (all problems). By default the engine picks
+	// coarse-grained for why-empty and fine-grained otherwise (§1.1).
+	FineGrained *bool
+	// AllowTopology enables topology-changing rewritings.
+	AllowTopology bool
+	// EdgeWeights is the user's per-edge relevance for the subgraph-based
+	// explanation's traversal (§4.4).
+	EdgeWeights map[int]float64
+	// Prefs is the learned user-preference model for coarse rewriting
+	// (§5.4).
+	Prefs *relax.PreferenceModel
+	// Budget caps candidate executions per explanation engine (0 = 300).
+	Budget int
+	// ResultSample bounds the result graphs enumerated per query when
+	// computing result distances (0 = 100).
+	ResultSample int
+}
+
+func (o *Options) fill() {
+	if o.Expected == (metrics.Interval{}) {
+		o.Expected = metrics.AtLeastOne
+	}
+	if o.MaxRewritings == 0 {
+		o.MaxRewritings = 3
+	}
+	if o.Budget == 0 {
+		o.Budget = 300
+	}
+	if o.ResultSample == 0 {
+		o.ResultSample = 100
+	}
+}
+
+// Rewriting is a modification-based explanation scored on the three levels
+// of Chapter 3.
+type Rewriting struct {
+	// Query is the rewritten query.
+	Query *query.Query
+	// Ops is the modification sequence from the original query.
+	Ops []query.Op
+	// Cardinality is the rewriting's result size (capped by the engine).
+	Cardinality int
+	// Syntactic is the syntactic distance to the original query (§3.2.2).
+	Syntactic float64
+	// CardinalityDistance is the distance to the expected interval
+	// (§3.2.3).
+	CardinalityDistance int
+	// ResultDistance compares the rewriting's results with the original's
+	// (§3.2.4); 1 when the original was empty.
+	ResultDistance float64
+}
+
+// Report is the full explanation of an unexpected result size.
+type Report struct {
+	// Problem classifies the original query's result size.
+	Problem metrics.ProblemKind
+	// Cardinality is the original query's result size.
+	Cardinality int
+	// Expected is the interval the user wanted.
+	Expected metrics.Interval
+	// Subgraph is the subgraph-based explanation (nil when satisfied).
+	Subgraph *mcs.Explanation
+	// Rewritings are the modification-based explanations, ranked by
+	// cardinality distance, then syntactic distance, then result distance.
+	Rewritings []Rewriting
+}
+
+// Explain debugs the query against the expected cardinality interval.
+func (e *Engine) Explain(q *query.Query, opts Options) (*Report, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid query: %w", err)
+	}
+	opts.fill()
+	countCap := 0
+	if opts.Expected.Upper > 0 {
+		countCap = opts.Expected.Upper * 4
+	}
+	card := e.m.Count(q, countCap)
+	rep := &Report{
+		Problem:     opts.Expected.Classify(card),
+		Cardinality: card,
+		Expected:    opts.Expected,
+	}
+	if rep.Problem == metrics.Satisfied {
+		return rep, nil
+	}
+
+	// Subgraph-based explanation (Chapter 4).
+	sub := mcs.BoundedMCS(e.m, e.st, q, opts.Expected, mcs.Options{
+		UseWCC:          true,
+		EdgeWeights:     opts.EdgeWeights,
+		TraversalBudget: opts.Budget,
+	})
+	rep.Subgraph = &sub
+
+	// Modification-based explanations (Chapters 5–6).
+	fine := rep.Problem != metrics.WhyEmpty
+	if opts.FineGrained != nil {
+		fine = *opts.FineGrained
+	}
+	var candidates []Rewriting
+	if fine {
+		res := e.mt.TraverseSearchTree(q, modtree.Options{
+			Goal:          opts.Expected,
+			MaxExecuted:   opts.Budget,
+			AllowTopology: opts.AllowTopology,
+			Domain:        e.domain,
+		})
+		if len(res.Best.Ops) > 0 {
+			candidates = append(candidates, Rewriting{
+				Query:       res.Best.Query,
+				Ops:         res.Best.Ops,
+				Cardinality: res.Best.Cardinality,
+			})
+		}
+	} else {
+		out := e.rw.Rewrite(q, relax.Options{
+			Goal:          opts.Expected,
+			MaxExecuted:   opts.Budget,
+			MaxSolutions:  opts.MaxRewritings,
+			AllowTopology: opts.AllowTopology,
+			Prefs:         opts.Prefs,
+			Priority:      relax.PriorityCombined,
+		})
+		for _, s := range out.Solutions {
+			candidates = append(candidates, Rewriting{
+				Query:       s.Query,
+				Ops:         s.Ops,
+				Cardinality: s.Cardinality,
+			})
+		}
+	}
+
+	origResults := e.m.Find(q, match.Options{Limit: opts.ResultSample})
+	for i := range candidates {
+		c := &candidates[i]
+		c.Syntactic = metrics.SyntacticDistance(q, c.Query)
+		c.CardinalityDistance = opts.Expected.Distance(c.Cardinality)
+		newResults := e.m.Find(c.Query, match.Options{Limit: opts.ResultSample})
+		c.ResultDistance = metrics.ResultSetDistance(origResults, newResults)
+	}
+	sortRewritings(candidates)
+	if len(candidates) > opts.MaxRewritings {
+		candidates = candidates[:opts.MaxRewritings]
+	}
+	rep.Rewritings = candidates
+	return rep, nil
+}
+
+// sortRewritings ranks by cardinality distance, then syntactic, then result
+// distance — the comprehensive comparison of §3.2.
+func sortRewritings(rs []Rewriting) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && lessRewriting(rs[j], rs[j-1]); j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+func lessRewriting(a, b Rewriting) bool {
+	if a.CardinalityDistance != b.CardinalityDistance {
+		return a.CardinalityDistance < b.CardinalityDistance
+	}
+	if a.Syntactic != b.Syntactic {
+		return a.Syntactic < b.Syntactic
+	}
+	return a.ResultDistance < b.ResultDistance
+}
+
+// Summary renders the report for terminals.
+func (r *Report) Summary() string {
+	s := fmt.Sprintf("problem: %s (cardinality %d, expected [%d", r.Problem, r.Cardinality, r.Expected.Lower)
+	if r.Expected.Upper > 0 {
+		s += fmt.Sprintf(", %d])", r.Expected.Upper)
+	} else {
+		s += ", ∞))"
+	}
+	if r.Subgraph != nil {
+		s += fmt.Sprintf("\nsubgraph explanation: MCS %d vertices / %d edges (cardinality %d, satisfied %v); differential %d vertices / %d edges",
+			r.Subgraph.MCS.NumVertices(), r.Subgraph.MCS.NumEdges(), r.Subgraph.Cardinality, r.Subgraph.Satisfied,
+			r.Subgraph.Differential.NumVertices(), r.Subgraph.Differential.NumEdges())
+	}
+	for i, rw := range r.Rewritings {
+		s += fmt.Sprintf("\nrewriting %d: card=%d synΔ=%.3f cardΔ=%d resΔ=%.3f ops=%v",
+			i+1, rw.Cardinality, rw.Syntactic, rw.CardinalityDistance, rw.ResultDistance, rw.Ops)
+	}
+	return s
+}

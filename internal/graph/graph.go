@@ -1,0 +1,212 @@
+// Package graph implements the property-graph data model of the thesis
+// (Definition 1, §3.1.1): a directed multigraph G = (V, E, u, f, g, AV, AE)
+// whose vertices and edges carry multiple diverse attribute values, and whose
+// edges carry a type. The package provides an in-memory store with adjacency
+// and attribute indexes, plus the graph algorithms the why-query machinery
+// needs (weakly connected components, BFS).
+//
+// The store plays the role of the GRAPHITE/SAP HANA graph runtime used by the
+// thesis' evaluation: a substrate the pattern matcher (internal/match) and
+// the statistics collector (internal/stats) scan and traverse.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex; IDs are dense, starting at 0.
+type VertexID int32
+
+// EdgeID identifies an edge; IDs are dense, starting at 0.
+type EdgeID int32
+
+// NoVertex is the invalid vertex sentinel.
+const NoVertex VertexID = -1
+
+// NoEdge is the invalid edge sentinel.
+const NoEdge EdgeID = -1
+
+// Vertex is a data vertex: an entity with attribute values.
+type Vertex struct {
+	ID    VertexID
+	Attrs Attrs
+}
+
+// Edge is a directed data edge with a type (a special attribute in the
+// property-graph model, see Eq. 3.7) and further attribute values.
+type Edge struct {
+	ID    EdgeID
+	From  VertexID
+	To    VertexID
+	Type  string
+	Attrs Attrs
+}
+
+// Graph is an in-memory property graph. The zero value is an empty graph
+// ready for use. Graph is not safe for concurrent mutation; concurrent
+// readers are safe once construction finished.
+type Graph struct {
+	vertices []Vertex
+	edges    []Edge
+	out      [][]EdgeID // outgoing edge ids per vertex
+	in       [][]EdgeID // incoming edge ids per vertex
+
+	// typeIndex maps an edge type to all edges of that type.
+	typeIndex map[string][]EdgeID
+	// vattrIndex maps attribute key → value → vertices carrying it.
+	// It is built lazily by BuildVertexIndex for the keys requested.
+	vattrIndex map[string]map[Value][]VertexID
+}
+
+// New returns an empty graph with capacity hints for vertices and edges.
+func New(vcap, ecap int) *Graph {
+	return &Graph{
+		vertices:  make([]Vertex, 0, vcap),
+		edges:     make([]Edge, 0, ecap),
+		out:       make([][]EdgeID, 0, vcap),
+		in:        make([][]EdgeID, 0, vcap),
+		typeIndex: make(map[string][]EdgeID),
+	}
+}
+
+// AddVertex inserts a vertex with the given attributes and returns its id.
+// The attribute map is stored as-is; callers must not mutate it afterwards.
+func (g *Graph) AddVertex(attrs Attrs) VertexID {
+	id := VertexID(len(g.vertices))
+	g.vertices = append(g.vertices, Vertex{ID: id, Attrs: attrs})
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return id
+}
+
+// AddEdge inserts a directed edge from → to of the given type and returns its
+// id. Multiple edges between the same endpoints are allowed (multigraph).
+// AddEdge panics if either endpoint does not exist, mirroring slice
+// out-of-range semantics for programmer errors.
+func (g *Graph) AddEdge(from, to VertexID, typ string, attrs Attrs) EdgeID {
+	if int(from) >= len(g.vertices) || int(to) >= len(g.vertices) || from < 0 || to < 0 {
+		panic(fmt.Sprintf("graph: AddEdge endpoints out of range: %d -> %d (have %d vertices)", from, to, len(g.vertices)))
+	}
+	id := EdgeID(len(g.edges))
+	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Type: typ, Attrs: attrs})
+	g.out[from] = append(g.out[from], id)
+	g.in[to] = append(g.in[to], id)
+	if g.typeIndex == nil {
+		g.typeIndex = make(map[string][]EdgeID)
+	}
+	g.typeIndex[typ] = append(g.typeIndex[typ], id)
+	return id
+}
+
+// NumVertices returns the number of vertices (N_d in the thesis).
+func (g *Graph) NumVertices() int { return len(g.vertices) }
+
+// NumEdges returns the number of edges (M_d in the thesis).
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Vertex returns the vertex with the given id.
+func (g *Graph) Vertex(id VertexID) *Vertex { return &g.vertices[id] }
+
+// Edge returns the edge with the given id.
+func (g *Graph) Edge(id EdgeID) *Edge { return &g.edges[id] }
+
+// Out returns the outgoing edge ids of v. The returned slice is shared;
+// callers must not modify it.
+func (g *Graph) Out(v VertexID) []EdgeID { return g.out[v] }
+
+// In returns the incoming edge ids of v. The returned slice is shared;
+// callers must not modify it.
+func (g *Graph) In(v VertexID) []EdgeID { return g.in[v] }
+
+// Degree returns the total degree (in + out) of v.
+func (g *Graph) Degree(v VertexID) int { return len(g.out[v]) + len(g.in[v]) }
+
+// EdgesByType returns all edge ids of the given type (shared slice).
+func (g *Graph) EdgesByType(typ string) []EdgeID { return g.typeIndex[typ] }
+
+// EdgeTypes returns the distinct edge types, sorted.
+func (g *Graph) EdgeTypes() []string {
+	types := make([]string, 0, len(g.typeIndex))
+	for t := range g.typeIndex {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	return types
+}
+
+// BuildVertexIndex builds an equality index over the given vertex attribute
+// keys, used by the matcher and the statistics collector to avoid full scans
+// for highly selective predicates (for example the entity "type" attribute).
+func (g *Graph) BuildVertexIndex(keys ...string) {
+	if g.vattrIndex == nil {
+		g.vattrIndex = make(map[string]map[Value][]VertexID, len(keys))
+	}
+	for _, key := range keys {
+		idx := make(map[Value][]VertexID)
+		for i := range g.vertices {
+			if v, ok := g.vertices[i].Attrs[key]; ok {
+				idx[v] = append(idx[v], g.vertices[i].ID)
+			}
+		}
+		g.vattrIndex[key] = idx
+	}
+}
+
+// VerticesByAttr returns the vertices whose attribute key equals value, and
+// whether an index over key exists. With no index it returns (nil, false)
+// and callers fall back to a scan.
+func (g *Graph) VerticesByAttr(key string, value Value) ([]VertexID, bool) {
+	idx, ok := g.vattrIndex[key]
+	if !ok {
+		return nil, false
+	}
+	return idx[value], true
+}
+
+// IndexedKeys reports the vertex attribute keys covered by an index.
+func (g *Graph) IndexedKeys() []string {
+	keys := make([]string, 0, len(g.vattrIndex))
+	for k := range g.vattrIndex {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Neighbors returns the distinct vertices adjacent to v (either direction).
+func (g *Graph) Neighbors(v VertexID) []VertexID {
+	seen := make(map[VertexID]struct{}, len(g.out[v])+len(g.in[v]))
+	var res []VertexID
+	for _, e := range g.out[v] {
+		w := g.edges[e].To
+		if _, dup := seen[w]; !dup {
+			seen[w] = struct{}{}
+			res = append(res, w)
+		}
+	}
+	for _, e := range g.in[v] {
+		w := g.edges[e].From
+		if _, dup := seen[w]; !dup {
+			seen[w] = struct{}{}
+			res = append(res, w)
+		}
+	}
+	return res
+}
+
+// Stats summarises the graph for reports and generators.
+type Stats struct {
+	Vertices  int
+	Edges     int
+	EdgeTypes map[string]int
+}
+
+// Summary computes the per-type edge counts.
+func (g *Graph) Summary() Stats {
+	s := Stats{Vertices: len(g.vertices), Edges: len(g.edges), EdgeTypes: make(map[string]int, len(g.typeIndex))}
+	for t, ids := range g.typeIndex {
+		s.EdgeTypes[t] = len(ids)
+	}
+	return s
+}

@@ -1,0 +1,525 @@
+// Package match implements the pattern-matching engine the why-query
+// machinery debugs: given a property graph (internal/graph) and a graph query
+// (internal/query), it enumerates or counts the data subgraphs matching the
+// query (§3.1.2). An answer is a result graph — a mapping from query vertices
+// and edges to data vertex and edge identifiers (Definition 6).
+//
+// Matching semantics are subgraph isomorphism: vertex- and edge-injective
+// within each weakly connected query component, with per-element predicate
+// and type disjunctions evaluated against the data (the usual semantics of
+// property-graph pattern matching engines such as the thesis' GRAPHITE
+// prototype). Queries with several weakly connected components combine the
+// per-component embeddings (§4.3.3).
+package match
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/query"
+)
+
+// Result is a result graph (Definition 6): the mapping between query
+// vertices/edges and data vertex/edge identifiers.
+type Result struct {
+	VertexMap map[int]graph.VertexID
+	EdgeMap   map[int]graph.EdgeID
+}
+
+// clone deep-copies the result.
+func (r Result) clone() Result {
+	c := Result{
+		VertexMap: make(map[int]graph.VertexID, len(r.VertexMap)),
+		EdgeMap:   make(map[int]graph.EdgeID, len(r.EdgeMap)),
+	}
+	for k, v := range r.VertexMap {
+		c.VertexMap[k] = v
+	}
+	for k, v := range r.EdgeMap {
+		c.EdgeMap[k] = v
+	}
+	return c
+}
+
+// Options tunes a matching run.
+type Options struct {
+	// Limit stops the enumeration after this many results (0 = no limit).
+	Limit int
+	// CountCap aborts counting once the count reaches the cap (0 = exact).
+	CountCap int
+}
+
+// Matcher executes pattern-matching queries over one data graph.
+// A Matcher is safe for concurrent use once constructed.
+type Matcher struct {
+	g *graph.Graph
+}
+
+// New returns a matcher over g.
+func New(g *graph.Graph) *Matcher { return &Matcher{g: g} }
+
+// Graph returns the underlying data graph.
+func (m *Matcher) Graph() *graph.Graph { return m.g }
+
+// VertexMatches reports whether data vertex vd satisfies every predicate
+// interval of query vertex vq.
+func (m *Matcher) VertexMatches(vq *query.Vertex, vd graph.VertexID) bool {
+	attrs := m.g.Vertex(vd).Attrs
+	for key, pred := range vq.Preds {
+		val, ok := attrs[key]
+		if !ok || !pred.Matches(val) {
+			return false
+		}
+	}
+	return true
+}
+
+// EdgeMatches reports whether data edge ed satisfies the type disjunction and
+// every predicate interval of query edge eq (direction is checked by the
+// expansion step, not here).
+func (m *Matcher) EdgeMatches(eq *query.Edge, ed graph.EdgeID) bool {
+	e := m.g.Edge(ed)
+	if !eq.HasType(e.Type) {
+		return false
+	}
+	for key, pred := range eq.Preds {
+		val, ok := e.Attrs[key]
+		if !ok || !pred.Matches(val) {
+			return false
+		}
+	}
+	return true
+}
+
+// Candidates returns the data vertices satisfying query vertex vq, using an
+// attribute index when one covers an equality predicate and scanning
+// otherwise.
+func (m *Matcher) Candidates(vq *query.Vertex) []graph.VertexID {
+	// Prefer an indexed equality predicate as the access path.
+	for key, pred := range vq.Preds {
+		if pred.Kind != query.Values || len(pred.Vals) == 0 || pred.Size() > 4 {
+			continue
+		}
+		vals, _ := pred.EnumerableValues()
+		var pool []graph.VertexID
+		indexed := true
+		for _, v := range vals {
+			ids, ok := m.g.VerticesByAttr(key, v)
+			if !ok {
+				indexed = false
+				break
+			}
+			pool = append(pool, ids...)
+		}
+		if indexed {
+			res := pool[:0]
+			for _, id := range pool {
+				if m.VertexMatches(vq, id) {
+					res = append(res, id)
+				}
+			}
+			return res
+		}
+	}
+	var res []graph.VertexID
+	for i := 0; i < m.g.NumVertices(); i++ {
+		id := graph.VertexID(i)
+		if m.VertexMatches(vq, id) {
+			res = append(res, id)
+		}
+	}
+	return res
+}
+
+// CandidateCount returns the number of data vertices matching vq
+// (the vertex cardinality statistic of §5.2.2).
+func (m *Matcher) CandidateCount(vq *query.Vertex) int {
+	return len(m.Candidates(vq))
+}
+
+// EdgeCandidateCount returns the number of data edges matching eq's type and
+// predicates, ignoring endpoints (the edge cardinality statistic of §5.2.2).
+func (m *Matcher) EdgeCandidateCount(eq *query.Edge) int {
+	count := 0
+	countType := func(ids []graph.EdgeID) {
+		for _, id := range ids {
+			if m.EdgeMatches(eq, id) {
+				count++
+			}
+		}
+	}
+	if len(eq.Types) > 0 {
+		for _, t := range eq.Types {
+			countType(m.g.EdgesByType(t))
+		}
+		return count
+	}
+	for i := 0; i < m.g.NumEdges(); i++ {
+		if m.EdgeMatches(eq, graph.EdgeID(i)) {
+			count++
+		}
+	}
+	return count
+}
+
+// Find enumerates result graphs for q up to opts.Limit.
+func (m *Matcher) Find(q *query.Query, opts Options) []Result {
+	var out []Result
+	m.run(q, func(r Result) bool {
+		out = append(out, r.clone())
+		return opts.Limit == 0 || len(out) < opts.Limit
+	})
+	return out
+}
+
+// Count returns the number of result graphs C(Q) (Definition 2). A non-zero
+// cap stops early and returns cap once reached, which keeps the relaxation
+// searches of Chapters 5–6 safe on exploding candidates.
+func (m *Matcher) Count(q *query.Query, cap int) int {
+	n := 0
+	m.run(q, func(Result) bool {
+		n++
+		return cap == 0 || n < cap
+	})
+	return n
+}
+
+// Exists reports whether q has at least one embedding.
+func (m *Matcher) Exists(q *query.Query) bool {
+	return m.Count(q, 1) > 0
+}
+
+// run drives the backtracking search, invoking emit for every embedding.
+// emit returns false to stop the enumeration.
+func (m *Matcher) run(q *query.Query, emit func(Result) bool) {
+	if q.NumVertices() == 0 {
+		return
+	}
+	comps := q.WeaklyConnectedComponents()
+	if len(comps) == 1 {
+		m.runConnected(q, emit)
+		return
+	}
+	// Match each weakly connected component independently (§4.3.3), then
+	// combine component embeddings, keeping vertex injectivity globally.
+	perComp := make([][]Result, len(comps))
+	for i, compVertices := range comps {
+		sub := q.SubqueryByVertices(compVertices)
+		var rs []Result
+		m.runConnected(sub, func(r Result) bool {
+			rs = append(rs, r.clone())
+			return true
+		})
+		if len(rs) == 0 {
+			return // one empty component empties the product
+		}
+		perComp[i] = rs
+	}
+	// Combine the component result sets.
+	combined := Result{VertexMap: map[int]graph.VertexID{}, EdgeMap: map[int]graph.EdgeID{}}
+	used := make(map[graph.VertexID]int)
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(perComp) {
+			return emit(combined)
+		}
+		for _, r := range perComp[i] {
+			ok := true
+			for _, dv := range r.VertexMap {
+				if used[dv] > 0 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			for qv, dv := range r.VertexMap {
+				combined.VertexMap[qv] = dv
+				used[dv]++
+			}
+			for qe, de := range r.EdgeMap {
+				combined.EdgeMap[qe] = de
+			}
+			cont := rec(i + 1)
+			for qv, dv := range r.VertexMap {
+				delete(combined.VertexMap, qv)
+				used[dv]--
+			}
+			for qe := range r.EdgeMap {
+				delete(combined.EdgeMap, qe)
+			}
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// step is one unit of the connected search plan: match query edge Edge,
+// expanding from the already-bound endpoint to NewVertex (or just checking
+// the edge if both endpoints are bound — a "closing" step).
+type step struct {
+	edge      *query.Edge
+	newVertex int  // query vertex newly bound by this step; -1 for closing
+	fromIsSrc bool // the already-bound endpoint is the edge's source
+}
+
+// plan orders the edges of a connected query into a traversal starting at
+// the most selective vertex. Isolated vertices are returned separately.
+func (m *Matcher) plan(q *query.Query) (start int, steps []step, isolated []int) {
+	// Start vertex: fewest candidates (cheap selectivity heuristic).
+	best, bestCount := -1, -1
+	for _, vid := range q.VertexIDs() {
+		if len(q.Incident(vid)) == 0 {
+			isolated = append(isolated, vid)
+			continue
+		}
+		c := m.CandidateCount(q.Vertex(vid))
+		if best == -1 || c < bestCount {
+			best, bestCount = vid, c
+		}
+	}
+	if best == -1 {
+		return -1, nil, isolated
+	}
+	bound := map[int]bool{best: true}
+	usedEdges := map[int]bool{}
+	for len(usedEdges) < q.NumEdges() {
+		// Prefer closing edges (both endpoints bound), then any frontier edge.
+		chosen := -1
+		closing := false
+		for _, eid := range q.EdgeIDs() {
+			if usedEdges[eid] {
+				continue
+			}
+			e := q.Edge(eid)
+			fb, tb := bound[e.From], bound[e.To]
+			if fb && tb {
+				chosen, closing = eid, true
+				break
+			}
+			if (fb || tb) && chosen == -1 {
+				chosen = eid
+			}
+		}
+		if chosen == -1 {
+			break // disconnected remainder; callers pass connected queries
+		}
+		e := q.Edge(chosen)
+		usedEdges[chosen] = true
+		if closing {
+			steps = append(steps, step{edge: e, newVertex: -1, fromIsSrc: true})
+			continue
+		}
+		if bound[e.From] {
+			steps = append(steps, step{edge: e, newVertex: e.To, fromIsSrc: true})
+			bound[e.To] = true
+		} else {
+			steps = append(steps, step{edge: e, newVertex: e.From, fromIsSrc: false})
+			bound[e.From] = true
+		}
+	}
+	return best, steps, isolated
+}
+
+// runConnected enumerates embeddings of a query whose edge-bearing part is
+// connected; isolated query vertices are bound afterwards from their
+// candidate lists.
+func (m *Matcher) runConnected(q *query.Query, emit func(Result) bool) {
+	start, steps, isolated := m.plan(q)
+	res := Result{VertexMap: map[int]graph.VertexID{}, EdgeMap: map[int]graph.EdgeID{}}
+	usedV := map[graph.VertexID]bool{}
+	usedE := map[graph.EdgeID]bool{}
+
+	var bindIsolated func(i int) bool
+	bindIsolated = func(i int) bool {
+		if i == len(isolated) {
+			return emit(res)
+		}
+		vq := q.Vertex(isolated[i])
+		for _, cand := range m.Candidates(vq) {
+			if usedV[cand] {
+				continue
+			}
+			res.VertexMap[vq.ID] = cand
+			usedV[cand] = true
+			cont := bindIsolated(i + 1)
+			delete(res.VertexMap, vq.ID)
+			usedV[cand] = false
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+
+	var expand func(si int) bool
+	expand = func(si int) bool {
+		if si == len(steps) {
+			return bindIsolated(0)
+		}
+		st := steps[si]
+		e := st.edge
+		if st.newVertex == -1 {
+			// Closing step: both endpoints bound; find an unused data edge.
+			df, dt := res.VertexMap[e.From], res.VertexMap[e.To]
+			return m.eachDataEdge(e, df, dt, func(de graph.EdgeID) bool {
+				if usedE[de] {
+					return true
+				}
+				res.EdgeMap[e.ID] = de
+				usedE[de] = true
+				cont := expand(si + 1)
+				delete(res.EdgeMap, e.ID)
+				usedE[de] = false
+				return cont
+			})
+		}
+		// Expansion step: one endpoint bound, the other free.
+		var boundQ, freeQ int
+		if st.fromIsSrc {
+			boundQ, freeQ = e.From, e.To
+		} else {
+			boundQ, freeQ = e.To, e.From
+		}
+		db := res.VertexMap[boundQ]
+		freeVertex := q.Vertex(freeQ)
+		return m.eachAdjacent(e, db, st.fromIsSrc, func(de graph.EdgeID, dv graph.VertexID) bool {
+			if usedE[de] || usedV[dv] || !m.VertexMatches(freeVertex, dv) {
+				return true
+			}
+			res.VertexMap[freeQ] = dv
+			res.EdgeMap[e.ID] = de
+			usedV[dv] = true
+			usedE[de] = true
+			cont := expand(si + 1)
+			delete(res.VertexMap, freeQ)
+			delete(res.EdgeMap, e.ID)
+			usedV[dv] = false
+			usedE[de] = false
+			return cont
+		})
+	}
+
+	if start == -1 {
+		// No edges at all: just bind the isolated vertices.
+		bindIsolated(0)
+		return
+	}
+	startVertex := q.Vertex(start)
+	for _, cand := range m.Candidates(startVertex) {
+		res.VertexMap[start] = cand
+		usedV[cand] = true
+		cont := expand(0)
+		delete(res.VertexMap, start)
+		usedV[cand] = false
+		if !cont {
+			return
+		}
+	}
+}
+
+// eachDataEdge yields data edges between two bound endpoints that satisfy
+// the query edge's direction set, type disjunction, and predicates.
+func (m *Matcher) eachDataEdge(e *query.Edge, df, dt graph.VertexID, yield func(graph.EdgeID) bool) bool {
+	if e.Dirs.Has(query.Forward) {
+		for _, de := range m.g.Out(df) {
+			if m.g.Edge(de).To == dt && m.EdgeMatches(e, de) {
+				if !yield(de) {
+					return false
+				}
+			}
+		}
+	}
+	if e.Dirs.Has(query.Backward) {
+		for _, de := range m.g.Out(dt) {
+			if m.g.Edge(de).To == df && m.EdgeMatches(e, de) {
+				if !yield(de) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// eachAdjacent yields (data edge, far vertex) pairs adjacent to the bound
+// vertex db that satisfy the query edge's constraints. fromIsSrc tells
+// whether db plays the edge's source role.
+func (m *Matcher) eachAdjacent(e *query.Edge, db graph.VertexID, fromIsSrc bool, yield func(graph.EdgeID, graph.VertexID) bool) bool {
+	// Forward direction: data edge runs source → target.
+	if e.Dirs.Has(query.Forward) {
+		if fromIsSrc {
+			for _, de := range m.g.Out(db) {
+				if m.EdgeMatches(e, de) && !yield(de, m.g.Edge(de).To) {
+					return false
+				}
+			}
+		} else {
+			for _, de := range m.g.In(db) {
+				if m.EdgeMatches(e, de) && !yield(de, m.g.Edge(de).From) {
+					return false
+				}
+			}
+		}
+	}
+	// Backward direction: data edge runs target → source.
+	if e.Dirs.Has(query.Backward) {
+		if fromIsSrc {
+			for _, de := range m.g.In(db) {
+				if m.EdgeMatches(e, de) && !yield(de, m.g.Edge(de).From) {
+					return false
+				}
+			}
+		} else {
+			for _, de := range m.g.Out(db) {
+				if m.EdgeMatches(e, de) && !yield(de, m.g.Edge(de).To) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// PathCount counts the data paths matching a chain of query edges starting
+// from any candidate of the chain's first vertex — the Path(n) statistic of
+// §5.2.3. The chain is given as consecutive edge ids of q forming a path;
+// vertex injectivity along the path is enforced.
+func (m *Matcher) PathCount(q *query.Query, chain []int, cap int) int {
+	if len(chain) == 0 {
+		return 0
+	}
+	sub := q.SubqueryByEdges(chain)
+	return m.Count(sub, cap)
+}
+
+// SortResults orders results deterministically (by the data vertex bound to
+// the smallest query vertex id, then lexicographically) for stable output in
+// tests and reports.
+func SortResults(rs []Result) {
+	key := func(r Result) []int64 {
+		qids := make([]int, 0, len(r.VertexMap))
+		for q := range r.VertexMap {
+			qids = append(qids, q)
+		}
+		sort.Ints(qids)
+		k := make([]int64, 0, len(qids)*2)
+		for _, q := range qids {
+			k = append(k, int64(q), int64(r.VertexMap[q]))
+		}
+		return k
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		a, b := key(rs[i]), key(rs[j])
+		for x := 0; x < len(a) && x < len(b); x++ {
+			if a[x] != b[x] {
+				return a[x] < b[x]
+			}
+		}
+		return len(a) < len(b)
+	})
+}

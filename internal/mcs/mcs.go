@@ -1,0 +1,451 @@
+// Package mcs generates the subgraph-based explanations of Chapter 4: the
+// maximum common connected subgraph (MCS) between a pattern-matching query
+// and the data graph — the largest part of the query that still satisfies
+// the cardinality constraint — together with the differential graph (the
+// failed query part, §4.1.2).
+//
+// DISCOVERMCS (§4.2.1) handles why-empty queries (constraint: at least one
+// result); BOUNDEDMCS (§4.2.2) generalizes the constraint to a cardinality
+// interval for why-so-few and why-so-many queries and bounds each traversal's
+// result enumeration by the threshold. Both algorithms traverse the query
+// graph, growing a connected subquery edge by edge and executing each
+// extension against the data graph.
+//
+// The optimizations of §4.3 are selectable: processing weakly connected
+// components independently (§4.3.1), restricting the search to a single
+// traversal path (§4.3.2), and handling unconnected components (§4.3.3).
+// User integration (§4.4) supplies per-edge relevance weights that steer the
+// traversal path and rank the produced explanations.
+//
+// Chapter 4's algorithmic details arrive truncated in the source text; the
+// growth-with-backtracking search and the closest-cardinality fallback are
+// reconstructed from the thesis' Chapter 1–3 descriptions (see DESIGN.md).
+package mcs
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/match"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// Options configures the MCS search.
+type Options struct {
+	// UseWCC processes weakly connected query components independently
+	// (§4.3.1); without it every candidate subquery is executed against the
+	// full cross-component state, inflating intermediate results.
+	UseWCC bool
+	// SinglePath restricts the search to one traversal path (§4.3.2): at
+	// each step only the best-priority succeeding extension is followed, and
+	// failed edges are never retried. Fewer traversals, possibly smaller MCS.
+	SinglePath bool
+	// EdgeWeights carries the user's relevance per query edge id (§4.4).
+	// Heavier edges are traversed first, so the MCS preferentially covers
+	// what the user cares about.
+	EdgeWeights map[int]float64
+	// TraversalBudget caps the number of subquery executions (0 = 1000).
+	TraversalBudget int
+}
+
+// DefaultTraversalBudget bounds the subquery executions per explanation.
+const DefaultTraversalBudget = 1000
+
+// Explanation is a subgraph-based explanation: the succeeded query part and
+// the differential graph describing the failed part.
+type Explanation struct {
+	// MCS is the maximum common connected subgraph: the largest subquery
+	// whose cardinality satisfies the constraint.
+	MCS *query.Query
+	// Differential is the failed query part: the original query minus the
+	// MCS (§4.1.2). Empty when the whole query satisfies the constraint.
+	Differential *query.Query
+	// Cardinality is the result size of the MCS subquery (capped at the
+	// interval's upper bound plus one for why-so-many runs).
+	Cardinality int
+	// Satisfied reports whether the MCS meets the cardinality interval; if
+	// no subquery does, MCS holds the closest one and Satisfied is false.
+	Satisfied bool
+	// Traversals counts subquery executions — the evaluation currency of
+	// §4.5.
+	Traversals int
+	// Path lists the accepted edge identifiers in traversal order.
+	Path []int
+}
+
+// Rank scores the explanation by accumulated user relevance (§4.4.3): the
+// weight of covered edges over the total weight. Unweighted edges count 1.
+func (e Explanation) Rank(weights map[int]float64, original *query.Query) float64 {
+	w := func(id int) float64 {
+		if v, ok := weights[id]; ok {
+			return v
+		}
+		return 1
+	}
+	var covered, total float64
+	for _, id := range original.EdgeIDs() {
+		total += w(id)
+		if e.MCS != nil && e.MCS.Edge(id) != nil {
+			covered += w(id)
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return covered / total
+}
+
+// DiscoverMCS runs the why-empty algorithm of §4.2.1: the cardinality
+// constraint is "at least one result".
+func DiscoverMCS(m *match.Matcher, st *stats.Collector, q *query.Query, opts Options) Explanation {
+	return BoundedMCS(m, st, q, metrics.AtLeastOne, opts)
+}
+
+// BoundedMCS runs the general algorithm of §4.2.2: it searches for the
+// maximum connected subquery whose cardinality lies inside bounds. Subquery
+// executions are bounded by the interval's upper bound, which keeps
+// traversals cheap for the too-many-answers problem. If no subquery
+// satisfies the bounds, the subquery with the smallest cardinality distance
+// is returned with Satisfied == false.
+func BoundedMCS(m *match.Matcher, st *stats.Collector, q *query.Query, bounds metrics.Interval, opts Options) Explanation {
+	r := &runner{
+		m: m, st: st, q: q, bounds: bounds, opts: opts,
+		visited: make(map[string]bool),
+		budget:  opts.TraversalBudget,
+	}
+	if r.budget <= 0 {
+		r.budget = DefaultTraversalBudget
+	}
+	if opts.UseWCC {
+		return r.runPerComponent()
+	}
+	return r.runWhole()
+}
+
+type runner struct {
+	m      *match.Matcher
+	st     *stats.Collector
+	q      *query.Query
+	bounds metrics.Interval
+	opts   Options
+
+	visited    map[string]bool
+	traversals int
+	budget     int
+
+	hasBest       bool
+	bestEdges     []int
+	bestIsolated  []int
+	bestCard      int
+	bestSatisfied bool
+	bestDist      int
+}
+
+// countCap limits result enumeration per execution ("bounded" evaluation).
+func (r *runner) countCap() int {
+	if r.bounds.Upper > 0 {
+		return r.bounds.Upper + 1
+	}
+	if r.bounds.Lower > 0 {
+		return r.bounds.Lower
+	}
+	return 1
+}
+
+// execute counts the embeddings of the subquery induced by the given edges
+// and isolated vertices, spending one traversal.
+func (r *runner) execute(edges, isolated []int) int {
+	r.traversals++
+	sub := r.q.Subquery(edges, isolated)
+	return r.m.Count(sub, r.countCap())
+}
+
+// record updates the incumbent with a candidate subquery.
+func (r *runner) record(edges, isolated []int, card int) {
+	satisfied := r.bounds.Contains(card)
+	if !satisfied && card == 0 {
+		// An empty subquery result can never explain the failure: the MCS of
+		// a totally failing query is the empty query (whole differential).
+		return
+	}
+	dist := r.bounds.Distance(card)
+	size := len(edges) + len(isolated)
+	bestSize := len(r.bestEdges) + len(r.bestIsolated)
+	better := !r.hasBest
+	switch {
+	case better:
+	case satisfied && !r.bestSatisfied:
+		better = true
+	case satisfied == r.bestSatisfied && satisfied:
+		better = size > bestSize || (size == bestSize && dist < r.bestDist)
+	case satisfied == r.bestSatisfied && !satisfied:
+		better = dist < r.bestDist || (dist == r.bestDist && size > bestSize)
+	}
+	if better {
+		r.hasBest = true
+		r.bestEdges = append([]int(nil), edges...)
+		r.bestIsolated = append([]int(nil), isolated...)
+		r.bestCard = card
+		r.bestSatisfied = satisfied
+		r.bestDist = dist
+	}
+}
+
+// priority orders candidate edges: user weight descending (§4.4.2), then
+// Path(1) cardinality ascending (selective first, §4.3.2), then id.
+func (r *runner) priority(edges []int) []int {
+	type scored struct {
+		id     int
+		weight float64
+		card   int
+	}
+	s := make([]scored, 0, len(edges))
+	for _, id := range edges {
+		w := 0.0
+		if r.opts.EdgeWeights != nil {
+			w = r.opts.EdgeWeights[id]
+		}
+		s = append(s, scored{id: id, weight: w, card: r.st.Path1Cardinality(r.q, id)})
+	}
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].weight != s[j].weight {
+			return s[i].weight > s[j].weight
+		}
+		if s[i].card != s[j].card {
+			return s[i].card < s[j].card
+		}
+		return s[i].id < s[j].id
+	})
+	out := make([]int, len(s))
+	for i, x := range s {
+		out[i] = x.id
+	}
+	return out
+}
+
+func stateKey(edges []int) string {
+	c := append([]int(nil), edges...)
+	sort.Ints(c)
+	var b strings.Builder
+	for _, id := range c {
+		b.WriteString(strconv.Itoa(id))
+		b.WriteByte(',')
+	}
+	return b.String()
+}
+
+// runWhole is the naive strategy: candidate subqueries span all components
+// at once, so every execution pays the full cross-component cost.
+func (r *runner) runWhole() Explanation {
+	comps := r.q.WeaklyConnectedComponents()
+	var allEdges []int
+	var isolated []int
+	for _, comp := range comps {
+		edges, iso := componentEdges(r.q, comp)
+		allEdges = append(allEdges, edges...)
+		isolated = append(isolated, iso...)
+	}
+	// Keep isolated vertices that match at least one data vertex.
+	okIsolated := r.filterIsolated(isolated)
+	r.grow(allEdges, okIsolated)
+	return r.finish()
+}
+
+// runPerComponent applies the §4.3.1 optimization: each weakly connected
+// component is solved independently and the per-component MCSes are merged.
+func (r *runner) runPerComponent() Explanation {
+	comps := r.q.WeaklyConnectedComponents()
+	var mergedEdges, mergedIsolated []int
+	totalCard := 1
+	satisfied := true
+	for _, comp := range comps {
+		edges, iso := componentEdges(r.q, comp)
+		okIso := r.filterIsolated(iso)
+		sub := &runner{
+			m: r.m, st: r.st, q: r.q, bounds: r.bounds, opts: r.opts,
+			visited: make(map[string]bool),
+			budget:  r.budget - r.traversals,
+		}
+		sub.grow(edges, okIso)
+		r.traversals += sub.traversals
+		mergedEdges = append(mergedEdges, sub.bestEdges...)
+		mergedIsolated = append(mergedIsolated, sub.bestIsolated...)
+		if sub.bestCard == 0 {
+			totalCard = 0
+		} else if totalCard < 1<<30 {
+			totalCard *= sub.bestCard
+		}
+		satisfied = satisfied && sub.bestSatisfied
+	}
+	r.bestEdges = mergedEdges
+	r.bestIsolated = mergedIsolated
+	r.bestCard = totalCard
+	r.bestSatisfied = r.bounds.Contains(totalCard)
+	r.bestDist = r.bounds.Distance(totalCard)
+	return r.finish()
+}
+
+func componentEdges(q *query.Query, comp []int) (edges, isolated []int) {
+	inComp := make(map[int]bool, len(comp))
+	for _, v := range comp {
+		inComp[v] = true
+	}
+	for _, eid := range q.EdgeIDs() {
+		if inComp[q.Edge(eid).From] {
+			edges = append(edges, eid)
+		}
+	}
+	if len(edges) == 0 {
+		isolated = comp
+	}
+	return edges, isolated
+}
+
+// filterIsolated keeps isolated vertices with at least one data candidate
+// (§4.3.3): an unmatchable isolated vertex belongs to the differential.
+func (r *runner) filterIsolated(isolated []int) []int {
+	var ok []int
+	for _, v := range isolated {
+		if r.st.VertexCardinality(r.q.Vertex(v)) > 0 {
+			ok = append(ok, v)
+		}
+	}
+	return ok
+}
+
+// grow runs the traversal search over the given candidate edges.
+func (r *runner) grow(candidates, isolated []int) {
+	if len(candidates) == 0 {
+		if len(isolated) > 0 {
+			card := r.execute(nil, isolated)
+			r.record(nil, isolated, card)
+		} else {
+			r.record(nil, nil, 0)
+		}
+		return
+	}
+	if len(isolated) > 0 {
+		// Baseline candidate: the matchable isolated vertices alone.
+		card := r.execute(nil, isolated)
+		r.record(nil, isolated, card)
+	}
+	ordered := r.priority(candidates)
+	var dfs func(accepted []int)
+	dfs = func(accepted []int) {
+		if r.traversals >= r.budget {
+			return
+		}
+		frontier := r.frontier(accepted, ordered)
+		extended := false
+		for _, eid := range frontier {
+			next := append(append([]int(nil), accepted...), eid)
+			key := stateKey(next)
+			if r.visited[key] {
+				continue
+			}
+			r.visited[key] = true
+			if r.traversals >= r.budget {
+				break
+			}
+			card := r.execute(next, isolated)
+			if r.bounds.Contains(card) {
+				extended = true
+				r.record(next, isolated, card)
+				dfs(next)
+				if r.opts.SinglePath {
+					return // single traversal path: first success only
+				}
+			} else {
+				// Remember near-misses for the no-satisfying-subquery case.
+				r.record(next, isolated, card)
+			}
+		}
+		if !extended && len(accepted) > 0 {
+			// Maximal subquery along this branch; already recorded.
+			return
+		}
+	}
+	dfs(nil)
+	if !r.hasBest {
+		// No edge-bearing subquery matched: the maximum common subgraph can
+		// still be a single query vertex (a one-vertex common subgraph).
+		seen := map[int]bool{}
+		for _, eid := range candidates {
+			e := r.q.Edge(eid)
+			for _, v := range []int{e.From, e.To} {
+				if seen[v] || r.traversals >= r.budget {
+					continue
+				}
+				seen[v] = true
+				withV := append(append([]int(nil), isolated...), v)
+				card := r.execute(nil, withV)
+				r.record(nil, withV, card)
+			}
+		}
+	}
+}
+
+// frontier returns candidate extensions: edges connected to the accepted
+// subquery (sharing a vertex), or every candidate when nothing is accepted
+// yet. Order follows the priority order.
+func (r *runner) frontier(accepted, ordered []int) []int {
+	if len(accepted) == 0 {
+		return ordered
+	}
+	acceptedSet := make(map[int]bool, len(accepted))
+	touched := make(map[int]bool)
+	for _, eid := range accepted {
+		acceptedSet[eid] = true
+		e := r.q.Edge(eid)
+		touched[e.From] = true
+		touched[e.To] = true
+	}
+	var out []int
+	for _, eid := range ordered {
+		if acceptedSet[eid] {
+			continue
+		}
+		e := r.q.Edge(eid)
+		if touched[e.From] || touched[e.To] {
+			out = append(out, eid)
+		}
+	}
+	return out
+}
+
+// finish assembles the Explanation from the incumbent.
+func (r *runner) finish() Explanation {
+	mcs := r.q.Subquery(r.bestEdges, r.bestIsolated)
+	diff := differential(r.q, mcs)
+	return Explanation{
+		MCS:          mcs,
+		Differential: diff,
+		Cardinality:  r.bestCard,
+		Satisfied:    r.bestSatisfied,
+		Traversals:   r.traversals,
+		Path:         append([]int(nil), r.bestEdges...),
+	}
+}
+
+// differential computes the differential graph (§4.1.2): the query elements
+// not covered by the MCS — all failed edges plus the vertices that neither
+// the MCS nor a failed edge covers.
+func differential(q, mcs *query.Query) *query.Query {
+	var edges []int
+	for _, eid := range q.EdgeIDs() {
+		if mcs.Edge(eid) == nil {
+			edges = append(edges, eid)
+		}
+	}
+	var isolated []int
+	covered := q.SubqueryByEdges(edges)
+	for _, vid := range q.VertexIDs() {
+		if mcs.Vertex(vid) == nil && covered.Vertex(vid) == nil {
+			isolated = append(isolated, vid)
+		}
+	}
+	return q.Subquery(edges, isolated)
+}

@@ -1,0 +1,121 @@
+package metrics
+
+// CardinalityDistance measures how far a result size is from the cardinality
+// threshold: |C_thr − C(Q)| (§3.2.3, the per-query half of Definition 5).
+func CardinalityDistance(cthr, c int) int {
+	d := cthr - c
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// CardinalityDelta compares two explanations against the threshold per
+// Definition 5 (Eq. 3.19): Δc = ||C_thr − C1| − |C_thr − C2||.
+func CardinalityDelta(cthr, c1, c2 int) int {
+	d := CardinalityDistance(cthr, c1) - CardinalityDistance(cthr, c2)
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// CardinalityDeltaEmpty compares two non-empty explanations of a why-empty
+// query, where no threshold exists and smaller results are preferred
+// (Eq. 3.20): Δc = |C1 − C2|. Both cardinalities must be positive; the
+// distance is undefined (reported as -1) if either query is still empty.
+func CardinalityDeltaEmpty(c1, c2 int) int {
+	if c1 <= 0 || c2 <= 0 {
+		return -1
+	}
+	d := c1 - c2
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// ProblemKind classifies an unexpected result size (§3.1.3).
+type ProblemKind int
+
+const (
+	// Satisfied means the cardinality lies inside the expected interval.
+	Satisfied ProblemKind = iota
+	// WhyEmpty is the empty-answer problem: C(Q) = 0.
+	WhyEmpty
+	// WhySoFew is the too-few-answers problem: 0 < C(Q) < lower bound.
+	WhySoFew
+	// WhySoMany is the too-many-answers problem: C(Q) > upper bound.
+	WhySoMany
+)
+
+// String names the problem kind.
+func (k ProblemKind) String() string {
+	switch k {
+	case WhyEmpty:
+		return "why-empty"
+	case WhySoFew:
+		return "why-so-few"
+	case WhySoMany:
+		return "why-so-many"
+	default:
+		return "satisfied"
+	}
+}
+
+// Interval is a cardinality threshold with lower and upper bounds (§3.1.3:
+// "a cardinality threshold can represent a cardinality interval").
+// Lower = 1, Upper = 0 expresses "at least one result" (no upper bound).
+type Interval struct {
+	Lower int
+	Upper int // 0 means unbounded above
+}
+
+// AtLeastOne is the why-empty threshold: any non-empty result satisfies it.
+var AtLeastOne = Interval{Lower: 1}
+
+// Contains reports whether cardinality c satisfies the interval.
+func (iv Interval) Contains(c int) bool {
+	if c < iv.Lower {
+		return false
+	}
+	if iv.Upper > 0 && c > iv.Upper {
+		return false
+	}
+	return true
+}
+
+// Classify maps a result cardinality to the why-problem it poses
+// (Fig. 3.1, holistic support of different cardinality-based problems).
+func (iv Interval) Classify(c int) ProblemKind {
+	switch {
+	case c == 0 && iv.Lower > 0:
+		return WhyEmpty
+	case c < iv.Lower:
+		return WhySoFew
+	case iv.Upper > 0 && c > iv.Upper:
+		return WhySoMany
+	default:
+		return Satisfied
+	}
+}
+
+// Distance returns how far c lies outside the interval (0 when inside).
+func (iv Interval) Distance(c int) int {
+	if c < iv.Lower {
+		return iv.Lower - c
+	}
+	if iv.Upper > 0 && c > iv.Upper {
+		return c - iv.Upper
+	}
+	return 0
+}
+
+// Target returns the single scalar threshold the distance aims at: the bound
+// the current cardinality violates, or the lower bound by default.
+func (iv Interval) Target(c int) int {
+	if iv.Upper > 0 && c > iv.Upper {
+		return iv.Upper
+	}
+	return iv.Lower
+}

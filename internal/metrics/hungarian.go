@@ -1,0 +1,116 @@
+package metrics
+
+import "math"
+
+// Assign solves the minimum-cost assignment problem for a square cost matrix
+// (the Hungarian method, Algorithm 2 of the thesis, here in the O(n³)
+// potential formulation). It returns the column assigned to each row and the
+// total cost of the optimal assignment.
+func Assign(cost [][]float64) (rowToCol []int, total float64) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0
+	}
+	const inf = math.MaxFloat64
+	// 1-based arrays per the classic formulation.
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = row assigned to column j
+	way := make([]int, n+1)
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			var delta float64 = inf
+			j1 := 0
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+			if j0 == 0 {
+				break
+			}
+		}
+	}
+	rowToCol = make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] > 0 {
+			rowToCol[p[j]-1] = j - 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		total += cost[i][rowToCol[i]]
+	}
+	return rowToCol, total
+}
+
+// AssignRect solves the assignment problem for a rectangular matrix by
+// padding it to a square with the given pad cost (Algorithm 2, Step 0: for
+// m > n, m−n columns with d = 1 are inserted; symmetrically for n > m).
+// Rows or columns matched to padding are reported as -1 in the assignment.
+func AssignRect(cost [][]float64, pad float64) (rowToCol []int, total float64) {
+	m := len(cost)
+	if m == 0 {
+		return nil, 0
+	}
+	n := len(cost[0])
+	size := m
+	if n > size {
+		size = n
+	}
+	sq := make([][]float64, size)
+	for i := range sq {
+		sq[i] = make([]float64, size)
+		for j := range sq[i] {
+			if i < m && j < n {
+				sq[i][j] = cost[i][j]
+			} else {
+				sq[i][j] = pad
+			}
+		}
+	}
+	asg, total := Assign(sq)
+	rowToCol = make([]int, m)
+	for i := 0; i < m; i++ {
+		if asg[i] < n {
+			rowToCol[i] = asg[i]
+		} else {
+			rowToCol[i] = -1
+		}
+	}
+	return rowToCol, total
+}

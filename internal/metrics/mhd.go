@@ -1,0 +1,62 @@
+// Package metrics implements the comprehensive explanation-comparison model
+// of Chapter 3: the syntactic distance over the set-based query model
+// (§3.2.2, Eq. 3.10–3.13, Algorithm 1), the cardinality distance (§3.2.3,
+// Definition 5), and the result distance (§3.2.4, Definitions 6–8) computed
+// with a normalized graph edit distance per result pair and an optimal
+// Hungarian assignment (Algorithm 2) between result sets.
+package metrics
+
+import "math"
+
+// MHDInts computes the modified Hausdorff distance (Eq. 3.10) between two
+// identifier sets with the Boolean point-set distance of Eq. 3.9:
+// d(a,B) = 0 if a ∈ B else 1. Two empty sets are at distance 0; an empty set
+// against a non-empty one is at distance 1.
+func MHDInts(a, b []int) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 1
+	}
+	return math.Max(fracMissingInts(a, b), fracMissingInts(b, a))
+}
+
+func fracMissingInts(xs, ys []int) float64 {
+	set := make(map[int]struct{}, len(ys))
+	for _, y := range ys {
+		set[y] = struct{}{}
+	}
+	miss := 0
+	for _, x := range xs {
+		if _, ok := set[x]; !ok {
+			miss++
+		}
+	}
+	return float64(miss) / float64(len(xs))
+}
+
+// MHDStrings is MHDInts over string sets (used for edge-type disjunctions).
+func MHDStrings(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 1
+	}
+	return math.Max(fracMissingStrings(a, b), fracMissingStrings(b, a))
+}
+
+func fracMissingStrings(xs, ys []string) float64 {
+	set := make(map[string]struct{}, len(ys))
+	for _, y := range ys {
+		set[y] = struct{}{}
+	}
+	miss := 0
+	for _, x := range xs {
+		if _, ok := set[x]; !ok {
+			miss++
+		}
+	}
+	return float64(miss) / float64(len(xs))
+}

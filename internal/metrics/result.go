@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"repro/internal/match"
+)
+
+// ResultGraphDistance computes the distance between two result graphs
+// (Definition 7): a graph edit distance over the query-identifier-aligned
+// mappings, normalized by the total number of distinct query elements bound
+// in either result. Elements bound in both results with different data
+// identifiers cost one relabeling; elements bound in only one result cost
+// one deletion or insertion.
+func ResultGraphDistance(r1, r2 match.Result) float64 {
+	var ged, elems int
+	// Vertices.
+	seenV := make(map[int]struct{}, len(r1.VertexMap)+len(r2.VertexMap))
+	for q, d1 := range r1.VertexMap {
+		seenV[q] = struct{}{}
+		elems++
+		if d2, ok := r2.VertexMap[q]; !ok || d1 != d2 {
+			ged++
+		}
+	}
+	for q := range r2.VertexMap {
+		if _, dup := seenV[q]; !dup {
+			elems++
+			ged++
+		}
+	}
+	// Edges.
+	seenE := make(map[int]struct{}, len(r1.EdgeMap)+len(r2.EdgeMap))
+	for q, d1 := range r1.EdgeMap {
+		seenE[q] = struct{}{}
+		elems++
+		if d2, ok := r2.EdgeMap[q]; !ok || d1 != d2 {
+			ged++
+		}
+	}
+	for q := range r2.EdgeMap {
+		if _, dup := seenE[q]; !dup {
+			elems++
+			ged++
+		}
+	}
+	if elems == 0 {
+		return 0
+	}
+	return float64(ged) / float64(elems)
+}
+
+// ResultSetDistance compares the result set of an explanation against the
+// result set of the original query (§3.2.4): the pairwise result-graph
+// distances form a cost matrix, the generalized assignment problem
+// (Definition 8) is solved with the Hungarian method (Algorithm 2), and the
+// optimal total cost is normalized so the distance lies in [0, 1]. Results
+// left unmatched (different set sizes) cost the maximal distance 1. A
+// comparison against or between empty sets yields the maximal distance 1,
+// matching the thesis' convention that an explanation with an empty result
+// is completely different; two empty sets are identical (0).
+func ResultSetDistance(orig, expl []match.Result) float64 {
+	if len(orig) == 0 && len(expl) == 0 {
+		return 0
+	}
+	if len(orig) == 0 || len(expl) == 0 {
+		return 1
+	}
+	cost := make([][]float64, len(orig))
+	for i, r1 := range orig {
+		cost[i] = make([]float64, len(expl))
+		for j, r2 := range expl {
+			cost[i][j] = ResultGraphDistance(r1, r2)
+		}
+	}
+	_, total := AssignRect(cost, 1)
+	size := len(orig)
+	if len(expl) > size {
+		size = len(expl)
+	}
+	return total / float64(size)
+}

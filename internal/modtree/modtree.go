@@ -1,0 +1,561 @@
+package modtree
+
+import (
+	"container/heap"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// Options tunes TRAVERSESEARCHTREE and its baselines.
+type Options struct {
+	// Goal is the cardinality interval the rewriting must reach.
+	Goal metrics.Interval
+	// MaxExecuted caps candidate executions (0 = 300).
+	MaxExecuted int
+	// MaxDepth caps stacked modifications (0 = 6).
+	MaxDepth int
+	// AllowTopology enables edge/vertex level changes alongside the
+	// value-level predicate changes (§6.4.3, topology consideration).
+	AllowTopology bool
+	// Domain supplies replacement values for predicate extension; without
+	// it only removal-style modifications are available.
+	Domain *stats.Domain
+	// ValuesPerPredicate caps domain values tried per predicate (0 = 3).
+	ValuesPerPredicate int
+	// CountCap bounds result counting per execution (0 = derived from the
+	// goal's upper bound, at least 1000).
+	CountCap int
+}
+
+func (o *Options) fill() {
+	if o.MaxExecuted == 0 {
+		o.MaxExecuted = 300
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 6
+	}
+	if o.ValuesPerPredicate == 0 {
+		o.ValuesPerPredicate = 3
+	}
+	if o.CountCap == 0 {
+		o.CountCap = 1000
+		if o.Goal.Upper > 0 && o.Goal.Upper >= 1000 {
+			o.CountCap = o.Goal.Upper * 2
+		}
+	}
+}
+
+// Node is a modification-tree node (§6.1.3).
+type Node struct {
+	// Query is the rewritten query at this node.
+	Query *query.Query
+	// Ops is the modification sequence from the original query.
+	Ops []query.Op
+	// Cardinality is the node's (possibly capped) result size.
+	Cardinality int
+	// Distance is the cardinality distance to the goal interval.
+	Distance int
+	// Syntactic is the syntactic distance to the original query.
+	Syntactic float64
+	// Depth is the number of stacked modifications.
+	Depth int
+	// Demoted marks a non-contributing change (§6.3.2): the node expands
+	// only after every contributing branch, so a change that needs a
+	// coordinated follow-up on a dependent element (§6.3.1, change
+	// propagation) still gets one instead of dead-ending the search.
+	Demoted bool
+}
+
+// Result reports a fine-grained modification run.
+type Result struct {
+	// Best is the found rewriting with the smallest cardinality distance
+	// (ties: smaller syntactic distance).
+	Best Node
+	// Satisfied reports whether Best reaches the goal interval.
+	Satisfied bool
+	// Executed counts candidate executions.
+	Executed int
+	// Generated counts generated tree nodes.
+	Generated int
+	// Pruned counts discarded non-contributing changes and branches
+	// (§6.3.2).
+	Pruned int
+	// Trace records the best-so-far cardinality distance after every
+	// execution (convergence series, §6.4.2).
+	Trace []int
+}
+
+// Searcher runs fine-grained modifications over one data graph.
+type Searcher struct {
+	m  *match.Matcher
+	st *stats.Collector
+}
+
+// New returns a searcher over the matcher and statistics collector.
+func New(m *match.Matcher, st *stats.Collector) *Searcher {
+	return &Searcher{m: m, st: st}
+}
+
+// TraverseSearchTree is the thesis' TRAVERSESEARCHTREE algorithm (§6.2.1):
+// best-first expansion of the modification tree toward the goal interval.
+// Every candidate is re-planned and re-executed in full, which guarantees
+// the propagation of each change through all downstream operators (§6.3.1);
+// children whose cardinality equals their parent's are non-contributing and
+// are discarded with their branches (§6.3.2).
+func (s *Searcher) TraverseSearchTree(q *query.Query, opts Options) Result {
+	opts.fill()
+	res := Result{}
+	executed := map[string]int{}
+	pq := &nodeHeap{}
+	heap.Init(pq)
+
+	exec := func(n *Node) bool {
+		key := n.Query.Canonical()
+		card, seen := executed[key]
+		if !seen {
+			if res.Executed >= opts.MaxExecuted {
+				return false
+			}
+			card = s.m.Count(n.Query, opts.CountCap)
+			executed[key] = card
+			res.Executed++
+		}
+		n.Cardinality = card
+		n.Distance = opts.Goal.Distance(card)
+		return true
+	}
+
+	root := &Node{Query: q.Clone()}
+	if !exec(root) {
+		return res
+	}
+	root.Syntactic = 0
+	res.Best = *root
+	res.Satisfied = opts.Goal.Contains(root.Cardinality)
+	res.Trace = append(res.Trace, res.Best.Distance)
+	if res.Satisfied {
+		return res
+	}
+	heap.Push(pq, root)
+	res.Generated = 1
+
+	for pq.Len() > 0 && res.Executed < opts.MaxExecuted {
+		parent := heap.Pop(pq).(*Node)
+		if parent.Depth >= opts.MaxDepth {
+			continue
+		}
+		for _, op := range s.Modifications(parent.Query, parent.Cardinality, opts) {
+			childQ, err := query.Apply(parent.Query, op)
+			if err != nil {
+				continue
+			}
+			if _, seen := executed[childQ.Canonical()]; seen {
+				continue
+			}
+			child := &Node{
+				Query: childQ,
+				Ops:   append(append([]query.Op(nil), parent.Ops...), op),
+				Depth: parent.Depth + 1,
+			}
+			if !exec(child) {
+				break
+			}
+			res.Generated++
+			child.Syntactic = metrics.SyntacticDistance(q, childQ)
+			emptied := opts.Goal.Lower >= 1 && child.Cardinality == 0 && parent.Cardinality > 0
+			if child.Cardinality == parent.Cardinality || emptied {
+				// Non-contributing change (§6.3.2) — or one that emptied the
+				// result, which can never be the explanation of a non-empty
+				// goal: demote the branch so it only expands when no
+				// contributing branch is left, giving dependent elements a
+				// chance to propagate the change (§6.3.1) without letting
+				// dead changes lead the search.
+				res.Pruned++
+				child.Demoted = true
+				res.Trace = append(res.Trace, res.Best.Distance)
+				heap.Push(pq, child)
+				continue
+			}
+			if better(child, &res.Best) {
+				res.Best = *child
+			}
+			res.Trace = append(res.Trace, res.Best.Distance)
+			if opts.Goal.Contains(child.Cardinality) {
+				res.Satisfied = true
+				return res
+			}
+			heap.Push(pq, child)
+		}
+	}
+	res.Satisfied = opts.Goal.Contains(res.Best.Cardinality)
+	return res
+}
+
+func better(a, b *Node) bool {
+	if a.Distance != b.Distance {
+		return a.Distance < b.Distance
+	}
+	return a.Syntactic < b.Syntactic
+}
+
+// vertexKind extracts the entity kind from a vertex's type predicate when
+// it pins a single string value.
+func vertexKind(v *query.Vertex) string {
+	p, ok := v.Preds["type"]
+	if !ok || p.Kind != query.Values || len(p.Vals) != 1 {
+		return ""
+	}
+	if p.Vals[0].Kind != graph.KindString {
+		return ""
+	}
+	return p.Vals[0].Str
+}
+
+// Modifications enumerates the fine-grained operations applicable at a node,
+// directed by where the node's cardinality lies relative to the goal: below
+// the interval → relaxations (§6.2.2 generates candidates that enlarge the
+// result), above → concretizations. On the boundary both sides are offered,
+// which lets the search oscillate around the threshold (Fig. 3.1).
+func (s *Searcher) Modifications(q *query.Query, card int, opts Options) []query.Op {
+	kind := opts.Goal.Classify(card)
+	var ops []query.Op
+	if kind == metrics.WhyEmpty || kind == metrics.WhySoFew {
+		ops = append(ops, s.relaxOps(q, opts)...)
+	}
+	if kind == metrics.WhySoMany {
+		ops = append(ops, s.concretizeOps(q, opts)...)
+	}
+	if kind == metrics.Satisfied {
+		ops = append(ops, s.relaxOps(q, opts)...)
+		ops = append(ops, s.concretizeOps(q, opts)...)
+	}
+	return ops
+}
+
+// relaxOps are value-level relaxations: extend predicate disjunctions with
+// domain values, widen ranges, add sibling edge types, drop directions, and
+// — with topology enabled — drop whole predicates, edges, or leaf vertices.
+func (s *Searcher) relaxOps(q *query.Query, opts Options) []query.Op {
+	var ops []query.Op
+	addExtend := func(t query.Target, p query.Predicate, domainVals []graph.Value) {
+		added := 0
+		for _, v := range domainVals {
+			if added >= opts.ValuesPerPredicate {
+				break
+			}
+			if p.Matches(v) {
+				continue
+			}
+			ops = append(ops, query.ExtendPredicate{On: t, Value: v})
+			added++
+		}
+	}
+	for _, vid := range q.VertexIDs() {
+		v := q.Vertex(vid)
+		for attr, p := range v.Preds {
+			t := query.Target{Kind: query.TargetVertex, ID: vid, Attr: attr}
+			if p.Kind == query.Range {
+				ops = append(ops, query.WidenRange{On: t, Delta: 1})
+			} else if opts.Domain != nil {
+				addExtend(t, p, opts.Domain.VertexValues[attr])
+			}
+			ops = append(ops, query.DeletePredicate{On: t})
+		}
+	}
+	for _, eid := range q.EdgeIDs() {
+		e := q.Edge(eid)
+		for attr, p := range e.Preds {
+			t := query.Target{Kind: query.TargetEdge, ID: eid, Attr: attr}
+			if p.Kind == query.Range {
+				ops = append(ops, query.WidenRange{On: t, Delta: 1})
+			} else if opts.Domain != nil {
+				addExtend(t, p, opts.Domain.EdgeValues[attr])
+			}
+			ops = append(ops, query.DeletePredicate{On: t})
+		}
+		if len(e.Types) > 0 && opts.Domain != nil {
+			added := 0
+			for _, typ := range opts.Domain.EdgeTypes {
+				if added >= opts.ValuesPerPredicate {
+					break
+				}
+				if !e.HasType(typ) {
+					ops = append(ops, query.AddType{Edge: eid, Type: typ})
+					added++
+				}
+			}
+		}
+		if e.Dirs != query.Both {
+			ops = append(ops, query.DeleteDirection{Edge: eid})
+		}
+		if opts.AllowTopology && q.NumEdges() > 1 {
+			ops = append(ops, query.DeleteEdge{Edge: eid})
+		}
+	}
+	if opts.AllowTopology && q.NumVertices() > 1 {
+		for _, vid := range q.VertexIDs() {
+			if len(q.Incident(vid)) <= 1 {
+				ops = append(ops, query.DeleteVertex{Vertex: vid})
+			}
+		}
+	}
+	return ops
+}
+
+// concretizeOps are value-level concretizations: shrink disjunctions, narrow
+// ranges, drop disjunction types, pin directions, and — with topology — add
+// predicates or edges from the domain.
+func (s *Searcher) concretizeOps(q *query.Query, opts Options) []query.Op {
+	var ops []query.Op
+	for _, vid := range q.VertexIDs() {
+		v := q.Vertex(vid)
+		for attr, p := range v.Preds {
+			t := query.Target{Kind: query.TargetVertex, ID: vid, Attr: attr}
+			if p.Kind == query.Range {
+				ops = append(ops, query.NarrowRange{On: t, Delta: 1})
+			} else if len(p.Vals) > 1 {
+				for i, val := range p.Vals {
+					if i >= opts.ValuesPerPredicate {
+						break
+					}
+					ops = append(ops, query.ShrinkPredicate{On: t, Value: val})
+				}
+			}
+		}
+		// Introduce new predicates from the domain on unconstrained attrs,
+		// restricted to attributes the vertex's entity kind actually has.
+		if opts.Domain != nil {
+			kind := vertexKind(v)
+			for _, attr := range opts.Domain.VertexAttrs(kind) {
+				if _, constrained := v.Preds[attr]; constrained {
+					continue
+				}
+				vals := opts.Domain.VertexAttrValues(kind, attr)
+				limit := opts.ValuesPerPredicate
+				if limit > len(vals) {
+					limit = len(vals)
+				}
+				for _, val := range vals[:limit] {
+					ops = append(ops, query.InsertPredicate{
+						On:   query.Target{Kind: query.TargetVertex, ID: vid, Attr: attr},
+						Pred: query.Eq(val),
+					})
+				}
+			}
+		}
+	}
+	for _, eid := range q.EdgeIDs() {
+		e := q.Edge(eid)
+		for attr, p := range e.Preds {
+			t := query.Target{Kind: query.TargetEdge, ID: eid, Attr: attr}
+			if p.Kind == query.Range {
+				ops = append(ops, query.NarrowRange{On: t, Delta: 1})
+			} else if len(p.Vals) > 1 {
+				for i, val := range p.Vals {
+					if i >= opts.ValuesPerPredicate {
+						break
+					}
+					ops = append(ops, query.ShrinkPredicate{On: t, Value: val})
+				}
+			}
+		}
+		if len(e.Types) > 1 {
+			for _, typ := range e.Types {
+				ops = append(ops, query.RemoveType{Edge: eid, Type: typ})
+			}
+		}
+		if e.Dirs == query.Both {
+			ops = append(ops, query.SetDirection{Edge: eid, Dirs: query.Forward})
+			ops = append(ops, query.SetDirection{Edge: eid, Dirs: query.Backward})
+		}
+	}
+	if opts.AllowTopology && opts.Domain != nil && len(opts.Domain.EdgeTypes) > 0 {
+		vids := q.VertexIDs()
+		for i := 0; i < len(vids) && i < 3; i++ {
+			for j := 0; j < len(vids) && j < 3; j++ {
+				if i == j {
+					continue
+				}
+				ops = append(ops, query.InsertEdge{From: vids[i], To: vids[j], Types: opts.Domain.EdgeTypes[:1]})
+			}
+		}
+	}
+	return ops
+}
+
+// nodeHeap is a min-heap on (cardinality distance, syntactic distance,
+// depth): the most promising modification-tree branch expands first.
+type nodeHeap []*Node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].Demoted != h[j].Demoted {
+		return !h[i].Demoted
+	}
+	if h[i].Distance != h[j].Distance {
+		return h[i].Distance < h[j].Distance
+	}
+	if h[i].Syntactic != h[j].Syntactic {
+		return h[i].Syntactic < h[j].Syntactic
+	}
+	return h[i].Depth < h[j].Depth
+}
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*Node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Exhaustive is the §6.4.1 enumeration baseline: breadth-first expansion of
+// the same operator space without pruning or prioritization.
+func (s *Searcher) Exhaustive(q *query.Query, opts Options) Result {
+	opts.fill()
+	res := Result{}
+	executed := map[string]int{}
+	type item struct{ n *Node }
+	var queue []item
+
+	exec := func(n *Node) bool {
+		key := n.Query.Canonical()
+		card, seen := executed[key]
+		if !seen {
+			if res.Executed >= opts.MaxExecuted {
+				return false
+			}
+			card = s.m.Count(n.Query, opts.CountCap)
+			executed[key] = card
+			res.Executed++
+		}
+		n.Cardinality = card
+		n.Distance = opts.Goal.Distance(card)
+		return true
+	}
+	root := &Node{Query: q.Clone()}
+	if !exec(root) {
+		return res
+	}
+	res.Best = *root
+	res.Generated = 1
+	res.Trace = append(res.Trace, res.Best.Distance)
+	if opts.Goal.Contains(root.Cardinality) {
+		res.Satisfied = true
+		return res
+	}
+	queue = append(queue, item{root})
+	for len(queue) > 0 && res.Executed < opts.MaxExecuted {
+		cur := queue[0].n
+		queue = queue[1:]
+		if cur.Depth >= opts.MaxDepth {
+			continue
+		}
+		for _, op := range s.Modifications(cur.Query, cur.Cardinality, opts) {
+			childQ, err := query.Apply(cur.Query, op)
+			if err != nil {
+				continue
+			}
+			if _, seen := executed[childQ.Canonical()]; seen {
+				continue
+			}
+			child := &Node{
+				Query: childQ,
+				Ops:   append(append([]query.Op(nil), cur.Ops...), op),
+				Depth: cur.Depth + 1,
+			}
+			if !exec(child) {
+				break
+			}
+			res.Generated++
+			child.Syntactic = metrics.SyntacticDistance(q, childQ)
+			if better(child, &res.Best) {
+				res.Best = *child
+			}
+			res.Trace = append(res.Trace, res.Best.Distance)
+			if opts.Goal.Contains(child.Cardinality) {
+				res.Satisfied = true
+				return res
+			}
+			queue = append(queue, item{child})
+		}
+	}
+	res.Satisfied = opts.Goal.Contains(res.Best.Cardinality)
+	return res
+}
+
+// RandomWalk is the §6.4.1 random baseline: chains of randomly chosen
+// applicable modifications, restarted from the original query.
+func (s *Searcher) RandomWalk(q *query.Query, opts Options, seed int64) Result {
+	opts.fill()
+	rng := rand.New(rand.NewSource(seed))
+	res := Result{}
+	executed := map[string]int{}
+
+	count := func(cand *query.Query) (int, bool) {
+		key := cand.Canonical()
+		if card, seen := executed[key]; seen {
+			return card, true
+		}
+		if res.Executed >= opts.MaxExecuted {
+			return 0, false
+		}
+		card := s.m.Count(cand, opts.CountCap)
+		executed[key] = card
+		res.Executed++
+		return card, true
+	}
+
+	rootCard, _ := count(q)
+	res.Best = Node{Query: q.Clone(), Cardinality: rootCard, Distance: opts.Goal.Distance(rootCard)}
+	res.Generated = 1
+	res.Trace = append(res.Trace, res.Best.Distance)
+	if opts.Goal.Contains(rootCard) {
+		res.Satisfied = true
+		return res
+	}
+	for res.Executed < opts.MaxExecuted {
+		cur := q.Clone()
+		card := rootCard
+		var ops []query.Op
+		for depth := 0; depth < opts.MaxDepth && res.Executed < opts.MaxExecuted; depth++ {
+			avail := s.Modifications(cur, card, opts)
+			if len(avail) == 0 {
+				break
+			}
+			op := avail[rng.Intn(len(avail))]
+			next, err := query.Apply(cur, op)
+			if err != nil {
+				continue
+			}
+			c, ok := count(next)
+			if !ok {
+				break
+			}
+			res.Generated++
+			cur, card = next, c
+			ops = append(ops, op)
+			node := Node{
+				Query: cur, Ops: append([]query.Op(nil), ops...),
+				Cardinality: card, Distance: opts.Goal.Distance(card),
+				Syntactic: metrics.SyntacticDistance(q, cur), Depth: depth + 1,
+			}
+			if better(&node, &res.Best) {
+				res.Best = node
+			}
+			res.Trace = append(res.Trace, res.Best.Distance)
+			if opts.Goal.Contains(card) {
+				res.Satisfied = true
+				return res
+			}
+		}
+	}
+	res.Satisfied = opts.Goal.Contains(res.Best.Cardinality)
+	return res
+}

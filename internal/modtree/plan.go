@@ -1,0 +1,138 @@
+// Package modtree implements the fine-grained cardinality-driven query
+// modification of Chapter 6: TRAVERSESEARCHTREE builds a modification tree
+// at runtime whose nodes are rewritten queries annotated with their
+// cardinality distance to the threshold, expands the most promising nodes
+// with value-level predicate changes and (optionally) topology changes,
+// guarantees change propagation by re-planning and re-executing every
+// candidate (§6.3.1), and discards non-contributing changes — modifications
+// that leave the cardinality untouched — together with their search branches
+// (§6.3.2). The baselines of §6.4.1 (exhaustive enumeration and a random
+// modification walk) share the operator space for a fair comparison.
+package modtree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// PlanStep is one operator of the operational graph-query representation
+// (§6.1.2): a scan producing candidate bindings for a query vertex, or an
+// expansion along a query edge.
+type PlanStep struct {
+	// Kind is "scan" or "expand".
+	Kind string
+	// Vertex is the query vertex bound by this step.
+	Vertex int
+	// Edge is the query edge traversed by an expand step (-1 for scans).
+	Edge int
+	// EstimatedCardinality is the statistics estimate for the operator's
+	// output (vertex candidates for scans, Path(1) for expansions).
+	EstimatedCardinality int
+}
+
+// Plan is the operational representation of a connected query: an ordered
+// operator pipeline. Modifications invalidate the plan; rebuilding it per
+// candidate is what guarantees change propagation through all downstream
+// operators (§6.3.1).
+type Plan struct {
+	Steps []PlanStep
+}
+
+// BuildPlan orders the query into scan+expand operators starting from the
+// most selective vertex of each weakly connected component.
+func BuildPlan(st *stats.Collector, q *query.Query) Plan {
+	var plan Plan
+	for _, comp := range q.WeaklyConnectedComponents() {
+		buildComponent(st, q, comp, &plan)
+	}
+	return plan
+}
+
+func buildComponent(st *stats.Collector, q *query.Query, comp []int, plan *Plan) {
+	inComp := make(map[int]bool, len(comp))
+	for _, v := range comp {
+		inComp[v] = true
+	}
+	// Most selective vertex first.
+	start, best := -1, 0
+	for _, v := range comp {
+		c := st.VertexCardinality(q.Vertex(v))
+		if start == -1 || c < best {
+			start, best = v, c
+		}
+	}
+	plan.Steps = append(plan.Steps, PlanStep{Kind: "scan", Vertex: start, Edge: -1, EstimatedCardinality: best})
+	bound := map[int]bool{start: true}
+	used := map[int]bool{}
+	for {
+		// Cheapest frontier edge next.
+		chosen, chosenCard, newV := -1, 0, -1
+		for _, eid := range q.EdgeIDs() {
+			if used[eid] {
+				continue
+			}
+			e := q.Edge(eid)
+			if !inComp[e.From] {
+				continue
+			}
+			fb, tb := bound[e.From], bound[e.To]
+			if !fb && !tb {
+				continue
+			}
+			card := st.Path1Cardinality(q, eid)
+			if chosen == -1 || card < chosenCard {
+				chosen, chosenCard = eid, card
+				switch {
+				case fb && tb:
+					newV = -1
+				case fb:
+					newV = e.To
+				default:
+					newV = e.From
+				}
+			}
+		}
+		if chosen == -1 {
+			break
+		}
+		used[chosen] = true
+		step := PlanStep{Kind: "expand", Vertex: newV, Edge: chosen, EstimatedCardinality: chosenCard}
+		if newV != -1 {
+			bound[newV] = true
+		}
+		plan.Steps = append(plan.Steps, step)
+	}
+}
+
+// String renders the pipeline, e.g. "scan(v1)~4 → expand(e0→v2)~3".
+func (p Plan) String() string {
+	parts := make([]string, len(p.Steps))
+	for i, s := range p.Steps {
+		if s.Kind == "scan" {
+			parts[i] = fmt.Sprintf("scan(v%d)~%d", s.Vertex, s.EstimatedCardinality)
+		} else if s.Vertex == -1 {
+			parts[i] = fmt.Sprintf("close(e%d)~%d", s.Edge, s.EstimatedCardinality)
+		} else {
+			parts[i] = fmt.Sprintf("expand(e%d→v%d)~%d", s.Edge, s.Vertex, s.EstimatedCardinality)
+		}
+	}
+	return strings.Join(parts, " → ")
+}
+
+// Reorder returns the plan's expand steps sorted by a user-relevance weight
+// map (heavier first) — the §4.4 traversal-path model re-used for
+// re-arranging modification-tree branches (thesis contribution 6).
+func (p Plan) Reorder(weights map[int]float64) Plan {
+	steps := append([]PlanStep(nil), p.Steps...)
+	sort.SliceStable(steps, func(i, j int) bool {
+		if steps[i].Kind == "scan" || steps[j].Kind == "scan" {
+			return steps[i].Kind == "scan" && steps[j].Kind != "scan"
+		}
+		return weights[steps[i].Edge] > weights[steps[j].Edge]
+	})
+	return Plan{Steps: steps}
+}

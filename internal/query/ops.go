@@ -1,0 +1,526 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Op is a single query-modification operation from the catalog of Table 3.1
+// (basic operations) and Figure 3.2 (complex operations). Relaxation
+// operations remove constraints from the query description; concretization
+// operations add constraints. Ops mutate the query in place; callers clone
+// first when the original must survive (the modification tree of Chapter 6
+// and the relaxation search of Chapter 5 both operate on clones).
+type Op interface {
+	// Apply performs the modification, returning an error if the operation
+	// is not applicable to the query's current state.
+	Apply(q *Query) error
+	// Relaxation reports whether the operation removes constraints (true)
+	// or adds them (false), per Table 3.1.
+	Relaxation() bool
+	// Topological reports whether the operation changes the query topology
+	// (edges/vertices/directions) rather than predicates.
+	Topological() bool
+	// Target returns the element the operation touches, for the
+	// user-preference models of §4.4 and §5.4.
+	Target() Target
+	fmt.Stringer
+}
+
+// TargetKind says whether an operation touches a vertex or an edge.
+type TargetKind uint8
+
+const (
+	// TargetVertex marks operations on query vertices.
+	TargetVertex TargetKind = iota
+	// TargetEdge marks operations on query edges.
+	TargetEdge
+)
+
+// Target identifies the query element an operation modifies.
+type Target struct {
+	Kind TargetKind
+	ID   int
+	Attr string // attribute name for predicate-level operations, else ""
+}
+
+// String renders the target compactly (v3, e1.sinceYear, ...).
+func (t Target) String() string {
+	prefix := "v"
+	if t.Kind == TargetEdge {
+		prefix = "e"
+	}
+	if t.Attr != "" {
+		return fmt.Sprintf("%s%d.%s", prefix, t.ID, t.Attr)
+	}
+	return fmt.Sprintf("%s%d", prefix, t.ID)
+}
+
+// ErrNotApplicable is returned by Op.Apply when the query's current state
+// does not admit the operation (element already removed, value absent, ...).
+var ErrNotApplicable = errors.New("query: operation not applicable")
+
+// ---------------------------------------------------------------------------
+// Topological relaxations
+
+// DeleteEdge removes a query edge (edge deletion).
+type DeleteEdge struct{ Edge int }
+
+// Apply implements Op.
+func (op DeleteEdge) Apply(q *Query) error {
+	if !q.RemoveEdge(op.Edge) {
+		return ErrNotApplicable
+	}
+	return nil
+}
+
+// Relaxation implements Op.
+func (op DeleteEdge) Relaxation() bool { return true }
+
+// Topological implements Op.
+func (op DeleteEdge) Topological() bool { return true }
+
+// Target implements Op.
+func (op DeleteEdge) Target() Target { return Target{Kind: TargetEdge, ID: op.Edge} }
+
+func (op DeleteEdge) String() string { return fmt.Sprintf("delete edge e%d", op.Edge) }
+
+// DeleteVertex removes a query vertex and its incident edges (vertex
+// deletion).
+type DeleteVertex struct{ Vertex int }
+
+// Apply implements Op.
+func (op DeleteVertex) Apply(q *Query) error {
+	if !q.RemoveVertex(op.Vertex) {
+		return ErrNotApplicable
+	}
+	return nil
+}
+
+// Relaxation implements Op.
+func (op DeleteVertex) Relaxation() bool { return true }
+
+// Topological implements Op.
+func (op DeleteVertex) Topological() bool { return true }
+
+// Target implements Op.
+func (op DeleteVertex) Target() Target { return Target{Kind: TargetVertex, ID: op.Vertex} }
+
+func (op DeleteVertex) String() string { return fmt.Sprintf("delete vertex v%d", op.Vertex) }
+
+// DeleteDirection relaxes an edge's direction constraint to "both"
+// (direction deletion).
+type DeleteDirection struct{ Edge int }
+
+// Apply implements Op.
+func (op DeleteDirection) Apply(q *Query) error {
+	e := q.Edge(op.Edge)
+	if e == nil || e.Dirs == Both {
+		return ErrNotApplicable
+	}
+	e.Dirs = Both
+	return nil
+}
+
+// Relaxation implements Op.
+func (op DeleteDirection) Relaxation() bool { return true }
+
+// Topological implements Op.
+func (op DeleteDirection) Topological() bool { return true }
+
+// Target implements Op.
+func (op DeleteDirection) Target() Target { return Target{Kind: TargetEdge, ID: op.Edge} }
+
+func (op DeleteDirection) String() string { return fmt.Sprintf("delete direction of e%d", op.Edge) }
+
+// SetDirection constrains an edge to a single direction (direction
+// insertion, a concretization).
+type SetDirection struct {
+	Edge int
+	Dirs Dir
+}
+
+// Apply implements Op.
+func (op SetDirection) Apply(q *Query) error {
+	e := q.Edge(op.Edge)
+	if e == nil || e.Dirs == op.Dirs || op.Dirs.Count() == 0 {
+		return ErrNotApplicable
+	}
+	e.Dirs = op.Dirs
+	return nil
+}
+
+// Relaxation implements Op.
+func (op SetDirection) Relaxation() bool { return false }
+
+// Topological implements Op.
+func (op SetDirection) Topological() bool { return true }
+
+// Target implements Op.
+func (op SetDirection) Target() Target { return Target{Kind: TargetEdge, ID: op.Edge} }
+
+func (op SetDirection) String() string {
+	return fmt.Sprintf("set direction of e%d to %s", op.Edge, op.Dirs)
+}
+
+// InsertEdge adds a new edge between existing vertices (edge insertion, a
+// concretization; also the building block of subgraph densification).
+type InsertEdge struct {
+	From, To int
+	Types    []string
+	Dirs     Dir
+}
+
+// Apply implements Op.
+func (op InsertEdge) Apply(q *Query) error {
+	if q.Vertex(op.From) == nil || q.Vertex(op.To) == nil {
+		return ErrNotApplicable
+	}
+	id := q.AddEdge(op.From, op.To, op.Types, nil)
+	if op.Dirs != 0 {
+		q.Edge(id).Dirs = op.Dirs
+	}
+	return nil
+}
+
+// Relaxation implements Op.
+func (op InsertEdge) Relaxation() bool { return false }
+
+// Topological implements Op.
+func (op InsertEdge) Topological() bool { return true }
+
+// Target implements Op.
+func (op InsertEdge) Target() Target { return Target{Kind: TargetVertex, ID: op.From} }
+
+func (op InsertEdge) String() string {
+	return fmt.Sprintf("insert edge v%d->v%d %v", op.From, op.To, op.Types)
+}
+
+// ---------------------------------------------------------------------------
+// Type modifications
+
+// DeleteType drops the whole type disjunction of an edge so it matches any
+// edge type (type deletion).
+type DeleteType struct{ Edge int }
+
+// Apply implements Op.
+func (op DeleteType) Apply(q *Query) error {
+	e := q.Edge(op.Edge)
+	if e == nil || len(e.Types) == 0 {
+		return ErrNotApplicable
+	}
+	e.Types = nil
+	return nil
+}
+
+// Relaxation implements Op.
+func (op DeleteType) Relaxation() bool { return true }
+
+// Topological implements Op.
+func (op DeleteType) Topological() bool { return false }
+
+// Target implements Op.
+func (op DeleteType) Target() Target { return Target{Kind: TargetEdge, ID: op.Edge, Attr: "type"} }
+
+func (op DeleteType) String() string { return fmt.Sprintf("delete type of e%d", op.Edge) }
+
+// AddType extends an edge's type disjunction with one more admissible type
+// (a fine-grained relaxation used by type substitution).
+type AddType struct {
+	Edge int
+	Type string
+}
+
+// Apply implements Op.
+func (op AddType) Apply(q *Query) error {
+	e := q.Edge(op.Edge)
+	if e == nil || len(e.Types) == 0 || e.HasType(op.Type) {
+		return ErrNotApplicable
+	}
+	e.Types = append(e.Types, op.Type)
+	return nil
+}
+
+// Relaxation implements Op.
+func (op AddType) Relaxation() bool { return true }
+
+// Topological implements Op.
+func (op AddType) Topological() bool { return false }
+
+// Target implements Op.
+func (op AddType) Target() Target { return Target{Kind: TargetEdge, ID: op.Edge, Attr: "type"} }
+
+func (op AddType) String() string { return fmt.Sprintf("add type %q to e%d", op.Type, op.Edge) }
+
+// RemoveType narrows an edge's type disjunction (a concretization). The last
+// remaining type cannot be removed.
+type RemoveType struct {
+	Edge int
+	Type string
+}
+
+// Apply implements Op.
+func (op RemoveType) Apply(q *Query) error {
+	e := q.Edge(op.Edge)
+	if e == nil || len(e.Types) <= 1 {
+		return ErrNotApplicable
+	}
+	for i, t := range e.Types {
+		if t == op.Type {
+			e.Types = append(e.Types[:i], e.Types[i+1:]...)
+			return nil
+		}
+	}
+	return ErrNotApplicable
+}
+
+// Relaxation implements Op.
+func (op RemoveType) Relaxation() bool { return false }
+
+// Topological implements Op.
+func (op RemoveType) Topological() bool { return false }
+
+// Target implements Op.
+func (op RemoveType) Target() Target { return Target{Kind: TargetEdge, ID: op.Edge, Attr: "type"} }
+
+func (op RemoveType) String() string { return fmt.Sprintf("remove type %q from e%d", op.Type, op.Edge) }
+
+// ---------------------------------------------------------------------------
+// Predicate modifications
+
+func predsOf(q *Query, t Target) (map[string]Predicate, error) {
+	switch t.Kind {
+	case TargetEdge:
+		e := q.Edge(t.ID)
+		if e == nil {
+			return nil, ErrNotApplicable
+		}
+		return e.Preds, nil
+	default:
+		v := q.Vertex(t.ID)
+		if v == nil {
+			return nil, ErrNotApplicable
+		}
+		return v.Preds, nil
+	}
+}
+
+// DeletePredicate removes a whole predicate interval from a vertex or edge
+// (predicate deletion).
+type DeletePredicate struct {
+	On Target // Kind+ID of the element; Attr names the predicate
+}
+
+// Apply implements Op.
+func (op DeletePredicate) Apply(q *Query) error {
+	preds, err := predsOf(q, op.On)
+	if err != nil {
+		return err
+	}
+	if _, ok := preds[op.On.Attr]; !ok {
+		return ErrNotApplicable
+	}
+	delete(preds, op.On.Attr)
+	return nil
+}
+
+// Relaxation implements Op.
+func (op DeletePredicate) Relaxation() bool { return true }
+
+// Topological implements Op.
+func (op DeletePredicate) Topological() bool { return false }
+
+// Target implements Op.
+func (op DeletePredicate) Target() Target { return op.On }
+
+func (op DeletePredicate) String() string { return fmt.Sprintf("delete predicate %s", op.On) }
+
+// InsertPredicate adds a predicate interval to a vertex or edge (predicate
+// insertion, a concretization).
+type InsertPredicate struct {
+	On   Target
+	Pred Predicate
+}
+
+// Apply implements Op.
+func (op InsertPredicate) Apply(q *Query) error {
+	preds, err := predsOf(q, op.On)
+	if err != nil {
+		return err
+	}
+	if _, exists := preds[op.On.Attr]; exists {
+		return ErrNotApplicable
+	}
+	preds[op.On.Attr] = op.Pred.Clone()
+	return nil
+}
+
+// Relaxation implements Op.
+func (op InsertPredicate) Relaxation() bool { return false }
+
+// Topological implements Op.
+func (op InsertPredicate) Topological() bool { return false }
+
+// Target implements Op.
+func (op InsertPredicate) Target() Target { return op.On }
+
+func (op InsertPredicate) String() string {
+	return fmt.Sprintf("insert predicate %s=%s", op.On, op.Pred)
+}
+
+// ExtendPredicate adds one value to a predicate's disjunction (predicate
+// extension, Fig. 3.2) — the fine-grained relaxation unit of Chapter 6.
+type ExtendPredicate struct {
+	On    Target
+	Value graph.Value
+}
+
+// Apply implements Op.
+func (op ExtendPredicate) Apply(q *Query) error {
+	preds, err := predsOf(q, op.On)
+	if err != nil {
+		return err
+	}
+	p, ok := preds[op.On.Attr]
+	if !ok || p.Matches(op.Value) {
+		return ErrNotApplicable
+	}
+	preds[op.On.Attr] = p.AddValue(op.Value)
+	return nil
+}
+
+// Relaxation implements Op.
+func (op ExtendPredicate) Relaxation() bool { return true }
+
+// Topological implements Op.
+func (op ExtendPredicate) Topological() bool { return false }
+
+// Target implements Op.
+func (op ExtendPredicate) Target() Target { return op.On }
+
+func (op ExtendPredicate) String() string {
+	return fmt.Sprintf("extend predicate %s with %s", op.On, op.Value)
+}
+
+// ShrinkPredicate removes one value from a predicate's disjunction — the
+// fine-grained concretization unit of Chapter 6 for the too-many-answers
+// problem.
+type ShrinkPredicate struct {
+	On    Target
+	Value graph.Value
+}
+
+// Apply implements Op.
+func (op ShrinkPredicate) Apply(q *Query) error {
+	preds, err := predsOf(q, op.On)
+	if err != nil {
+		return err
+	}
+	p, ok := preds[op.On.Attr]
+	if !ok {
+		return ErrNotApplicable
+	}
+	np, changed := p.RemoveValue(op.Value)
+	if !changed {
+		return ErrNotApplicable
+	}
+	preds[op.On.Attr] = np
+	return nil
+}
+
+// Relaxation implements Op.
+func (op ShrinkPredicate) Relaxation() bool { return false }
+
+// Topological implements Op.
+func (op ShrinkPredicate) Topological() bool { return false }
+
+// Target implements Op.
+func (op ShrinkPredicate) Target() Target { return op.On }
+
+func (op ShrinkPredicate) String() string {
+	return fmt.Sprintf("shrink predicate %s by %s", op.On, op.Value)
+}
+
+// WidenRange enlarges a numeric range predicate by delta on both bounds
+// (changing a predicate interval: deletion plus insertion, §3.2.1).
+type WidenRange struct {
+	On    Target
+	Delta float64
+}
+
+// Apply implements Op.
+func (op WidenRange) Apply(q *Query) error {
+	preds, err := predsOf(q, op.On)
+	if err != nil {
+		return err
+	}
+	p, ok := preds[op.On.Attr]
+	if !ok || p.Kind != Range || op.Delta <= 0 {
+		return ErrNotApplicable
+	}
+	p.Lo -= op.Delta
+	p.Hi += op.Delta
+	preds[op.On.Attr] = p
+	return nil
+}
+
+// Relaxation implements Op.
+func (op WidenRange) Relaxation() bool { return true }
+
+// Topological implements Op.
+func (op WidenRange) Topological() bool { return false }
+
+// Target implements Op.
+func (op WidenRange) Target() Target { return op.On }
+
+func (op WidenRange) String() string { return fmt.Sprintf("widen range %s by %v", op.On, op.Delta) }
+
+// NarrowRange shrinks a numeric range predicate by delta on both bounds.
+type NarrowRange struct {
+	On    Target
+	Delta float64
+}
+
+// Apply implements Op.
+func (op NarrowRange) Apply(q *Query) error {
+	preds, err := predsOf(q, op.On)
+	if err != nil {
+		return err
+	}
+	p, ok := preds[op.On.Attr]
+	if !ok || p.Kind != Range || op.Delta <= 0 {
+		return ErrNotApplicable
+	}
+	if p.Hi-p.Lo <= 2*op.Delta {
+		return ErrNotApplicable
+	}
+	p.Lo += op.Delta
+	p.Hi -= op.Delta
+	preds[op.On.Attr] = p
+	return nil
+}
+
+// Relaxation implements Op.
+func (op NarrowRange) Relaxation() bool { return false }
+
+// Topological implements Op.
+func (op NarrowRange) Topological() bool { return false }
+
+// Target implements Op.
+func (op NarrowRange) Target() Target { return op.On }
+
+func (op NarrowRange) String() string { return fmt.Sprintf("narrow range %s by %v", op.On, op.Delta) }
+
+// Apply clones the query, applies each op in order, and returns the modified
+// clone. It stops at the first inapplicable op and reports it.
+func Apply(q *Query, ops ...Op) (*Query, error) {
+	c := q.Clone()
+	for _, op := range ops {
+		if err := op.Apply(c); err != nil {
+			return nil, fmt.Errorf("%w: %s", err, op)
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,447 @@
+// Package query implements the set-based graph-query model of §3.2.2
+// (Fig. 3.3): a pattern-matching query is a property graph whose vertices and
+// edges are themselves sets — predicate intervals, incoming/outgoing edge-id
+// sets, type disjunctions, and direction sets. The representation supports
+// the fine-grained modification operations of Table 3.1 and Figure 3.2 and
+// the syntactic-distance computation of internal/metrics.
+//
+// Query vertices and edges carry numeric identifiers that stay stable across
+// modifications, so explanations remain comparable with the original query
+// (§3.2.2, "identifiers are uniquely defined in an original query").
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dir is a direction-set bitmask of a query edge. The thesis models the
+// direction as a set with at most two values (forward, backward); a set with
+// both values places no direction constraint (direction deletion, Tab. 3.1).
+type Dir uint8
+
+const (
+	// Forward requires the data edge to run source → target.
+	Forward Dir = 1 << iota
+	// Backward requires the data edge to run target → source.
+	Backward
+	// Both places no direction constraint.
+	Both = Forward | Backward
+)
+
+// Has reports whether d includes the given direction.
+func (d Dir) Has(x Dir) bool { return d&x != 0 }
+
+// Count returns the number of directions in the set (1 or 2).
+func (d Dir) Count() int {
+	n := 0
+	if d.Has(Forward) {
+		n++
+	}
+	if d.Has(Backward) {
+		n++
+	}
+	return n
+}
+
+// String renders the direction set.
+func (d Dir) String() string {
+	switch d {
+	case Forward:
+		return "->"
+	case Backward:
+		return "<-"
+	case Both:
+		return "--"
+	default:
+		return "??"
+	}
+}
+
+// Vertex is a query vertex: a set of predicate intervals (plus the derived
+// IN/OUT edge-id sets kept in the owning Query, Eq. 3.3/3.4).
+type Vertex struct {
+	ID    int
+	Preds map[string]Predicate
+}
+
+// Clone deep-copies the vertex.
+func (v *Vertex) Clone() *Vertex {
+	c := &Vertex{ID: v.ID, Preds: make(map[string]Predicate, len(v.Preds))}
+	for k, p := range v.Preds {
+		c.Preds[k] = p.Clone()
+	}
+	return c
+}
+
+// Edge is a query edge: type disjunction, source/target vertex ids,
+// direction set, and predicate intervals (Eq. 3.5/3.6/3.7).
+type Edge struct {
+	ID    int
+	From  int      // source query-vertex id
+	To    int      // target query-vertex id
+	Types []string // disjunction; empty means "any type" (type deleted)
+	Dirs  Dir
+	Preds map[string]Predicate
+}
+
+// Clone deep-copies the edge.
+func (e *Edge) Clone() *Edge {
+	c := &Edge{ID: e.ID, From: e.From, To: e.To, Dirs: e.Dirs,
+		Types: append([]string(nil), e.Types...),
+		Preds: make(map[string]Predicate, len(e.Preds))}
+	for k, p := range e.Preds {
+		c.Preds[k] = p.Clone()
+	}
+	return c
+}
+
+// HasType reports whether the edge's type disjunction admits typ.
+// An empty disjunction admits every type.
+func (e *Edge) HasType(typ string) bool {
+	if len(e.Types) == 0 {
+		return true
+	}
+	for _, t := range e.Types {
+		if t == typ {
+			return true
+		}
+	}
+	return false
+}
+
+// Query is a pattern-matching graph query G_q with N_q vertices and M_q
+// edges. The zero value is not usable; construct with New.
+type Query struct {
+	vertices map[int]*Vertex
+	edges    map[int]*Edge
+	nextVID  int
+	nextEID  int
+}
+
+// New returns an empty query.
+func New() *Query {
+	return &Query{vertices: make(map[int]*Vertex), edges: make(map[int]*Edge)}
+}
+
+// AddVertex appends a query vertex with the given predicate intervals and
+// returns its identifier.
+func (q *Query) AddVertex(preds map[string]Predicate) int {
+	id := q.nextVID
+	q.nextVID++
+	if preds == nil {
+		preds = map[string]Predicate{}
+	}
+	q.vertices[id] = &Vertex{ID: id, Preds: preds}
+	return id
+}
+
+// AddEdge appends a forward query edge from → to with the given type
+// disjunction and predicates and returns its identifier. It panics if either
+// endpoint is missing (programmer error).
+func (q *Query) AddEdge(from, to int, types []string, preds map[string]Predicate) int {
+	if _, ok := q.vertices[from]; !ok {
+		panic(fmt.Sprintf("query: AddEdge: no vertex %d", from))
+	}
+	if _, ok := q.vertices[to]; !ok {
+		panic(fmt.Sprintf("query: AddEdge: no vertex %d", to))
+	}
+	id := q.nextEID
+	q.nextEID++
+	if preds == nil {
+		preds = map[string]Predicate{}
+	}
+	q.edges[id] = &Edge{ID: id, From: from, To: to, Types: append([]string(nil), types...), Dirs: Forward, Preds: preds}
+	return id
+}
+
+// Vertex returns the vertex with the given id, or nil.
+func (q *Query) Vertex(id int) *Vertex { return q.vertices[id] }
+
+// Edge returns the edge with the given id, or nil.
+func (q *Query) Edge(id int) *Edge { return q.edges[id] }
+
+// NumVertices returns N_q.
+func (q *Query) NumVertices() int { return len(q.vertices) }
+
+// NumEdges returns M_q.
+func (q *Query) NumEdges() int { return len(q.edges) }
+
+// VertexIDs returns the vertex identifiers in ascending order.
+func (q *Query) VertexIDs() []int {
+	ids := make([]int, 0, len(q.vertices))
+	for id := range q.vertices {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// EdgeIDs returns the edge identifiers in ascending order.
+func (q *Query) EdgeIDs() []int {
+	ids := make([]int, 0, len(q.edges))
+	for id := range q.edges {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// In returns the identifiers of edges whose target is v (the IN set of
+// Eq. 3.4), ascending.
+func (q *Query) In(v int) []int {
+	var ids []int
+	for id, e := range q.edges {
+		if e.To == v {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Out returns the identifiers of edges whose source is v (the OUT set of
+// Eq. 3.4), ascending.
+func (q *Query) Out(v int) []int {
+	var ids []int
+	for id, e := range q.edges {
+		if e.From == v {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// Incident returns all edge ids touching v, ascending.
+func (q *Query) Incident(v int) []int {
+	var ids []int
+	for id, e := range q.edges {
+		if e.From == v || e.To == v {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// RemoveEdge deletes the edge with the given id. It reports whether the edge
+// existed. Vertex set is unchanged (edge deletion, Tab. 3.1).
+func (q *Query) RemoveEdge(id int) bool {
+	if _, ok := q.edges[id]; !ok {
+		return false
+	}
+	delete(q.edges, id)
+	return true
+}
+
+// RemoveVertex deletes the vertex and all incident edges (vertex deletion,
+// Tab. 3.1). It reports whether the vertex existed.
+func (q *Query) RemoveVertex(id int) bool {
+	if _, ok := q.vertices[id]; !ok {
+		return false
+	}
+	delete(q.vertices, id)
+	for eid, e := range q.edges {
+		if e.From == id || e.To == id {
+			delete(q.edges, eid)
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy sharing no storage; identifiers are preserved.
+func (q *Query) Clone() *Query {
+	c := &Query{
+		vertices: make(map[int]*Vertex, len(q.vertices)),
+		edges:    make(map[int]*Edge, len(q.edges)),
+		nextVID:  q.nextVID,
+		nextEID:  q.nextEID,
+	}
+	for id, v := range q.vertices {
+		c.vertices[id] = v.Clone()
+	}
+	for id, e := range q.edges {
+		c.edges[id] = e.Clone()
+	}
+	return c
+}
+
+// SubqueryByEdges returns the connected (or not) subquery induced by the
+// given edge ids: those edges plus their endpoints, with identifiers
+// preserved. Used by the MCS algorithms of Chapter 4.
+func (q *Query) SubqueryByEdges(edgeIDs []int) *Query {
+	c := &Query{
+		vertices: make(map[int]*Vertex),
+		edges:    make(map[int]*Edge, len(edgeIDs)),
+		nextVID:  q.nextVID,
+		nextEID:  q.nextEID,
+	}
+	for _, eid := range edgeIDs {
+		e, ok := q.edges[eid]
+		if !ok {
+			continue
+		}
+		c.edges[eid] = e.Clone()
+		if _, ok := c.vertices[e.From]; !ok {
+			c.vertices[e.From] = q.vertices[e.From].Clone()
+		}
+		if _, ok := c.vertices[e.To]; !ok {
+			c.vertices[e.To] = q.vertices[e.To].Clone()
+		}
+	}
+	return c
+}
+
+// Subquery returns the subquery consisting of the given edges (with their
+// endpoints) plus the given extra vertices, all with identifiers preserved.
+// Extra vertices already covered by an edge are not duplicated.
+func (q *Query) Subquery(edgeIDs, extraVertices []int) *Query {
+	c := q.SubqueryByEdges(edgeIDs)
+	for _, vid := range extraVertices {
+		if c.vertices[vid] != nil {
+			continue
+		}
+		if v, ok := q.vertices[vid]; ok {
+			c.vertices[vid] = v.Clone()
+		}
+	}
+	return c
+}
+
+// SubqueryByVertices returns the subquery induced by the given vertex ids:
+// those vertices plus all edges whose both endpoints are included.
+func (q *Query) SubqueryByVertices(vertexIDs []int) *Query {
+	keep := make(map[int]bool, len(vertexIDs))
+	for _, v := range vertexIDs {
+		keep[v] = true
+	}
+	c := &Query{
+		vertices: make(map[int]*Vertex, len(vertexIDs)),
+		edges:    make(map[int]*Edge),
+		nextVID:  q.nextVID,
+		nextEID:  q.nextEID,
+	}
+	for _, vid := range vertexIDs {
+		if v, ok := q.vertices[vid]; ok {
+			c.vertices[vid] = v.Clone()
+		}
+	}
+	for id, e := range q.edges {
+		if keep[e.From] && keep[e.To] {
+			c.edges[id] = e.Clone()
+		}
+	}
+	return c
+}
+
+// WeaklyConnectedComponents partitions the query's vertices into weakly
+// connected components (§4.3.1). Isolated vertices form singleton components.
+// Components are ordered by their smallest vertex id; members ascend.
+func (q *Query) WeaklyConnectedComponents() [][]int {
+	parent := make(map[int]int, len(q.vertices))
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for id := range q.vertices {
+		parent[id] = id
+	}
+	for _, e := range q.edges {
+		a, b := find(e.From), find(e.To)
+		if a != b {
+			parent[a] = b
+		}
+	}
+	groups := make(map[int][]int)
+	for id := range q.vertices {
+		r := find(id)
+		groups[r] = append(groups[r], id)
+	}
+	comps := make([][]int, 0, len(groups))
+	for _, members := range groups {
+		sort.Ints(members)
+		comps = append(comps, members)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// IsConnected reports whether the query graph is weakly connected.
+func (q *Query) IsConnected() bool {
+	if len(q.vertices) <= 1 {
+		return true
+	}
+	return len(q.WeaklyConnectedComponents()) == 1
+}
+
+// Validate checks referential integrity: every edge endpoint must exist.
+func (q *Query) Validate() error {
+	for id, e := range q.edges {
+		if _, ok := q.vertices[e.From]; !ok {
+			return fmt.Errorf("query: edge %d references missing source vertex %d", id, e.From)
+		}
+		if _, ok := q.vertices[e.To]; !ok {
+			return fmt.Errorf("query: edge %d references missing target vertex %d", id, e.To)
+		}
+	}
+	return nil
+}
+
+// Canonical returns a deterministic textual form of the query, suitable as a
+// cache key for the executed-query cache of Chapter 5 and for equality
+// checks between rewritten candidates.
+func (q *Query) Canonical() string {
+	var b strings.Builder
+	for _, vid := range q.VertexIDs() {
+		v := q.vertices[vid]
+		fmt.Fprintf(&b, "v%d{", vid)
+		writePreds(&b, v.Preds)
+		b.WriteString("}\x1e")
+	}
+	for _, eid := range q.EdgeIDs() {
+		e := q.edges[eid]
+		fmt.Fprintf(&b, "e%d(%d%s%d):%s{", eid, e.From, e.Dirs, e.To, strings.Join(sortedStrings(e.Types), "|"))
+		writePreds(&b, e.Preds)
+		b.WriteString("}\x1e")
+	}
+	return b.String()
+}
+
+// String renders the query for humans; identical to Canonical but with
+// newlines between elements.
+func (q *Query) String() string {
+	return strings.TrimRight(strings.ReplaceAll(q.Canonical(), "\x1e", "\n"), "\n")
+}
+
+func writePreds(b *strings.Builder, preds map[string]Predicate) {
+	keys := make([]string, 0, len(preds))
+	for k := range preds {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		p := preds[k]
+		fmt.Fprintf(b, "%s=%s", k, p.String())
+	}
+}
+
+func sortedStrings(s []string) []string {
+	c := append([]string(nil), s...)
+	sort.Strings(c)
+	return c
+}
+
+// Equal reports whether two queries are structurally identical (same
+// identifiers, topology, types, directions, and predicates).
+func (q *Query) Equal(o *Query) bool {
+	return q.Canonical() == o.Canonical()
+}

@@ -1,0 +1,91 @@
+package relax
+
+import (
+	"sort"
+
+	"repro/internal/query"
+)
+
+// PreferenceModel is the non-intrusive user-integration model of §5.4: it
+// learns, from user ratings of proposed rewritings, how strongly the user
+// cares about each query element. Elements the user wants untouched develop
+// a high protection weight, and candidates modifying them are scheduled
+// later (§5.4.2, adaptation of query rewriting).
+//
+// A rating is a value in [0,1]: 1 — the proposed rewriting is fully
+// acceptable (the modified elements were dispensable), 0 — unacceptable
+// (the modified elements matter to the user). Weights start at the neutral
+// protection 0.5 and move toward (1 − rating) with learning rate η.
+type PreferenceModel struct {
+	weights map[query.Target]float64
+	eta     float64
+}
+
+// NewPreferenceModel returns a model with learning rate eta (0 < eta ≤ 1);
+// eta 0 selects the default 0.5.
+func NewPreferenceModel(eta float64) *PreferenceModel {
+	if eta <= 0 || eta > 1 {
+		eta = 0.5
+	}
+	return &PreferenceModel{weights: make(map[query.Target]float64), eta: eta}
+}
+
+// Rate folds a user rating of a proposed rewriting into the model. The
+// rated candidate's operations identify which elements were modified.
+func (pm *PreferenceModel) Rate(c Candidate, rating float64) {
+	if rating < 0 {
+		rating = 0
+	}
+	if rating > 1 {
+		rating = 1
+	}
+	for _, op := range c.Ops {
+		t := op.Target()
+		w, ok := pm.weights[t]
+		if !ok {
+			w = 0.5
+		}
+		pm.weights[t] = w + pm.eta*((1-rating)-w)
+	}
+}
+
+// Weight reports the protection of a target in [0,1]; 0.5 when unknown.
+func (pm *PreferenceModel) Weight(t query.Target) float64 {
+	if w, ok := pm.weights[t]; ok {
+		return w
+	}
+	return 0.5
+}
+
+// Penalty returns the protection of the most-protected element the
+// candidate's operations touch, in [0,1]. Schedulers multiply priorities by
+// (1 − Penalty), so a candidate modifying any strongly protected element is
+// relaxed last regardless of how many innocuous changes accompany it.
+func (pm *PreferenceModel) Penalty(ops []query.Op) float64 {
+	var max float64
+	for _, op := range ops {
+		if w := pm.Weight(op.Target()); w > max {
+			max = w
+		}
+	}
+	return max
+}
+
+// Protected lists the targets whose protection exceeds the threshold,
+// most protected first — the explicit preference report of §5.4.1.
+func (pm *PreferenceModel) Protected(threshold float64) []query.Target {
+	var ts []query.Target
+	for t, w := range pm.weights {
+		if w > threshold {
+			ts = append(ts, t)
+		}
+	}
+	sort.Slice(ts, func(i, j int) bool {
+		wi, wj := pm.weights[ts[i]], pm.weights[ts[j]]
+		if wi != wj {
+			return wi > wj
+		}
+		return ts[i].String() < ts[j].String()
+	})
+	return ts
+}

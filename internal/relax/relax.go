@@ -1,0 +1,294 @@
+// Package relax implements the coarse-grained modification-based
+// explanations of Chapter 5 for why-empty queries: the original query is
+// relaxed — whole predicates, types, directions, edges, or leaf vertices are
+// discarded — until a rewritten query delivers results. The search over
+// query candidates is steered by a priority function fed with the
+// query-dependent statistics of internal/stats (§5.2–5.3), already executed
+// candidates are cached and re-used (§5.5.2, App. B.2), and a non-intrusive
+// user-preference model learned from ratings adapts the rewriting (§5.4).
+package relax
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/match"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+// Priority selects the query-candidate selector's priority function
+// (§5.3, evaluated in §5.5.1 and §5.5.3).
+type Priority int
+
+const (
+	// PriorityRandom pops candidates in random order (baseline).
+	PriorityRandom Priority = iota
+	// PrioritySyntactic prefers candidates closest to the original query.
+	PrioritySyntactic
+	// PriorityEstimatedCardinality prefers candidates with the largest
+	// estimated cardinality (§5.2).
+	PriorityEstimatedCardinality
+	// PriorityAvgPath1 prefers candidates with the largest average Path(1)
+	// cardinality (§5.5.3).
+	PriorityAvgPath1
+	// PriorityCombined multiplies the average Path(1) cardinality with the
+	// induced cardinality change of the generating modification (§5.5.3).
+	PriorityCombined
+)
+
+// String names the priority function for reports.
+func (p Priority) String() string {
+	switch p {
+	case PrioritySyntactic:
+		return "syntactic"
+	case PriorityEstimatedCardinality:
+		return "estimated-cardinality"
+	case PriorityAvgPath1:
+		return "avg-path1"
+	case PriorityCombined:
+		return "path1+induced"
+	default:
+		return "random"
+	}
+}
+
+// Options tunes the rewriting search.
+type Options struct {
+	// Priority selects the candidate-selection function.
+	Priority Priority
+	// Goal is the cardinality interval a rewriting must reach; the zero
+	// value means "at least one result" (why-empty).
+	Goal metrics.Interval
+	// MaxExecuted caps executed candidates (0 = 200).
+	MaxExecuted int
+	// MaxSolutions stops the search after this many rewritings reached the
+	// goal (0 = 5).
+	MaxSolutions int
+	// MaxDepth bounds the number of stacked relaxations (0 = 3).
+	MaxDepth int
+	// CountCap bounds result counting per execution (0 = 1000).
+	CountCap int
+	// Seed drives the random priority (and tie-breaking jitter).
+	Seed int64
+	// Prefs, when set, penalizes candidates that modify query elements the
+	// user cares about (§5.4.2).
+	Prefs *PreferenceModel
+	// AllowTopology enables edge/vertex discarding in addition to
+	// predicate-level relaxations (§5.1.2 considers both).
+	AllowTopology bool
+}
+
+func (o *Options) fill() {
+	if o.Goal == (metrics.Interval{}) {
+		o.Goal = metrics.AtLeastOne
+	}
+	if o.MaxExecuted == 0 {
+		o.MaxExecuted = 200
+	}
+	if o.MaxSolutions == 0 {
+		o.MaxSolutions = 5
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 3
+	}
+	if o.CountCap == 0 {
+		o.CountCap = 1000
+	}
+}
+
+// Candidate is a rewritten query with its provenance and measurements.
+type Candidate struct {
+	// Query is the rewritten query.
+	Query *query.Query
+	// Ops lists the modifications applied to the original, in order.
+	Ops []query.Op
+	// Cardinality is the (possibly capped) result size; -1 before execution.
+	Cardinality int
+	// Syntactic is the syntactic distance to the original query.
+	Syntactic float64
+	// Score is the priority under which the candidate was scheduled.
+	Score float64
+}
+
+// Outcome reports a rewriting run.
+type Outcome struct {
+	// Solutions holds the rewritten queries that reached the goal, ranked
+	// by syntactic distance, then smaller cardinality (Eq. 3.20).
+	Solutions []Candidate
+	// Executed counts candidate executions — the §5.5.1 cost metric.
+	Executed int
+	// Generated counts generated candidates.
+	Generated int
+	// CacheHits counts candidates skipped because an equivalent query was
+	// already executed (App. B.2).
+	CacheHits int
+	// Trace records the executed candidates' cardinalities in execution
+	// order — the §5.5.2 convergence series.
+	Trace []int
+}
+
+// Rewriter generates coarse-grained modification-based explanations.
+type Rewriter struct {
+	m  *match.Matcher
+	st *stats.Collector
+}
+
+// New returns a rewriter over the matcher and its statistics collector.
+func New(m *match.Matcher, st *stats.Collector) *Rewriter {
+	return &Rewriter{m: m, st: st}
+}
+
+// Rewrite relaxes q until rewritten queries reach the goal interval.
+// For the classic why-empty problem pass the zero Options (goal ≥ 1).
+func (r *Rewriter) Rewrite(q *query.Query, opts Options) Outcome {
+	opts.fill()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	var out Outcome
+	executed := map[string]int{} // canonical → cardinality
+	pq := &candidateHeap{}
+	heap.Init(pq)
+
+	push := func(c *Candidate) {
+		out.Generated++
+		heap.Push(pq, c)
+	}
+	root := &Candidate{Query: q.Clone(), Cardinality: -1, Score: math.Inf(1)}
+	push(root)
+
+	for pq.Len() > 0 && out.Executed < opts.MaxExecuted && len(out.Solutions) < opts.MaxSolutions {
+		c := heap.Pop(pq).(*Candidate)
+		key := c.Query.Canonical()
+		if card, seen := executed[key]; seen {
+			out.CacheHits++
+			_ = card
+			continue
+		}
+		card := r.m.Count(c.Query, opts.CountCap)
+		executed[key] = card
+		out.Executed++
+		out.Trace = append(out.Trace, card)
+		c.Cardinality = card
+		c.Syntactic = metrics.SyntacticDistance(q, c.Query)
+		if opts.Goal.Contains(card) && len(c.Ops) > 0 {
+			out.Solutions = append(out.Solutions, *c)
+			continue // goal reached on this branch
+		}
+		if len(c.Ops) >= opts.MaxDepth {
+			continue
+		}
+		for _, op := range r.relaxations(c.Query, opts) {
+			child, err := query.Apply(c.Query, op)
+			if err != nil {
+				continue
+			}
+			if _, seen := executed[child.Canonical()]; seen {
+				out.CacheHits++
+				continue
+			}
+			ops := append(append([]query.Op(nil), c.Ops...), op)
+			score := r.score(q, c.Query, child, op, opts, rng)
+			if opts.Prefs != nil {
+				score *= 1 - opts.Prefs.Penalty(ops)
+			}
+			push(&Candidate{Query: child, Ops: ops, Cardinality: -1, Score: score})
+		}
+	}
+	rankSolutions(out.Solutions)
+	return out
+}
+
+// score computes the scheduling priority of a child candidate.
+func (r *Rewriter) score(orig, parent, child *query.Query, op query.Op, opts Options, rng *rand.Rand) float64 {
+	switch opts.Priority {
+	case PrioritySyntactic:
+		return 1 - metrics.SyntacticDistance(orig, child)
+	case PriorityEstimatedCardinality:
+		return r.st.EstimateCardinality(child)
+	case PriorityAvgPath1:
+		return r.st.AveragePath1Cardinality(child)
+	case PriorityCombined:
+		induced := r.st.InducedChange(parent, op)
+		if math.IsInf(induced, 1) {
+			induced = 1e9
+		}
+		return r.st.AveragePath1Cardinality(child) * induced
+	default:
+		return rng.Float64()
+	}
+}
+
+// relaxations enumerates the coarse-grained relaxation operations applicable
+// to q (§5.1.2): whole-predicate, type, and direction discarding, plus —
+// with AllowTopology — edge and leaf-vertex discarding.
+func (r *Rewriter) relaxations(q *query.Query, opts Options) []query.Op {
+	var ops []query.Op
+	for _, vid := range q.VertexIDs() {
+		v := q.Vertex(vid)
+		for attr := range v.Preds {
+			ops = append(ops, query.DeletePredicate{On: query.Target{Kind: query.TargetVertex, ID: vid, Attr: attr}})
+		}
+	}
+	for _, eid := range q.EdgeIDs() {
+		e := q.Edge(eid)
+		for attr := range e.Preds {
+			ops = append(ops, query.DeletePredicate{On: query.Target{Kind: query.TargetEdge, ID: eid, Attr: attr}})
+		}
+		if len(e.Types) > 0 {
+			ops = append(ops, query.DeleteType{Edge: eid})
+		}
+		if e.Dirs != query.Both {
+			ops = append(ops, query.DeleteDirection{Edge: eid})
+		}
+		if opts.AllowTopology && q.NumEdges() > 1 {
+			ops = append(ops, query.DeleteEdge{Edge: eid})
+		}
+	}
+	if opts.AllowTopology && q.NumVertices() > 1 {
+		for _, vid := range q.VertexIDs() {
+			if len(q.Incident(vid)) <= 1 {
+				ops = append(ops, query.DeleteVertex{Vertex: vid})
+			}
+		}
+	}
+	sortOps(ops)
+	return ops
+}
+
+// sortOps makes enumeration order deterministic.
+func sortOps(ops []query.Op) {
+	sort.Slice(ops, func(i, j int) bool { return ops[i].String() < ops[j].String() })
+}
+
+// rankSolutions orders solutions by syntactic distance (closest first), then
+// smaller cardinality (Eq. 3.20 prefers smaller non-empty results), then
+// canonical text for determinism.
+func rankSolutions(sols []Candidate) {
+	sort.Slice(sols, func(i, j int) bool {
+		if sols[i].Syntactic != sols[j].Syntactic {
+			return sols[i].Syntactic < sols[j].Syntactic
+		}
+		if sols[i].Cardinality != sols[j].Cardinality {
+			return sols[i].Cardinality < sols[j].Cardinality
+		}
+		return sols[i].Query.Canonical() < sols[j].Query.Canonical()
+	})
+}
+
+// candidateHeap is a max-heap over candidate scores.
+type candidateHeap []*Candidate
+
+func (h candidateHeap) Len() int            { return len(h) }
+func (h candidateHeap) Less(i, j int) bool  { return h[i].Score > h[j].Score }
+func (h candidateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candidateHeap) Push(x interface{}) { *h = append(*h, x.(*Candidate)) }
+func (h *candidateHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,259 @@
+package relax
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/stats"
+)
+
+func testGraph() *graph.Graph {
+	g := graph.New(8, 10)
+	p0 := g.AddVertex(graph.Attrs{"type": graph.S("person"), "name": graph.S("Anna"), "age": graph.N(28)})
+	p1 := g.AddVertex(graph.Attrs{"type": graph.S("person"), "name": graph.S("Bert"), "age": graph.N(33)})
+	p2 := g.AddVertex(graph.Attrs{"type": graph.S("person"), "name": graph.S("Cara"), "age": graph.N(28)})
+	p3 := g.AddVertex(graph.Attrs{"type": graph.S("person"), "name": graph.S("Dave"), "age": graph.N(41)})
+	u0 := g.AddVertex(graph.Attrs{"type": graph.S("university"), "name": graph.S("TU Dresden")})
+	u1 := g.AddVertex(graph.Attrs{"type": graph.S("university"), "name": graph.S("Aalborg U")})
+	c0 := g.AddVertex(graph.Attrs{"type": graph.S("city"), "name": graph.S("Dresden")})
+	c1 := g.AddVertex(graph.Attrs{"type": graph.S("city"), "name": graph.S("Aalborg")})
+	g.AddEdge(p0, p1, "knows", graph.Attrs{"since": graph.N(2010)})
+	g.AddEdge(p0, p2, "knows", graph.Attrs{"since": graph.N(2015)})
+	g.AddEdge(p1, p2, "knows", graph.Attrs{"since": graph.N(2012)})
+	g.AddEdge(p0, u0, "worksAt", graph.Attrs{"sinceYear": graph.N(2003)})
+	g.AddEdge(p1, u0, "worksAt", graph.Attrs{"sinceYear": graph.N(2008)})
+	g.AddEdge(p2, u0, "studyAt", nil)
+	g.AddEdge(u0, c0, "locatedIn", nil)
+	g.AddEdge(p3, u1, "worksAt", graph.Attrs{"sinceYear": graph.N(2001)})
+	g.AddEdge(u1, c1, "locatedIn", nil)
+	g.BuildVertexIndex("type")
+	return g
+}
+
+func newRewriter() *Rewriter {
+	m := match.New(testGraph())
+	return New(m, stats.New(m))
+}
+
+// emptyQuery fails because of the city name "Berlin".
+func emptyQuery() *query.Query {
+	q := query.New()
+	p := q.AddVertex(map[string]query.Predicate{"type": query.EqS("person")})
+	u := q.AddVertex(map[string]query.Predicate{"type": query.EqS("university")})
+	c := q.AddVertex(map[string]query.Predicate{"type": query.EqS("city"), "name": query.EqS("Berlin")})
+	q.AddEdge(p, u, []string{"worksAt"}, nil)
+	q.AddEdge(u, c, []string{"locatedIn"}, nil)
+	return q
+}
+
+func TestRewriteFindsNonEmptySolution(t *testing.T) {
+	r := newRewriter()
+	q := emptyQuery()
+	for _, prio := range []Priority{PriorityRandom, PrioritySyntactic, PriorityEstimatedCardinality, PriorityAvgPath1, PriorityCombined} {
+		out := r.Rewrite(q, Options{Priority: prio})
+		if len(out.Solutions) == 0 {
+			t.Fatalf("%v: no solution found", prio)
+		}
+		best := out.Solutions[0]
+		if best.Cardinality < 1 {
+			t.Fatalf("%v: solution is empty", prio)
+		}
+		if len(best.Ops) == 0 {
+			t.Fatalf("%v: solution must differ from the original", prio)
+		}
+		if best.Syntactic <= 0 || best.Syntactic > 1 {
+			t.Fatalf("%v: syntactic distance out of range: %v", prio, best.Syntactic)
+		}
+		// Without topology changes, every fix must drop the failing
+		// city-name predicate somewhere in its op sequence.
+		for _, s := range out.Solutions {
+			found := false
+			for _, op := range s.Ops {
+				if dp, ok := op.(query.DeletePredicate); ok && dp.On.Attr == "name" && dp.On.ID == 2 {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("%v: solution misses the failing predicate: %v", prio, s.Ops)
+			}
+		}
+		// Deterministic priorities must rank the one-op minimal fix first.
+		if prio == PrioritySyntactic {
+			if len(best.Ops) != 1 {
+				t.Fatalf("syntactic priority: minimal fix not ranked first: %v", best.Ops)
+			}
+		}
+	}
+}
+
+func TestRewriteOriginalNotASolution(t *testing.T) {
+	r := newRewriter()
+	// A query that already matches must not return itself: solutions
+	// require at least one op. Goal: at least 10 (why-so-few).
+	q := query.New()
+	p := q.AddVertex(map[string]query.Predicate{"type": query.EqS("person")})
+	u := q.AddVertex(map[string]query.Predicate{"type": query.EqS("university")})
+	q.AddEdge(p, u, []string{"worksAt"}, nil)
+	out := r.Rewrite(q, Options{Goal: metrics.Interval{Lower: 4}})
+	if len(out.Solutions) == 0 {
+		t.Fatal("no solution")
+	}
+	for _, s := range out.Solutions {
+		if s.Cardinality < 4 {
+			t.Fatalf("solution below goal: %d", s.Cardinality)
+		}
+		if len(s.Ops) == 0 {
+			t.Fatal("original query must not be reported as a solution")
+		}
+	}
+}
+
+func TestRewriteCachesRepeatedCandidates(t *testing.T) {
+	r := newRewriter()
+	q := emptyQuery()
+	// Depth 3 revisits many op permutations: the canonical cache must kick in.
+	out := r.Rewrite(q, Options{MaxExecuted: 100, MaxSolutions: 50, MaxDepth: 3, AllowTopology: true})
+	if out.CacheHits == 0 {
+		t.Fatalf("expected cache hits, got 0 (generated %d, executed %d)", out.Generated, out.Executed)
+	}
+}
+
+func TestRewriteRespectsBudget(t *testing.T) {
+	r := newRewriter()
+	q := emptyQuery()
+	out := r.Rewrite(q, Options{MaxExecuted: 3, MaxSolutions: 100})
+	if out.Executed > 3 {
+		t.Fatalf("executed %d > budget 3", out.Executed)
+	}
+	if len(out.Trace) != out.Executed {
+		t.Fatalf("trace length %d != executed %d", len(out.Trace), out.Executed)
+	}
+}
+
+func TestStatisticsPrioritiesBeatRandomOnExecutions(t *testing.T) {
+	r := newRewriter()
+	// Query with many failing predicates: statistics should home in on the
+	// one whose removal unblocks results.
+	q := query.New()
+	p := q.AddVertex(map[string]query.Predicate{"type": query.EqS("person"), "age": query.Between(25, 35)})
+	u := q.AddVertex(map[string]query.Predicate{"type": query.EqS("university"), "name": query.EqS("Oxford")})
+	c := q.AddVertex(map[string]query.Predicate{"type": query.EqS("city")})
+	q.AddEdge(p, u, []string{"worksAt"}, nil)
+	q.AddEdge(u, c, []string{"locatedIn"}, nil)
+	// Average over seeds for the random baseline.
+	randomCost := 0
+	for seed := int64(0); seed < 5; seed++ {
+		out := r.Rewrite(q, Options{Priority: PriorityRandom, MaxSolutions: 1, Seed: seed})
+		randomCost += out.Executed
+	}
+	randomCost /= 5
+	statCost := r.Rewrite(q, Options{Priority: PriorityEstimatedCardinality, MaxSolutions: 1}).Executed
+	if statCost > randomCost+1 {
+		t.Fatalf("statistics priority executed %d, random %d", statCost, randomCost)
+	}
+}
+
+func TestSolutionsRankedBySyntacticDistance(t *testing.T) {
+	r := newRewriter()
+	q := emptyQuery()
+	out := r.Rewrite(q, Options{MaxSolutions: 5, AllowTopology: true})
+	for i := 1; i < len(out.Solutions); i++ {
+		if out.Solutions[i-1].Syntactic > out.Solutions[i].Syntactic {
+			t.Fatalf("solutions not ranked: %v then %v",
+				out.Solutions[i-1].Syntactic, out.Solutions[i].Syntactic)
+		}
+	}
+}
+
+func TestPreferenceModelLearning(t *testing.T) {
+	pm := NewPreferenceModel(0.5)
+	target := query.Target{Kind: query.TargetVertex, ID: 2, Attr: "name"}
+	op := query.DeletePredicate{On: target}
+	cand := Candidate{Ops: []query.Op{op}}
+	if pm.Weight(target) != 0.5 {
+		t.Fatal("neutral weight must be 0.5")
+	}
+	pm.Rate(cand, 0) // user rejects modifying the city name
+	if w := pm.Weight(target); w <= 0.5 {
+		t.Fatalf("protection after rejection = %v, want > 0.5", w)
+	}
+	pm.Rate(cand, 1) // user now accepts it
+	if w := pm.Weight(target); w > 0.5 {
+		t.Fatalf("protection after acceptance = %v, want ≤ 0.5", w)
+	}
+	// Ratings are clamped.
+	pm.Rate(cand, 7)
+	pm.Rate(cand, -3)
+	if w := pm.Weight(target); w < 0 || w > 1 {
+		t.Fatalf("weight out of range: %v", w)
+	}
+	if pm.Penalty(nil) != 0 {
+		t.Fatal("empty penalty must be 0")
+	}
+}
+
+func TestPreferenceModelSteersRewriting(t *testing.T) {
+	r := newRewriter()
+	q := emptyQuery()
+	// The user strongly protects the city-name predicate: after training,
+	// the top solution should avoid modifying it even though dropping it is
+	// the syntactically minimal fix.
+	pm := NewPreferenceModel(1.0)
+	protectedTarget := query.Target{Kind: query.TargetVertex, ID: 2, Attr: "name"}
+	pm.Rate(Candidate{Ops: []query.Op{query.DeletePredicate{On: protectedTarget}}}, 0)
+
+	out := r.Rewrite(q, Options{Prefs: pm, MaxSolutions: 1, AllowTopology: true, Priority: PrioritySyntactic})
+	if len(out.Solutions) == 0 {
+		t.Fatal("no solution")
+	}
+	for _, op := range out.Solutions[0].Ops {
+		if op.Target() == protectedTarget {
+			t.Fatalf("protected element was modified first: %v", out.Solutions[0].Ops)
+		}
+	}
+	if ts := pm.Protected(0.6); len(ts) != 1 || ts[0] != protectedTarget {
+		t.Fatalf("Protected = %v", ts)
+	}
+}
+
+func TestRelaxationEnumeration(t *testing.T) {
+	r := newRewriter()
+	q := emptyQuery()
+	q.Edge(0).Preds["sinceYear"] = query.EqN(2003)
+	opsNoTopo := r.relaxations(q, Options{})
+	opsTopo := r.relaxations(q, Options{AllowTopology: true})
+	if len(opsTopo) <= len(opsNoTopo) {
+		t.Fatalf("topology ops missing: %d vs %d", len(opsTopo), len(opsNoTopo))
+	}
+	// 5 vertex predicates (p.type, u.type, c.type, c.name) = 4, 1 edge
+	// predicate, 2 type deletions, 2 direction deletions = 9.
+	if len(opsNoTopo) != 9 {
+		t.Fatalf("predicate-level ops = %d, want 9", len(opsNoTopo))
+	}
+	for _, op := range opsNoTopo {
+		switch op.(type) {
+		case query.DeleteEdge, query.DeleteVertex:
+			t.Fatalf("structure removal without AllowTopology: %v", op)
+		}
+		if !op.Relaxation() {
+			t.Fatalf("non-relaxation op enumerated: %v", op)
+		}
+	}
+}
+
+func TestPriorityString(t *testing.T) {
+	names := map[Priority]string{
+		PriorityRandom: "random", PrioritySyntactic: "syntactic",
+		PriorityEstimatedCardinality: "estimated-cardinality",
+		PriorityAvgPath1:             "avg-path1",
+		PriorityCombined:             "path1+induced",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", p, p.String())
+		}
+	}
+}

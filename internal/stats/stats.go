@@ -1,0 +1,416 @@
+// Package stats implements the query-dependent statistics of §5.2: exact
+// cardinalities for single query vertices and edges (§5.2.2), Path(n)
+// statistics along query edges (§5.2.3), whole-query cardinality estimates,
+// and the induced-cardinality-change estimation that drives the
+// query-candidate selector of §5.3. Computed statistics are cached by the
+// canonical form of the query fragment they describe, mirroring the thesis'
+// re-use of already processed queries (§1.1, contribution 4).
+package stats
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/query"
+)
+
+// Collector computes and caches query-dependent statistics over one data
+// graph. It is safe for concurrent use.
+type Collector struct {
+	m *match.Matcher
+
+	mu         sync.Mutex
+	vertexCard map[string]int
+	edgeCard   map[string]int
+	pathCard   map[string]int
+
+	hits, misses int
+}
+
+// New returns a collector over the matcher's data graph.
+func New(m *match.Matcher) *Collector {
+	return &Collector{
+		m:          m,
+		vertexCard: make(map[string]int),
+		edgeCard:   make(map[string]int),
+		pathCard:   make(map[string]int),
+	}
+}
+
+// CacheStats reports cache hits, misses, and resident entries — the resource
+// accounting of Appendix B.2.
+func (c *Collector) CacheStats() (hits, misses, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.vertexCard) + len(c.edgeCard) + len(c.pathCard)
+}
+
+func vertexKey(v *query.Vertex) string {
+	q := query.New()
+	q.AddVertex(clonePreds(v.Preds))
+	return q.Canonical()
+}
+
+func clonePreds(p map[string]query.Predicate) map[string]query.Predicate {
+	c := make(map[string]query.Predicate, len(p))
+	for k, v := range p {
+		c[k] = v.Clone()
+	}
+	return c
+}
+
+// VertexCardinality returns the exact number of data vertices matching the
+// query vertex (querying statistics for vertices, §5.2.2).
+func (c *Collector) VertexCardinality(v *query.Vertex) int {
+	key := "v:" + vertexKey(v)
+	c.mu.Lock()
+	if n, ok := c.vertexCard[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return n
+	}
+	c.misses++
+	c.mu.Unlock()
+	n := c.m.CandidateCount(v)
+	c.mu.Lock()
+	c.vertexCard[key] = n
+	c.mu.Unlock()
+	return n
+}
+
+func edgeKey(e *query.Edge) string {
+	q := query.New()
+	a := q.AddVertex(nil)
+	b := q.AddVertex(nil)
+	id := q.AddEdge(a, b, e.Types, clonePreds(e.Preds))
+	q.Edge(id).Dirs = e.Dirs
+	return q.Canonical()
+}
+
+// EdgeCardinality returns the exact number of data edges matching the query
+// edge's type disjunction and predicates, ignoring endpoint constraints
+// (querying statistics for edges, §5.2.2).
+func (c *Collector) EdgeCardinality(e *query.Edge) int {
+	key := "e:" + edgeKey(e)
+	c.mu.Lock()
+	if n, ok := c.edgeCard[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return n
+	}
+	c.misses++
+	c.mu.Unlock()
+	n := c.m.EdgeCandidateCount(e)
+	c.mu.Lock()
+	c.edgeCard[key] = n
+	c.mu.Unlock()
+	return n
+}
+
+// Path1Cardinality returns the exact number of data paths matching a single
+// query edge together with both endpoint vertices' predicates — the Path(1)
+// statistic of §5.2.3.
+func (c *Collector) Path1Cardinality(q *query.Query, edgeID int) int {
+	return c.PathCardinality(q, []int{edgeID})
+}
+
+// PathCardinality returns the exact number of data paths matching the given
+// chain of query edges including endpoint predicates — Path(n), §5.2.3.
+func (c *Collector) PathCardinality(q *query.Query, chain []int) int {
+	if len(chain) == 0 {
+		return 0
+	}
+	sub := q.SubqueryByEdges(chain)
+	key := "p:" + sub.Canonical()
+	c.mu.Lock()
+	if n, ok := c.pathCard[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return n
+	}
+	c.misses++
+	c.mu.Unlock()
+	n := c.m.Count(sub, 0)
+	c.mu.Lock()
+	c.pathCard[key] = n
+	c.mu.Unlock()
+	return n
+}
+
+// AveragePath1Cardinality is the mean Path(1) cardinality over all query
+// edges — the priority signal of §5.5.3.
+func (c *Collector) AveragePath1Cardinality(q *query.Query) float64 {
+	ids := q.EdgeIDs()
+	if len(ids) == 0 {
+		// A query without edges: fall back to the mean vertex cardinality.
+		vids := q.VertexIDs()
+		if len(vids) == 0 {
+			return 0
+		}
+		var sum float64
+		for _, vid := range vids {
+			sum += float64(c.VertexCardinality(q.Vertex(vid)))
+		}
+		return sum / float64(len(vids))
+	}
+	var sum float64
+	for _, eid := range ids {
+		sum += float64(c.Path1Cardinality(q, eid))
+	}
+	return sum / float64(len(ids))
+}
+
+// EstimateCardinality estimates C(Q) without executing the full query,
+// combining exact Path(1) statistics over a spanning tree of each weakly
+// connected component with independence-assumption selectivities for the
+// remaining (cycle-closing) edges — the §5.2.3 estimation strategy for
+// Paths(n) composed from Path(1) building blocks.
+func (c *Collector) EstimateCardinality(q *query.Query) float64 {
+	comps := q.WeaklyConnectedComponents()
+	total := 1.0
+	for _, comp := range comps {
+		total *= c.estimateComponent(q, comp)
+		if total == 0 {
+			return 0
+		}
+	}
+	return total
+}
+
+func (c *Collector) estimateComponent(q *query.Query, comp []int) float64 {
+	inComp := make(map[int]bool, len(comp))
+	for _, v := range comp {
+		inComp[v] = true
+	}
+	var edges []int
+	for _, eid := range q.EdgeIDs() {
+		if inComp[q.Edge(eid).From] {
+			edges = append(edges, eid)
+		}
+	}
+	if len(edges) == 0 {
+		// Isolated vertex component.
+		return float64(c.VertexCardinality(q.Vertex(comp[0])))
+	}
+	// Spanning tree via union-find over the component's edges.
+	parent := make(map[int]int, len(comp))
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, v := range comp {
+		parent[v] = v
+	}
+	est := 1.0
+	treeDeg := make(map[int]int, len(comp))
+	for _, eid := range edges {
+		e := q.Edge(eid)
+		p1 := float64(c.Path1Cardinality(q, eid))
+		a, b := find(e.From), find(e.To)
+		if a != b {
+			// Tree edge: joins two partial results.
+			parent[a] = b
+			est *= p1
+			treeDeg[e.From]++
+			treeDeg[e.To]++
+		} else {
+			// Cycle-closing edge: apply its selectivity.
+			cf := float64(c.VertexCardinality(q.Vertex(e.From)))
+			ct := float64(c.VertexCardinality(q.Vertex(e.To)))
+			if cf == 0 || ct == 0 {
+				return 0
+			}
+			est *= p1 / (cf * ct)
+		}
+	}
+	// Normalize shared tree vertices: a vertex joining k tree edges was
+	// counted k times; divide by cand(v)^(k-1).
+	for _, v := range comp {
+		if k := treeDeg[v]; k > 1 {
+			cv := float64(c.VertexCardinality(q.Vertex(v)))
+			if cv == 0 {
+				return 0
+			}
+			est /= math.Pow(cv, float64(k-1))
+		}
+	}
+	return est
+}
+
+// InducedChange estimates the relative cardinality change an operation would
+// induce (§5.3.2, calculation of induced cardinality changes): the ratio of
+// the estimated cardinality after the change to the estimate before it.
+// Ratios above 1 mean the change relaxes the query. If the operation is not
+// applicable the ratio is 1 (no change).
+func (c *Collector) InducedChange(q *query.Query, op query.Op) float64 {
+	before := c.EstimateCardinality(q)
+	after, err := query.Apply(q, op)
+	if err != nil {
+		return 1
+	}
+	ea := c.EstimateCardinality(after)
+	if before <= 0 {
+		if ea > 0 {
+			return math.Inf(1)
+		}
+		return 1
+	}
+	return ea / before
+}
+
+// Domain catalogs the attribute values and edge types present in a data
+// graph. The fine-grained modification of Chapter 6 and the random
+// explanation generator of §3.2.5 draw replacement values from it.
+type Domain struct {
+	// VertexValues lists, per vertex attribute, the distinct values ordered
+	// by descending frequency (most common first), capped at the collection
+	// limit.
+	VertexValues map[string][]graph.Value
+	// VertexValuesByType refines VertexValues per entity kind (the value of
+	// the "type" attribute): kind → attribute → values. Modification
+	// enumeration uses it to avoid proposing attributes foreign to an
+	// entity kind (a person has no population).
+	VertexValuesByType map[string]map[string][]graph.Value
+	// EdgeValues lists, per edge attribute, the distinct values ordered by
+	// descending frequency.
+	EdgeValues map[string][]graph.Value
+	// EdgeTypes lists the edge types ordered by descending frequency.
+	EdgeTypes []string
+}
+
+// VertexAttrValues returns the value catalog for an attribute, restricted
+// to the given entity kind when a per-kind catalog exists (kind "" or an
+// unknown kind falls back to the global catalog).
+func (d *Domain) VertexAttrValues(kind, attr string) []graph.Value {
+	if kind != "" {
+		if byAttr, ok := d.VertexValuesByType[kind]; ok {
+			return byAttr[attr]
+		}
+	}
+	return d.VertexValues[attr]
+}
+
+// VertexAttrs returns the attribute names available for an entity kind
+// (all attributes when kind is "" or unknown), sorted.
+func (d *Domain) VertexAttrs(kind string) []string {
+	src := d.VertexValues
+	if kind != "" {
+		if byAttr, ok := d.VertexValuesByType[kind]; ok {
+			src = byAttr
+		}
+	}
+	attrs := make([]string, 0, len(src))
+	for a := range src {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	return attrs
+}
+
+// BuildDomain scans the data graph and collects per-attribute value
+// catalogs, keeping at most topK values per attribute (0 = unlimited).
+func BuildDomain(g *graph.Graph, topK int) *Domain {
+	d := &Domain{
+		VertexValues:       make(map[string][]graph.Value),
+		VertexValuesByType: make(map[string]map[string][]graph.Value),
+		EdgeValues:         make(map[string][]graph.Value),
+	}
+	vfreq := make(map[string]map[graph.Value]int)
+	typedFreq := make(map[string]map[string]map[graph.Value]int)
+	for i := 0; i < g.NumVertices(); i++ {
+		attrs := g.Vertex(graph.VertexID(i)).Attrs
+		kind := ""
+		if tv, ok := attrs["type"]; ok && tv.Kind == graph.KindString {
+			kind = tv.Str
+		}
+		for k, v := range attrs {
+			if vfreq[k] == nil {
+				vfreq[k] = make(map[graph.Value]int)
+			}
+			vfreq[k][v]++
+			if kind != "" {
+				if typedFreq[kind] == nil {
+					typedFreq[kind] = make(map[string]map[graph.Value]int)
+				}
+				if typedFreq[kind][k] == nil {
+					typedFreq[kind][k] = make(map[graph.Value]int)
+				}
+				typedFreq[kind][k][v]++
+			}
+		}
+	}
+	for kind, byAttr := range typedFreq {
+		d.VertexValuesByType[kind] = make(map[string][]graph.Value, len(byAttr))
+		for k, fm := range byAttr {
+			d.VertexValuesByType[kind][k] = topValues(fm, topK)
+		}
+	}
+	efreq := make(map[string]map[graph.Value]int)
+	tfreq := make(map[string]int)
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(graph.EdgeID(i))
+		tfreq[e.Type]++
+		for k, v := range e.Attrs {
+			if efreq[k] == nil {
+				efreq[k] = make(map[graph.Value]int)
+			}
+			efreq[k][v]++
+		}
+	}
+	for k, fm := range vfreq {
+		d.VertexValues[k] = topValues(fm, topK)
+	}
+	for k, fm := range efreq {
+		d.EdgeValues[k] = topValues(fm, topK)
+	}
+	type tf struct {
+		t string
+		n int
+	}
+	ts := make([]tf, 0, len(tfreq))
+	for t, n := range tfreq {
+		ts = append(ts, tf{t, n})
+	}
+	sort.Slice(ts, func(i, j int) bool {
+		if ts[i].n != ts[j].n {
+			return ts[i].n > ts[j].n
+		}
+		return ts[i].t < ts[j].t
+	})
+	for _, x := range ts {
+		d.EdgeTypes = append(d.EdgeTypes, x.t)
+	}
+	return d
+}
+
+func topValues(freq map[graph.Value]int, topK int) []graph.Value {
+	type vf struct {
+		v graph.Value
+		n int
+	}
+	vs := make([]vf, 0, len(freq))
+	for v, n := range freq {
+		vs = append(vs, vf{v, n})
+	}
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].n != vs[j].n {
+			return vs[i].n > vs[j].n
+		}
+		return vs[i].v.Less(vs[j].v)
+	})
+	if topK > 0 && len(vs) > topK {
+		vs = vs[:topK]
+	}
+	out := make([]graph.Value, len(vs))
+	for i, x := range vs {
+		out[i] = x.v
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/query"
+)
+
+// testGraph mirrors the social graph of internal/match's tests.
+func testGraph() *graph.Graph {
+	g := graph.New(8, 10)
+	p0 := g.AddVertex(graph.Attrs{"type": graph.S("person"), "name": graph.S("Anna"), "age": graph.N(28)})
+	p1 := g.AddVertex(graph.Attrs{"type": graph.S("person"), "name": graph.S("Bert"), "age": graph.N(33)})
+	p2 := g.AddVertex(graph.Attrs{"type": graph.S("person"), "name": graph.S("Cara"), "age": graph.N(28)})
+	p3 := g.AddVertex(graph.Attrs{"type": graph.S("person"), "name": graph.S("Dave"), "age": graph.N(41)})
+	u0 := g.AddVertex(graph.Attrs{"type": graph.S("university"), "name": graph.S("TU Dresden")})
+	u1 := g.AddVertex(graph.Attrs{"type": graph.S("university"), "name": graph.S("Aalborg U")})
+	c0 := g.AddVertex(graph.Attrs{"type": graph.S("city"), "name": graph.S("Dresden")})
+	c1 := g.AddVertex(graph.Attrs{"type": graph.S("city"), "name": graph.S("Aalborg")})
+	g.AddEdge(p0, p1, "knows", graph.Attrs{"since": graph.N(2010)})
+	g.AddEdge(p0, p2, "knows", graph.Attrs{"since": graph.N(2015)})
+	g.AddEdge(p1, p2, "knows", graph.Attrs{"since": graph.N(2012)})
+	g.AddEdge(p0, u0, "worksAt", graph.Attrs{"sinceYear": graph.N(2003)})
+	g.AddEdge(p1, u0, "worksAt", graph.Attrs{"sinceYear": graph.N(2008)})
+	g.AddEdge(p2, u0, "studyAt", nil)
+	g.AddEdge(u0, c0, "locatedIn", nil)
+	g.AddEdge(p3, u1, "worksAt", graph.Attrs{"sinceYear": graph.N(2001)})
+	g.AddEdge(u1, c1, "locatedIn", nil)
+	g.BuildVertexIndex("type")
+	return g
+}
+
+func personUniCity() *query.Query {
+	q := query.New()
+	p := q.AddVertex(map[string]query.Predicate{"type": query.EqS("person")})
+	u := q.AddVertex(map[string]query.Predicate{"type": query.EqS("university")})
+	c := q.AddVertex(map[string]query.Predicate{"type": query.EqS("city")})
+	q.AddEdge(p, u, []string{"worksAt"}, nil)
+	q.AddEdge(u, c, []string{"locatedIn"}, nil)
+	return q
+}
+
+func TestVertexAndEdgeCardinality(t *testing.T) {
+	c := New(match.New(testGraph()))
+	q := personUniCity()
+	if got := c.VertexCardinality(q.Vertex(0)); got != 4 {
+		t.Fatalf("persons = %d", got)
+	}
+	if got := c.EdgeCardinality(q.Edge(0)); got != 3 {
+		t.Fatalf("worksAt edges = %d", got)
+	}
+	// Second call must hit the cache.
+	c.VertexCardinality(q.Vertex(0))
+	hits, misses, entries := c.CacheStats()
+	if hits < 1 || misses < 2 || entries < 2 {
+		t.Fatalf("cache stats = %d/%d/%d", hits, misses, entries)
+	}
+}
+
+func TestPathCardinalities(t *testing.T) {
+	c := New(match.New(testGraph()))
+	q := personUniCity()
+	if got := c.Path1Cardinality(q, 0); got != 3 {
+		t.Fatalf("path1(worksAt) = %d", got)
+	}
+	if got := c.Path1Cardinality(q, 1); got != 2 {
+		t.Fatalf("path1(locatedIn) = %d", got)
+	}
+	if got := c.PathCardinality(q, []int{0, 1}); got != 3 {
+		t.Fatalf("path2 = %d", got)
+	}
+	if got := c.PathCardinality(q, nil); got != 0 {
+		t.Fatalf("path0 = %d", got)
+	}
+	avg := c.AveragePath1Cardinality(q)
+	if math.Abs(avg-2.5) > 1e-12 {
+		t.Fatalf("avg path1 = %v, want 2.5", avg)
+	}
+}
+
+func TestAveragePath1OnEdgelessQuery(t *testing.T) {
+	c := New(match.New(testGraph()))
+	q := query.New()
+	q.AddVertex(map[string]query.Predicate{"type": query.EqS("person")})
+	q.AddVertex(map[string]query.Predicate{"type": query.EqS("city")})
+	if got := c.AveragePath1Cardinality(q); got != 3 {
+		t.Fatalf("avg vertex card = %v, want (4+2)/2 = 3", got)
+	}
+	if got := c.AveragePath1Cardinality(query.New()); got != 0 {
+		t.Fatalf("empty query avg = %v", got)
+	}
+}
+
+func TestEstimateCardinality(t *testing.T) {
+	c := New(match.New(testGraph()))
+	m := match.New(testGraph())
+	q := personUniCity()
+	est := c.EstimateCardinality(q)
+	exact := float64(m.Count(q, 0))
+	// Tree query: estimate = path1(worksAt)*path1(locatedIn)/card(uni)
+	// = 3*2/2 = 3 = exact.
+	if math.Abs(est-exact) > 1e-9 {
+		t.Fatalf("estimate = %v, exact = %v", est, exact)
+	}
+}
+
+func TestEstimateCardinalityZero(t *testing.T) {
+	c := New(match.New(testGraph()))
+	q := query.New()
+	p := q.AddVertex(map[string]query.Predicate{"type": query.EqS("person")})
+	u := q.AddVertex(map[string]query.Predicate{"type": query.EqS("dragon")})
+	q.AddEdge(p, u, []string{"worksAt"}, nil)
+	if got := c.EstimateCardinality(q); got != 0 {
+		t.Fatalf("estimate = %v, want 0", got)
+	}
+}
+
+func TestEstimateCardinalityIsolatedAndCycle(t *testing.T) {
+	c := New(match.New(testGraph()))
+	// Isolated vertex component multiplies in its candidate count.
+	q := personUniCity()
+	q.AddVertex(map[string]query.Predicate{"type": query.EqS("city")})
+	est := c.EstimateCardinality(q)
+	if math.Abs(est-6) > 1e-9 { // 3 (tree) * 2 (isolated city)
+		t.Fatalf("estimate with isolated vertex = %v, want 6", est)
+	}
+	// Triangle: estimate applies cycle-edge selectivity; must stay positive
+	// and finite for the existing knows-triangle.
+	tri := query.New()
+	a := tri.AddVertex(map[string]query.Predicate{"type": query.EqS("person")})
+	b := tri.AddVertex(map[string]query.Predicate{"type": query.EqS("person")})
+	d := tri.AddVertex(map[string]query.Predicate{"type": query.EqS("person")})
+	tri.AddEdge(a, b, []string{"knows"}, nil)
+	tri.AddEdge(a, d, []string{"knows"}, nil)
+	tri.AddEdge(b, d, []string{"knows"}, nil)
+	est = c.EstimateCardinality(tri)
+	if est <= 0 || math.IsInf(est, 0) || math.IsNaN(est) {
+		t.Fatalf("triangle estimate = %v", est)
+	}
+}
+
+func TestInducedChange(t *testing.T) {
+	c := New(match.New(testGraph()))
+	q := personUniCity()
+	q.Vertex(2).Preds["name"] = query.EqS("Dresden")
+	// Dropping the city-name predicate relaxes: ratio > 1.
+	up := c.InducedChange(q, query.DeletePredicate{On: query.Target{Kind: query.TargetVertex, ID: 2, Attr: "name"}})
+	if up <= 1 {
+		t.Fatalf("relaxing induced change = %v, want > 1", up)
+	}
+	// An inapplicable op induces no change.
+	if got := c.InducedChange(q, query.DeleteEdge{Edge: 99}); got != 1 {
+		t.Fatalf("inapplicable induced change = %v", got)
+	}
+	// From an empty estimate to a positive one → +Inf.
+	q2 := personUniCity()
+	q2.Vertex(2).Preds["name"] = query.EqS("Nowhere")
+	inf := c.InducedChange(q2, query.DeletePredicate{On: query.Target{Kind: query.TargetVertex, ID: 2, Attr: "name"}})
+	if !math.IsInf(inf, 1) {
+		t.Fatalf("0→positive induced change = %v, want +Inf", inf)
+	}
+}
+
+func TestBuildDomain(t *testing.T) {
+	d := BuildDomain(testGraph(), 0)
+	if got := d.VertexValues["type"]; len(got) != 3 || got[0] != graph.S("person") {
+		t.Fatalf("vertex type domain = %v", got)
+	}
+	if len(d.EdgeTypes) != 4 || d.EdgeTypes[0] != "knows" && d.EdgeTypes[0] != "worksAt" {
+		t.Fatalf("edge types = %v", d.EdgeTypes)
+	}
+	if got := d.EdgeValues["since"]; len(got) != 3 {
+		t.Fatalf("edge since domain = %v", got)
+	}
+	// topK caps the catalog.
+	d2 := BuildDomain(testGraph(), 2)
+	if got := d2.VertexValues["name"]; len(got) != 2 {
+		t.Fatalf("capped name domain = %v", got)
+	}
+}
+
+func TestDomainPerKindCatalog(t *testing.T) {
+	d := BuildDomain(testGraph(), 0)
+	// Persons have ages; cities do not.
+	if vals := d.VertexAttrValues("person", "age"); len(vals) != 3 {
+		t.Fatalf("person ages = %v", vals)
+	}
+	if vals := d.VertexAttrValues("city", "age"); len(vals) != 0 {
+		t.Fatalf("city ages = %v", vals)
+	}
+	// Unknown kind falls back to the global catalog.
+	if vals := d.VertexAttrValues("ghost", "age"); len(vals) != 3 {
+		t.Fatalf("fallback ages = %v", vals)
+	}
+	attrs := d.VertexAttrs("city")
+	if len(attrs) != 2 || attrs[0] != "name" || attrs[1] != "type" {
+		t.Fatalf("city attrs = %v", attrs)
+	}
+	if len(d.VertexAttrs("")) < 3 {
+		t.Fatalf("global attrs = %v", d.VertexAttrs(""))
+	}
+}

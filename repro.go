@@ -1,0 +1,228 @@
+// Package repro is the public API of the why-query library — a Go
+// reproduction of Elena Vasilyeva's dissertation "Why-Query Support in Graph
+// Databases" (TU Dresden, 2016). It debugs pattern-matching queries over
+// property graphs that deliver no, too few, or too many results, producing
+// subgraph-based explanations (maximum common subgraph + differential graph,
+// Chapter 4) and modification-based explanations (coarse-grained relaxation,
+// Chapter 5, and fine-grained cardinality-driven modification, Chapter 6),
+// all compared on the syntactic / cardinality / result levels of Chapter 3.
+//
+// Quick start:
+//
+//	g := repro.NewGraph(0, 0)
+//	anna := g.AddVertex(repro.Attrs{"type": repro.S("person"), "name": repro.S("Anna")})
+//	city := g.AddVertex(repro.Attrs{"type": repro.S("city"), "name": repro.S("Dresden")})
+//	g.AddEdge(anna, city, "livesIn", nil)
+//
+//	q := repro.NewQuery()
+//	p := q.AddVertex(map[string]repro.Predicate{"type": repro.EqS("person")})
+//	c := q.AddVertex(map[string]repro.Predicate{"type": repro.EqS("city"), "name": repro.EqS("Berlin")})
+//	q.AddEdge(p, c, []string{"livesIn"}, nil)
+//
+//	engine := repro.NewEngine(g)
+//	report, err := engine.Explain(q, repro.ExplainOptions{})
+//	// report.Problem == repro.WhyEmpty; report.Subgraph pinpoints the
+//	// failing constraint; report.Rewritings propose fixed queries.
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/mcs"
+	"repro/internal/metrics"
+	"repro/internal/modtree"
+	"repro/internal/query"
+	"repro/internal/relax"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Graph model (internal/graph).
+type (
+	// Graph is an in-memory property graph (Definition 1).
+	Graph = graph.Graph
+	// Attrs is the attribute map of a vertex or edge.
+	Attrs = graph.Attrs
+	// Value is an attribute value (string, number, or Boolean).
+	Value = graph.Value
+	// VertexID identifies a data vertex.
+	VertexID = graph.VertexID
+	// EdgeID identifies a data edge.
+	EdgeID = graph.EdgeID
+)
+
+// NewGraph returns an empty property graph with capacity hints.
+func NewGraph(vcap, ecap int) *Graph { return graph.New(vcap, ecap) }
+
+// S builds a string attribute value.
+func S(s string) Value { return graph.S(s) }
+
+// N builds a numeric attribute value.
+func N(f float64) Value { return graph.N(f) }
+
+// B builds a Boolean attribute value.
+func B(b bool) Value { return graph.B(b) }
+
+// Query model (internal/query).
+type (
+	// Query is a pattern-matching graph query in the set-based model of
+	// §3.2.2.
+	Query = query.Query
+	// Predicate is a predicate interval over attribute values.
+	Predicate = query.Predicate
+	// Op is a query-modification operation (Table 3.1).
+	Op = query.Op
+	// Target identifies the query element an operation modifies.
+	Target = query.Target
+)
+
+// NewQuery returns an empty query.
+func NewQuery() *Query { return query.New() }
+
+// Predicate constructors.
+var (
+	// EqS matches one string value.
+	EqS = query.EqS
+	// EqN matches one numeric value.
+	EqN = query.EqN
+	// In matches a disjunction of values.
+	In = query.In
+	// Between matches lo ≤ x ≤ hi.
+	Between = query.Between
+	// Open matches lo < x < hi.
+	Open = query.Open
+	// AtLeast matches lo ≤ x.
+	AtLeast = query.AtLeast
+	// AtMost matches x ≤ hi.
+	AtMost = query.AtMost
+)
+
+// Matching (internal/match).
+type (
+	// Matcher executes pattern-matching queries.
+	Matcher = match.Matcher
+	// MatchResult is one result graph (Definition 6).
+	MatchResult = match.Result
+	// MatchOptions tunes enumeration.
+	MatchOptions = match.Options
+)
+
+// NewMatcher returns a pattern matcher over g.
+func NewMatcher(g *Graph) *Matcher { return match.New(g) }
+
+// Metrics (internal/metrics).
+type (
+	// Interval is a cardinality threshold with lower/upper bounds.
+	Interval = metrics.Interval
+	// ProblemKind classifies an unexpected result size.
+	ProblemKind = metrics.ProblemKind
+)
+
+// Problem kinds.
+const (
+	Satisfied = metrics.Satisfied
+	WhyEmpty  = metrics.WhyEmpty
+	WhySoFew  = metrics.WhySoFew
+	WhySoMany = metrics.WhySoMany
+)
+
+// AtLeastOne is the why-empty threshold (≥ 1 result).
+var AtLeastOne = metrics.AtLeastOne
+
+// SyntacticDistance compares two queries on the syntactic level (Alg. 1).
+func SyntacticDistance(a, b *Query) float64 { return metrics.SyntacticDistance(a, b) }
+
+// ResultSetDistance compares two result sets (§3.2.4).
+func ResultSetDistance(orig, expl []MatchResult) float64 {
+	return metrics.ResultSetDistance(orig, expl)
+}
+
+// Engine (internal/core).
+type (
+	// Engine is the why-query engine.
+	Engine = core.Engine
+	// ExplainOptions tunes Engine.Explain.
+	ExplainOptions = core.Options
+	// Report is a full explanation of an unexpected result size.
+	Report = core.Report
+	// Rewriting is a scored modification-based explanation.
+	Rewriting = core.Rewriting
+	// SubgraphExplanation is the Chapter 4 subgraph-based explanation.
+	SubgraphExplanation = mcs.Explanation
+)
+
+// NewEngine builds a why-query engine over the data graph.
+func NewEngine(g *Graph) *Engine { return core.NewEngine(g) }
+
+// Specialist APIs for users that want one mechanism only.
+type (
+	// StatsCollector caches query-dependent statistics (§5.2).
+	StatsCollector = stats.Collector
+	// Domain catalogs attribute values and edge types of a data graph.
+	Domain = stats.Domain
+	// MCSOptions tunes the subgraph-based explanation search.
+	MCSOptions = mcs.Options
+	// RelaxOptions tunes the coarse-grained rewriter.
+	RelaxOptions = relax.Options
+	// RelaxOutcome reports a coarse-grained rewriting run.
+	RelaxOutcome = relax.Outcome
+	// PreferenceModel is the §5.4 user-integration model.
+	PreferenceModel = relax.PreferenceModel
+	// ModTreeOptions tunes TRAVERSESEARCHTREE.
+	ModTreeOptions = modtree.Options
+	// ModTreeResult reports a fine-grained modification run.
+	ModTreeResult = modtree.Result
+)
+
+// NewStats returns a statistics collector over the matcher.
+func NewStats(m *Matcher) *StatsCollector { return stats.New(m) }
+
+// BuildDomain catalogs the data graph's attribute values (topK per attr).
+func BuildDomain(g *Graph, topK int) *Domain { return stats.BuildDomain(g, topK) }
+
+// DiscoverMCS runs the Chapter 4 why-empty subgraph explanation.
+func DiscoverMCS(m *Matcher, st *StatsCollector, q *Query, opts MCSOptions) SubgraphExplanation {
+	return mcs.DiscoverMCS(m, st, q, opts)
+}
+
+// BoundedMCS runs the Chapter 4 bounded subgraph explanation.
+func BoundedMCS(m *Matcher, st *StatsCollector, q *Query, bounds Interval, opts MCSOptions) SubgraphExplanation {
+	return mcs.BoundedMCS(m, st, q, bounds, opts)
+}
+
+// NewRelaxer returns the Chapter 5 coarse-grained rewriter.
+func NewRelaxer(m *Matcher, st *StatsCollector) *relax.Rewriter { return relax.New(m, st) }
+
+// NewModTree returns the Chapter 6 fine-grained searcher.
+func NewModTree(m *Matcher, st *StatsCollector) *modtree.Searcher { return modtree.New(m, st) }
+
+// NewPreferenceModel returns a §5.4 user-preference model.
+func NewPreferenceModel(eta float64) *PreferenceModel { return relax.NewPreferenceModel(eta) }
+
+// Data generators (internal/datagen) and workloads (internal/workload).
+type (
+	// LDBCConfig sizes the LDBC-like social-network generator.
+	LDBCConfig = datagen.LDBCConfig
+	// DBpediaConfig sizes the DBpedia-like entity-graph generator.
+	DBpediaConfig = datagen.DBpediaConfig
+)
+
+// GenerateLDBC builds the LDBC-like social network of Appendix A.2.1.
+func GenerateLDBC(cfg LDBCConfig) *Graph { return datagen.LDBC(cfg) }
+
+// DefaultLDBC is the default social-network configuration.
+func DefaultLDBC() LDBCConfig { return datagen.DefaultLDBC() }
+
+// GenerateDBpedia builds the DBpedia-like entity graph of Appendix A.2.2.
+func GenerateDBpedia(cfg DBpediaConfig) *Graph { return datagen.DBpedia(cfg) }
+
+// DefaultDBpedia is the default entity-graph configuration.
+func DefaultDBpedia() DBpediaConfig { return datagen.DefaultDBpedia() }
+
+// LDBCQueries returns LDBC QUERY 1–4 (Table A.1).
+func LDBCQueries() []workload.Named { return workload.LDBCQueries() }
+
+// DBpediaQueries returns DBPEDIA QUERY 1–4.
+func DBpediaQueries() []workload.Named { return workload.DBpediaQueries() }
