@@ -285,6 +285,52 @@ func BenchmarkFig6Topology(b *testing.B) {
 	}
 }
 
+// BenchmarkCompile measures plan compilation alone — the per-query setup
+// cost (slot remapping, candidate computation, step ordering) paid by every
+// rewritten candidate the relaxation searches execute.
+func BenchmarkCompile(b *testing.B) {
+	lg, _ := setup()
+	m := match.New(lg)
+	q := workload.LDBCQuery3()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := m.Compile(q)
+		if p.NumOps() == 0 {
+			b.Fatal("empty plan")
+		}
+	}
+}
+
+// BenchmarkCandidates measures candidate-list computation for one indexed
+// query vertex (the §5.2.2 vertex-cardinality scan).
+func BenchmarkCandidates(b *testing.B) {
+	lg, _ := setup()
+	m := match.New(lg)
+	q := workload.LDBCQuery3()
+	v := q.Vertex(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(m.Candidates(v)) == 0 {
+			b.Fatal("no candidates")
+		}
+	}
+}
+
+// BenchmarkCompiledCount measures executing a precompiled plan with a
+// reused context — the steady-state hot path with zero setup cost.
+func BenchmarkCompiledCount(b *testing.B) {
+	lg, _ := setup()
+	m := match.New(lg)
+	p := m.Compile(workload.LDBCQuery3())
+	ctx := m.NewContext()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.Count(ctx, 0) == 0 {
+			b.Fatal("no results")
+		}
+	}
+}
+
 // BenchmarkMatcher measures the raw pattern-matching substrate on the two
 // data sets (sanity baseline for all experiments).
 func BenchmarkMatcher(b *testing.B) {

@@ -1,0 +1,128 @@
+// Differential tests proving the compiled flat-state matching engine and the
+// retained map-based reference engine agree — identical counts and identical
+// sorted result sets — on the workload queries and on randomized
+// modification-based variants over both generated data sets.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro"
+	"repro/internal/match"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// diffCountCap bounds counting on randomized variants: relaxing operations
+// can explode the result set, and capped counts remain comparable between
+// engines (both return the cap once reached).
+const diffCountCap = 2000
+
+// diffFindBound is the largest cardinality for which the full result sets
+// are enumerated and compared element-wise.
+const diffFindBound = 400
+
+func sameResultSets(a, b []match.Result) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("result sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i].VertexMap) != len(b[i].VertexMap) || len(a[i].EdgeMap) != len(b[i].EdgeMap) {
+			return fmt.Errorf("result %d: map sizes differ", i)
+		}
+		for k, v := range a[i].VertexMap {
+			if b[i].VertexMap[k] != v {
+				return fmt.Errorf("result %d: query vertex %d bound to %d vs %d", i, k, v, b[i].VertexMap[k])
+			}
+		}
+		for k, v := range a[i].EdgeMap {
+			if b[i].EdgeMap[k] != v {
+				return fmt.Errorf("result %d: query edge %d bound to %d vs %d", i, k, v, b[i].EdgeMap[k])
+			}
+		}
+	}
+	return nil
+}
+
+func runDifferential(t *testing.T, g *repro.Graph, base []workload.Named, seed int64) {
+	t.Helper()
+	m := repro.NewMatcher(g)
+	ctx := m.NewContext()
+	dom := stats.BuildDomain(g, 16)
+
+	total := 0
+	for qi, nq := range base {
+		orig := nq.Build()
+		// The workload query itself: counts and full sorted result sets.
+		want := m.ReferenceCount(orig, 0)
+		if got := m.CountCtx(ctx, orig, 0); got != want {
+			t.Errorf("%s: compiled count %d != reference %d", nq.Name, got, want)
+		}
+		gotRes := m.FindCtx(ctx, orig, repro.MatchOptions{})
+		wantRes := m.ReferenceFind(orig, repro.MatchOptions{})
+		match.SortResults(gotRes)
+		match.SortResults(wantRes)
+		if err := sameResultSets(gotRes, wantRes); err != nil {
+			t.Errorf("%s: %v", nq.Name, err)
+		}
+
+		// Randomized modification-based variants (Table 3.1 catalog).
+		for i, cand := range workload.RandomExplanations(orig, dom, 15, seed+int64(qi)) {
+			total++
+			wantC := m.ReferenceCount(cand, diffCountCap)
+			gotC := m.CountCtx(ctx, cand, diffCountCap)
+			if gotC != wantC {
+				t.Errorf("%s variant %d: compiled count %d != reference %d\nquery:\n%s", nq.Name, i, gotC, wantC, cand)
+				continue
+			}
+			if gotC > 0 && gotC <= diffFindBound {
+				gr := m.FindCtx(ctx, cand, repro.MatchOptions{})
+				wr := m.ReferenceFind(cand, repro.MatchOptions{})
+				match.SortResults(gr)
+				match.SortResults(wr)
+				if err := sameResultSets(gr, wr); err != nil {
+					t.Errorf("%s variant %d: %v\nquery:\n%s", nq.Name, i, err, cand)
+				}
+			}
+		}
+	}
+	if total < 50 {
+		t.Fatalf("differential workload too small: %d randomized variants, want >= 50", total)
+	}
+}
+
+func TestDifferentialLDBC(t *testing.T) {
+	lg, _ := setup()
+	runDifferential(t, lg, workload.LDBCQueries(), 1001)
+}
+
+func TestDifferentialDBpedia(t *testing.T) {
+	_, dg := setup()
+	runDifferential(t, dg, workload.DBpediaQueries(), 2002)
+}
+
+// TestDifferentialFailingVariants pins the why-empty variants: both engines
+// must agree the queries have no embeddings.
+func TestDifferentialFailingVariants(t *testing.T) {
+	lg, dg := setup()
+	lm, dm := repro.NewMatcher(lg), repro.NewMatcher(dg)
+	for _, nq := range workload.LDBCQueries() {
+		q, err := workload.FailingVariant(nq.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lm.Count(q, 0) != 0 || lm.ReferenceCount(q, 0) != 0 {
+			t.Errorf("%s failing variant must be empty on both engines", nq.Name)
+		}
+	}
+	for _, nq := range workload.DBpediaQueries() {
+		q, err := workload.DBpediaFailingVariant(nq.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dm.Count(q, 0) != 0 || dm.ReferenceCount(q, 0) != 0 {
+			t.Errorf("%s failing variant must be empty on both engines", nq.Name)
+		}
+	}
+}

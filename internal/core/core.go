@@ -196,12 +196,13 @@ func (e *Engine) Explain(q *query.Query, opts Options) (*Report, error) {
 		}
 	}
 
-	origResults := e.m.Find(q, match.Options{Limit: opts.ResultSample})
+	ctx := e.m.NewContext()
+	origResults := e.m.FindCtx(ctx, q, match.Options{Limit: opts.ResultSample})
 	for i := range candidates {
 		c := &candidates[i]
 		c.Syntactic = metrics.SyntacticDistance(q, c.Query)
 		c.CardinalityDistance = opts.Expected.Distance(c.Cardinality)
-		newResults := e.m.Find(c.Query, match.Options{Limit: opts.ResultSample})
+		newResults := e.m.FindCtx(ctx, c.Query, match.Options{Limit: opts.ResultSample})
 		c.ResultDistance = metrics.ResultSetDistance(origResults, newResults)
 	}
 	sortRewritings(candidates)

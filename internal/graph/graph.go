@@ -13,6 +13,8 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // VertexID identifies a vertex; IDs are dense, starting at 0.
@@ -43,9 +45,19 @@ type Edge struct {
 	Attrs Attrs
 }
 
+// Adj is one packed adjacency entry: the incident edge, the far endpoint,
+// and the edge's dense type id. Traversals read the far vertex and the type
+// without chasing the Edge record, keeping the hot loop on one cache line.
+type Adj struct {
+	Edge   EdgeID
+	Vertex VertexID // far endpoint of the edge as seen from the list owner
+	Type   int32    // dense edge-type id (see TypeID)
+}
+
 // Graph is an in-memory property graph. The zero value is an empty graph
 // ready for use. Graph is not safe for concurrent mutation; concurrent
-// readers are safe once construction finished.
+// readers are safe once construction finished (call Freeze after the last
+// mutation if readers use the packed adjacency accessors concurrently).
 type Graph struct {
 	vertices []Vertex
 	edges    []Edge
@@ -57,6 +69,20 @@ type Graph struct {
 	// vattrIndex maps attribute key → value → vertices carrying it.
 	// It is built lazily by BuildVertexIndex for the keys requested.
 	vattrIndex map[string]map[Value][]VertexID
+
+	// Packed adjacency (CSR layout), built by Freeze and invalidated by
+	// mutation: outAdj[outOff[v]:outOff[v+1]] are v's outgoing half-edges.
+	// frozen/freezeMu make the lazy build safe for concurrent readers that
+	// hit a not-yet-frozen graph (double-checked locking with an atomic
+	// flag; the store in Freeze publishes the built arrays).
+	frozen    atomic.Bool
+	freezeMu  sync.Mutex
+	outAdj    []Adj
+	inAdj     []Adj
+	outOff    []int32
+	inOff     []int32
+	typeNames []string         // dense type id → name, sorted
+	typeIDs   map[string]int32 // name → dense type id
 }
 
 // New returns an empty graph with capacity hints for vertices and edges.
@@ -77,6 +103,7 @@ func (g *Graph) AddVertex(attrs Attrs) VertexID {
 	g.vertices = append(g.vertices, Vertex{ID: id, Attrs: attrs})
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
+	g.frozen.Store(false)
 	return id
 }
 
@@ -96,8 +123,97 @@ func (g *Graph) AddEdge(from, to VertexID, typ string, attrs Attrs) EdgeID {
 		g.typeIndex = make(map[string][]EdgeID)
 	}
 	g.typeIndex[typ] = append(g.typeIndex[typ], id)
+	g.frozen.Store(false)
 	return id
 }
+
+// Freeze builds the packed adjacency layer: per-vertex CSR half-edge lists
+// carrying (edge id, far vertex, dense type id) so traversals avoid the
+// per-edge record lookup, plus the dense edge-type numbering. Freeze is
+// idempotent; any mutation invalidates it and the next Freeze (or packed
+// accessor) rebuilds. Call it after construction when concurrent readers
+// will use OutAdj/InAdj.
+func (g *Graph) Freeze() {
+	if g.frozen.Load() {
+		return
+	}
+	g.freezeMu.Lock()
+	defer g.freezeMu.Unlock()
+	if g.frozen.Load() {
+		return
+	}
+	g.typeNames = g.EdgeTypes()
+	g.typeIDs = make(map[string]int32, len(g.typeNames))
+	for i, t := range g.typeNames {
+		g.typeIDs[t] = int32(i)
+	}
+	nv, ne := len(g.vertices), len(g.edges)
+	g.outOff = make([]int32, nv+1)
+	g.inOff = make([]int32, nv+1)
+	g.outAdj = make([]Adj, ne)
+	g.inAdj = make([]Adj, ne)
+	opos, ipos := int32(0), int32(0)
+	for v := 0; v < nv; v++ {
+		g.outOff[v] = opos
+		for _, eid := range g.out[v] {
+			e := &g.edges[eid]
+			g.outAdj[opos] = Adj{Edge: eid, Vertex: e.To, Type: g.typeIDs[e.Type]}
+			opos++
+		}
+		g.inOff[v] = ipos
+		for _, eid := range g.in[v] {
+			e := &g.edges[eid]
+			g.inAdj[ipos] = Adj{Edge: eid, Vertex: e.From, Type: g.typeIDs[e.Type]}
+			ipos++
+		}
+	}
+	g.outOff[nv] = opos
+	g.inOff[nv] = ipos
+	g.frozen.Store(true)
+}
+
+// OutAdj returns the packed outgoing half-edges of v (far endpoint = edge
+// target). The slice is shared; callers must not modify it.
+func (g *Graph) OutAdj(v VertexID) []Adj {
+	if !g.frozen.Load() {
+		g.Freeze()
+	}
+	return g.outAdj[g.outOff[v]:g.outOff[v+1]]
+}
+
+// InAdj returns the packed incoming half-edges of v (far endpoint = edge
+// source). The slice is shared; callers must not modify it.
+func (g *Graph) InAdj(v VertexID) []Adj {
+	if !g.frozen.Load() {
+		g.Freeze()
+	}
+	return g.inAdj[g.inOff[v]:g.inOff[v+1]]
+}
+
+// TypeID returns the dense id of an edge type under the current Freeze,
+// and whether the type occurs in the graph at all.
+func (g *Graph) TypeID(typ string) (int32, bool) {
+	if !g.frozen.Load() {
+		g.Freeze()
+	}
+	id, ok := g.typeIDs[typ]
+	return id, ok
+}
+
+// TypeName returns the edge type name for a dense id.
+func (g *Graph) TypeName(id int32) string {
+	if !g.frozen.Load() {
+		g.Freeze()
+	}
+	return g.typeNames[id]
+}
+
+// NumEdgeTypes returns the number of distinct edge types.
+func (g *Graph) NumEdgeTypes() int { return len(g.typeIndex) }
+
+// TypeEdgeCount returns the number of edges of the given type — the
+// per-type degree statistic the match planner uses to order expansions.
+func (g *Graph) TypeEdgeCount(typ string) int { return len(g.typeIndex[typ]) }
 
 // NumVertices returns the number of vertices (N_d in the thesis).
 func (g *Graph) NumVertices() int { return len(g.vertices) }

@@ -1,0 +1,109 @@
+package match
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/query"
+)
+
+// candEntry is one cached candidate resolution: the matching data vertices
+// and the same set as a bitset over all data vertices. Entries are shared
+// between plans and read-only after insertion.
+type candEntry struct {
+	list []graph.VertexID
+	bits []uint64
+}
+
+// candCacheCap and candCacheMaxBytes bound the resident cache by entry
+// count and by approximate memory (every entry carries a bitset sized to
+// the whole data graph, so entry count alone would not bound memory on
+// large graphs). When either limit is exceeded the cache is reset wholesale
+// (epoch eviction), which keeps steady-state workloads — whose distinct
+// vertex predicates number in the dozens — permanently warm while bounding
+// memory for adversarial predicate streams.
+const (
+	candCacheCap      = 8192
+	candCacheMaxBytes = 64 << 20
+)
+
+// candidates resolves the candidate list and bitset for one flattened
+// predicate set, consulting the cache first. words is the bitset length for
+// the current graph.
+func (m *Matcher) candidates(p *Plan, preds []flatPred, words int) ([]graph.VertexID, []uint64) {
+	p.keyBuf = appendPredKey(p.keyBuf[:0], preds)
+	m.candMu.RLock()
+	e, ok := m.candCache[string(p.keyBuf)]
+	m.candMu.RUnlock()
+	if ok {
+		return e.list, e.bits
+	}
+	list := m.candidatesFlat(nil, preds, &p.scratch)
+	bits := make([]uint64, words)
+	for _, id := range list {
+		bits[int(id)>>6] |= 1 << (uint(id) & 63)
+	}
+	e = &candEntry{list: list, bits: bits}
+	size := len(list)*4 + len(bits)*8 + len(p.keyBuf)
+	m.candMu.Lock()
+	if len(m.candCache) >= candCacheCap || m.candBytes+size > candCacheMaxBytes {
+		m.candCache = make(map[string]*candEntry)
+		m.candBytes = 0
+	}
+	m.candCache[string(p.keyBuf)] = e
+	m.candBytes += size
+	m.candMu.Unlock()
+	return e.list, e.bits
+}
+
+// appendPredKey appends an unambiguous binary encoding of a flattened
+// (key-sorted) predicate set: every string is length-prefixed, numbers are
+// raw float bits, so distinct predicate sets never collide.
+func appendPredKey(b []byte, preds []flatPred) []byte {
+	for i := range preds {
+		fp := &preds[i]
+		b = appendString(b, fp.key)
+		if fp.pred.Kind == query.Range {
+			b = append(b, 'R')
+			b = appendU64(b, math.Float64bits(fp.pred.Lo))
+			b = appendU64(b, math.Float64bits(fp.pred.Hi))
+			var f byte
+			if fp.pred.IncLo {
+				f |= 1
+			}
+			if fp.pred.IncHi {
+				f |= 2
+			}
+			b = append(b, f)
+		} else {
+			b = append(b, 'V')
+			b = binary.AppendUvarint(b, uint64(len(fp.pred.Vals)))
+			for _, v := range fp.pred.Vals {
+				b = append(b, byte(v.Kind))
+				switch v.Kind {
+				case graph.KindNumber:
+					b = appendU64(b, math.Float64bits(v.Num))
+				case graph.KindBool:
+					if v.Bool {
+						b = append(b, 1)
+					} else {
+						b = append(b, 0)
+					}
+				default:
+					b = appendString(b, v.Str)
+				}
+			}
+		}
+	}
+	return b
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}

@@ -10,10 +10,18 @@
 // property-graph pattern matching engines such as the thesis' GRAPHITE
 // prototype). Queries with several weakly connected components combine the
 // per-component embeddings (§4.3.3).
+//
+// The engine compiles each query into a Plan (dense vertex/edge slots,
+// per-vertex candidate lists computed once, selectivity-ordered steps) and
+// executes it against a flat, reusable Ctx — binding arrays plus visited
+// bitsets — so the backtracking inner loop performs zero allocations. The
+// original map-based engine is retained as ReferenceCount/ReferenceFind for
+// differential testing.
 package match
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/query"
@@ -50,13 +58,32 @@ type Options struct {
 }
 
 // Matcher executes pattern-matching queries over one data graph.
-// A Matcher is safe for concurrent use once constructed.
+// A Matcher is safe for concurrent use once constructed: the implicit
+// Find/Count/Exists entry points draw compiled plans and execution contexts
+// from internal pools, while the *Ctx variants let hot callers pin a
+// reusable context explicitly.
 type Matcher struct {
-	g *graph.Graph
+	g     *graph.Graph
+	plans sync.Pool
+	ctxs  sync.Pool
+
+	// candidate cache: flattened-predicate key → shared candidate list and
+	// bitset, so compiling the thousands of query variants a rewriting
+	// search executes rescans the graph only for novel predicates.
+	candMu    sync.RWMutex
+	candCache map[string]*candEntry
+	candBytes int // approximate resident bytes of cached lists, bitsets, keys
 }
 
-// New returns a matcher over g.
-func New(g *graph.Graph) *Matcher { return &Matcher{g: g} }
+// New returns a matcher over g. The graph's packed adjacency is frozen here
+// so concurrent matching never races on the lazy build.
+func New(g *graph.Graph) *Matcher {
+	g.Freeze()
+	m := &Matcher{g: g, candCache: make(map[string]*candEntry)}
+	m.plans.New = func() any { return new(Plan) }
+	m.ctxs.New = func() any { return newCtx(g) }
+	return m
+}
 
 // Graph returns the underlying data graph.
 func (m *Matcher) Graph() *graph.Graph { return m.g }
@@ -95,40 +122,9 @@ func (m *Matcher) EdgeMatches(eq *query.Edge, ed graph.EdgeID) bool {
 // attribute index when one covers an equality predicate and scanning
 // otherwise.
 func (m *Matcher) Candidates(vq *query.Vertex) []graph.VertexID {
-	// Prefer an indexed equality predicate as the access path.
-	for key, pred := range vq.Preds {
-		if pred.Kind != query.Values || len(pred.Vals) == 0 || pred.Size() > 4 {
-			continue
-		}
-		vals, _ := pred.EnumerableValues()
-		var pool []graph.VertexID
-		indexed := true
-		for _, v := range vals {
-			ids, ok := m.g.VerticesByAttr(key, v)
-			if !ok {
-				indexed = false
-				break
-			}
-			pool = append(pool, ids...)
-		}
-		if indexed {
-			res := pool[:0]
-			for _, id := range pool {
-				if m.VertexMatches(vq, id) {
-					res = append(res, id)
-				}
-			}
-			return res
-		}
-	}
-	var res []graph.VertexID
-	for i := 0; i < m.g.NumVertices(); i++ {
-		id := graph.VertexID(i)
-		if m.VertexMatches(vq, id) {
-			res = append(res, id)
-		}
-	}
-	return res
+	preds := flattenPreds(nil, vq.Preds)
+	var scratch []graph.VertexID
+	return m.candidatesFlat(nil, preds, &scratch)
 }
 
 // CandidateCount returns the number of data vertices matching vq
@@ -164,24 +160,40 @@ func (m *Matcher) EdgeCandidateCount(eq *query.Edge) int {
 
 // Find enumerates result graphs for q up to opts.Limit.
 func (m *Matcher) Find(q *query.Query, opts Options) []Result {
-	var out []Result
-	m.run(q, func(r Result) bool {
-		out = append(out, r.clone())
-		return opts.Limit == 0 || len(out) < opts.Limit
-	})
-	return out
+	c := m.getCtx()
+	defer m.putCtx(c)
+	return m.FindCtx(c, q, opts)
+}
+
+// FindCtx is Find against a caller-owned execution context.
+func (m *Matcher) FindCtx(c *Ctx, q *query.Query, opts Options) []Result {
+	if q.NumVertices() == 0 {
+		return nil
+	}
+	p := m.getPlan(q)
+	defer m.plans.Put(p)
+	return p.Find(c, opts)
 }
 
 // Count returns the number of result graphs C(Q) (Definition 2). A non-zero
 // cap stops early and returns cap once reached, which keeps the relaxation
 // searches of Chapters 5–6 safe on exploding candidates.
 func (m *Matcher) Count(q *query.Query, cap int) int {
-	n := 0
-	m.run(q, func(Result) bool {
-		n++
-		return cap == 0 || n < cap
-	})
-	return n
+	c := m.getCtx()
+	defer m.putCtx(c)
+	return m.CountCtx(c, q, cap)
+}
+
+// CountCtx is Count against a caller-owned execution context — the hot path
+// of the relaxation (relax), MCS (mcs), and modification-tree (modtree)
+// searches, which issue thousands of counts and reuse one context each.
+func (m *Matcher) CountCtx(c *Ctx, q *query.Query, cap int) int {
+	if q.NumVertices() == 0 {
+		return 0
+	}
+	p := m.getPlan(q)
+	defer m.plans.Put(p)
+	return p.Count(c, cap)
 }
 
 // Exists reports whether q has at least one embedding.
@@ -189,301 +201,19 @@ func (m *Matcher) Exists(q *query.Query) bool {
 	return m.Count(q, 1) > 0
 }
 
-// run drives the backtracking search, invoking emit for every embedding.
-// emit returns false to stop the enumeration.
-func (m *Matcher) run(q *query.Query, emit func(Result) bool) {
-	if q.NumVertices() == 0 {
-		return
-	}
-	comps := q.WeaklyConnectedComponents()
-	if len(comps) == 1 {
-		m.runConnected(q, emit)
-		return
-	}
-	// Match each weakly connected component independently (§4.3.3), then
-	// combine component embeddings, keeping vertex injectivity globally.
-	perComp := make([][]Result, len(comps))
-	for i, compVertices := range comps {
-		sub := q.SubqueryByVertices(compVertices)
-		var rs []Result
-		m.runConnected(sub, func(r Result) bool {
-			rs = append(rs, r.clone())
-			return true
-		})
-		if len(rs) == 0 {
-			return // one empty component empties the product
-		}
-		perComp[i] = rs
-	}
-	// Combine the component result sets.
-	combined := Result{VertexMap: map[int]graph.VertexID{}, EdgeMap: map[int]graph.EdgeID{}}
-	used := make(map[graph.VertexID]int)
-	var rec func(i int) bool
-	rec = func(i int) bool {
-		if i == len(perComp) {
-			return emit(combined)
-		}
-		for _, r := range perComp[i] {
-			ok := true
-			for _, dv := range r.VertexMap {
-				if used[dv] > 0 {
-					ok = false
-					break
-				}
-			}
-			if !ok {
-				continue
-			}
-			for qv, dv := range r.VertexMap {
-				combined.VertexMap[qv] = dv
-				used[dv]++
-			}
-			for qe, de := range r.EdgeMap {
-				combined.EdgeMap[qe] = de
-			}
-			cont := rec(i + 1)
-			for qv, dv := range r.VertexMap {
-				delete(combined.VertexMap, qv)
-				used[dv]--
-			}
-			for qe := range r.EdgeMap {
-				delete(combined.EdgeMap, qe)
-			}
-			if !cont {
-				return false
-			}
-		}
-		return true
-	}
-	rec(0)
+// ExistsCtx is Exists against a caller-owned execution context.
+func (m *Matcher) ExistsCtx(c *Ctx, q *query.Query) bool {
+	return m.CountCtx(c, q, 1) > 0
 }
 
-// step is one unit of the connected search plan: match query edge Edge,
-// expanding from the already-bound endpoint to NewVertex (or just checking
-// the edge if both endpoints are bound — a "closing" step).
-type step struct {
-	edge      *query.Edge
-	newVertex int  // query vertex newly bound by this step; -1 for closing
-	fromIsSrc bool // the already-bound endpoint is the edge's source
+func (m *Matcher) getPlan(q *query.Query) *Plan {
+	p := m.plans.Get().(*Plan)
+	m.compileInto(p, q)
+	return p
 }
 
-// plan orders the edges of a connected query into a traversal starting at
-// the most selective vertex. Isolated vertices are returned separately.
-func (m *Matcher) plan(q *query.Query) (start int, steps []step, isolated []int) {
-	// Start vertex: fewest candidates (cheap selectivity heuristic).
-	best, bestCount := -1, -1
-	for _, vid := range q.VertexIDs() {
-		if len(q.Incident(vid)) == 0 {
-			isolated = append(isolated, vid)
-			continue
-		}
-		c := m.CandidateCount(q.Vertex(vid))
-		if best == -1 || c < bestCount {
-			best, bestCount = vid, c
-		}
-	}
-	if best == -1 {
-		return -1, nil, isolated
-	}
-	bound := map[int]bool{best: true}
-	usedEdges := map[int]bool{}
-	for len(usedEdges) < q.NumEdges() {
-		// Prefer closing edges (both endpoints bound), then any frontier edge.
-		chosen := -1
-		closing := false
-		for _, eid := range q.EdgeIDs() {
-			if usedEdges[eid] {
-				continue
-			}
-			e := q.Edge(eid)
-			fb, tb := bound[e.From], bound[e.To]
-			if fb && tb {
-				chosen, closing = eid, true
-				break
-			}
-			if (fb || tb) && chosen == -1 {
-				chosen = eid
-			}
-		}
-		if chosen == -1 {
-			break // disconnected remainder; callers pass connected queries
-		}
-		e := q.Edge(chosen)
-		usedEdges[chosen] = true
-		if closing {
-			steps = append(steps, step{edge: e, newVertex: -1, fromIsSrc: true})
-			continue
-		}
-		if bound[e.From] {
-			steps = append(steps, step{edge: e, newVertex: e.To, fromIsSrc: true})
-			bound[e.To] = true
-		} else {
-			steps = append(steps, step{edge: e, newVertex: e.From, fromIsSrc: false})
-			bound[e.From] = true
-		}
-	}
-	return best, steps, isolated
-}
-
-// runConnected enumerates embeddings of a query whose edge-bearing part is
-// connected; isolated query vertices are bound afterwards from their
-// candidate lists.
-func (m *Matcher) runConnected(q *query.Query, emit func(Result) bool) {
-	start, steps, isolated := m.plan(q)
-	res := Result{VertexMap: map[int]graph.VertexID{}, EdgeMap: map[int]graph.EdgeID{}}
-	usedV := map[graph.VertexID]bool{}
-	usedE := map[graph.EdgeID]bool{}
-
-	var bindIsolated func(i int) bool
-	bindIsolated = func(i int) bool {
-		if i == len(isolated) {
-			return emit(res)
-		}
-		vq := q.Vertex(isolated[i])
-		for _, cand := range m.Candidates(vq) {
-			if usedV[cand] {
-				continue
-			}
-			res.VertexMap[vq.ID] = cand
-			usedV[cand] = true
-			cont := bindIsolated(i + 1)
-			delete(res.VertexMap, vq.ID)
-			usedV[cand] = false
-			if !cont {
-				return false
-			}
-		}
-		return true
-	}
-
-	var expand func(si int) bool
-	expand = func(si int) bool {
-		if si == len(steps) {
-			return bindIsolated(0)
-		}
-		st := steps[si]
-		e := st.edge
-		if st.newVertex == -1 {
-			// Closing step: both endpoints bound; find an unused data edge.
-			df, dt := res.VertexMap[e.From], res.VertexMap[e.To]
-			return m.eachDataEdge(e, df, dt, func(de graph.EdgeID) bool {
-				if usedE[de] {
-					return true
-				}
-				res.EdgeMap[e.ID] = de
-				usedE[de] = true
-				cont := expand(si + 1)
-				delete(res.EdgeMap, e.ID)
-				usedE[de] = false
-				return cont
-			})
-		}
-		// Expansion step: one endpoint bound, the other free.
-		var boundQ, freeQ int
-		if st.fromIsSrc {
-			boundQ, freeQ = e.From, e.To
-		} else {
-			boundQ, freeQ = e.To, e.From
-		}
-		db := res.VertexMap[boundQ]
-		freeVertex := q.Vertex(freeQ)
-		return m.eachAdjacent(e, db, st.fromIsSrc, func(de graph.EdgeID, dv graph.VertexID) bool {
-			if usedE[de] || usedV[dv] || !m.VertexMatches(freeVertex, dv) {
-				return true
-			}
-			res.VertexMap[freeQ] = dv
-			res.EdgeMap[e.ID] = de
-			usedV[dv] = true
-			usedE[de] = true
-			cont := expand(si + 1)
-			delete(res.VertexMap, freeQ)
-			delete(res.EdgeMap, e.ID)
-			usedV[dv] = false
-			usedE[de] = false
-			return cont
-		})
-	}
-
-	if start == -1 {
-		// No edges at all: just bind the isolated vertices.
-		bindIsolated(0)
-		return
-	}
-	startVertex := q.Vertex(start)
-	for _, cand := range m.Candidates(startVertex) {
-		res.VertexMap[start] = cand
-		usedV[cand] = true
-		cont := expand(0)
-		delete(res.VertexMap, start)
-		usedV[cand] = false
-		if !cont {
-			return
-		}
-	}
-}
-
-// eachDataEdge yields data edges between two bound endpoints that satisfy
-// the query edge's direction set, type disjunction, and predicates.
-func (m *Matcher) eachDataEdge(e *query.Edge, df, dt graph.VertexID, yield func(graph.EdgeID) bool) bool {
-	if e.Dirs.Has(query.Forward) {
-		for _, de := range m.g.Out(df) {
-			if m.g.Edge(de).To == dt && m.EdgeMatches(e, de) {
-				if !yield(de) {
-					return false
-				}
-			}
-		}
-	}
-	if e.Dirs.Has(query.Backward) {
-		for _, de := range m.g.Out(dt) {
-			if m.g.Edge(de).To == df && m.EdgeMatches(e, de) {
-				if !yield(de) {
-					return false
-				}
-			}
-		}
-	}
-	return true
-}
-
-// eachAdjacent yields (data edge, far vertex) pairs adjacent to the bound
-// vertex db that satisfy the query edge's constraints. fromIsSrc tells
-// whether db plays the edge's source role.
-func (m *Matcher) eachAdjacent(e *query.Edge, db graph.VertexID, fromIsSrc bool, yield func(graph.EdgeID, graph.VertexID) bool) bool {
-	// Forward direction: data edge runs source → target.
-	if e.Dirs.Has(query.Forward) {
-		if fromIsSrc {
-			for _, de := range m.g.Out(db) {
-				if m.EdgeMatches(e, de) && !yield(de, m.g.Edge(de).To) {
-					return false
-				}
-			}
-		} else {
-			for _, de := range m.g.In(db) {
-				if m.EdgeMatches(e, de) && !yield(de, m.g.Edge(de).From) {
-					return false
-				}
-			}
-		}
-	}
-	// Backward direction: data edge runs target → source.
-	if e.Dirs.Has(query.Backward) {
-		if fromIsSrc {
-			for _, de := range m.g.In(db) {
-				if m.EdgeMatches(e, de) && !yield(de, m.g.Edge(de).From) {
-					return false
-				}
-			}
-		} else {
-			for _, de := range m.g.Out(db) {
-				if m.EdgeMatches(e, de) && !yield(de, m.g.Edge(de).To) {
-					return false
-				}
-			}
-		}
-	}
-	return true
-}
+func (m *Matcher) getCtx() *Ctx  { return m.ctxs.Get().(*Ctx) }
+func (m *Matcher) putCtx(c *Ctx) { m.ctxs.Put(c) }
 
 // PathCount counts the data paths matching a chain of query edges starting
 // from any candidate of the chain's first vertex — the Path(n) statistic of
@@ -497,29 +227,55 @@ func (m *Matcher) PathCount(q *query.Query, chain []int, cap int) int {
 	return m.Count(sub, cap)
 }
 
+// sortableResults pairs results with their precomputed sort keys so the
+// comparator never rebuilds a key.
+type sortableResults struct {
+	rs   []Result
+	keys [][]int64
+}
+
+func (s *sortableResults) Len() int { return len(s.rs) }
+func (s *sortableResults) Swap(i, j int) {
+	s.rs[i], s.rs[j] = s.rs[j], s.rs[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}
+func (s *sortableResults) Less(i, j int) bool {
+	a, b := s.keys[i], s.keys[j]
+	for x := 0; x < len(a) && x < len(b); x++ {
+		if a[x] != b[x] {
+			return a[x] < b[x]
+		}
+	}
+	return len(a) < len(b)
+}
+
 // SortResults orders results deterministically (by the data vertex bound to
-// the smallest query vertex id, then lexicographically) for stable output in
-// tests and reports.
+// the smallest query vertex id, then lexicographically; embeddings that bind
+// the same vertices but different parallel data edges break the tie on the
+// edge bindings) for stable output in tests and reports. Sort keys are
+// computed once per result, not per comparison.
 func SortResults(rs []Result) {
-	key := func(r Result) []int64 {
-		qids := make([]int, 0, len(r.VertexMap))
+	s := &sortableResults{rs: rs, keys: make([][]int64, len(rs))}
+	qids := make([]int, 0, 8)
+	for i, r := range rs {
+		qids = qids[:0]
 		for q := range r.VertexMap {
 			qids = append(qids, q)
 		}
 		sort.Ints(qids)
-		k := make([]int64, 0, len(qids)*2)
+		k := make([]int64, 0, (len(r.VertexMap)+len(r.EdgeMap))*2)
 		for _, q := range qids {
 			k = append(k, int64(q), int64(r.VertexMap[q]))
 		}
-		return k
-	}
-	sort.Slice(rs, func(i, j int) bool {
-		a, b := key(rs[i]), key(rs[j])
-		for x := 0; x < len(a) && x < len(b); x++ {
-			if a[x] != b[x] {
-				return a[x] < b[x]
-			}
+		qids = qids[:0]
+		for q := range r.EdgeMap {
+			qids = append(qids, q)
 		}
-		return len(a) < len(b)
-	})
+		sort.Ints(qids)
+		for _, q := range qids {
+			k = append(k, int64(q), int64(r.EdgeMap[q]))
+		}
+		s.keys[i] = k
+	}
+	sort.Sort(s)
 }

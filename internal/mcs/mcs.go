@@ -113,6 +113,7 @@ func DiscoverMCS(m *match.Matcher, st *stats.Collector, q *query.Query, opts Opt
 func BoundedMCS(m *match.Matcher, st *stats.Collector, q *query.Query, bounds metrics.Interval, opts Options) Explanation {
 	r := &runner{
 		m: m, st: st, q: q, bounds: bounds, opts: opts,
+		ctx:     m.NewContext(),
 		visited: make(map[string]bool),
 		budget:  opts.TraversalBudget,
 	}
@@ -128,6 +129,7 @@ func BoundedMCS(m *match.Matcher, st *stats.Collector, q *query.Query, bounds me
 type runner struct {
 	m      *match.Matcher
 	st     *stats.Collector
+	ctx    *match.Ctx // reused across every subquery execution of the search
 	q      *query.Query
 	bounds metrics.Interval
 	opts   Options
@@ -160,7 +162,7 @@ func (r *runner) countCap() int {
 func (r *runner) execute(edges, isolated []int) int {
 	r.traversals++
 	sub := r.q.Subquery(edges, isolated)
-	return r.m.Count(sub, r.countCap())
+	return r.m.CountCtx(r.ctx, sub, r.countCap())
 }
 
 // record updates the incumbent with a candidate subquery.
@@ -266,6 +268,7 @@ func (r *runner) runPerComponent() Explanation {
 		okIso := r.filterIsolated(iso)
 		sub := &runner{
 			m: r.m, st: r.st, q: r.q, bounds: r.bounds, opts: r.opts,
+			ctx:     r.ctx,
 			visited: make(map[string]bool),
 			budget:  r.budget - r.traversals,
 		}

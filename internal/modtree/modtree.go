@@ -91,14 +91,17 @@ type Result struct {
 }
 
 // Searcher runs fine-grained modifications over one data graph.
+// A Searcher reuses one matching context across all candidate executions of
+// its searches, so it must not be shared between goroutines.
 type Searcher struct {
-	m  *match.Matcher
-	st *stats.Collector
+	m   *match.Matcher
+	st  *stats.Collector
+	ctx *match.Ctx
 }
 
 // New returns a searcher over the matcher and statistics collector.
 func New(m *match.Matcher, st *stats.Collector) *Searcher {
-	return &Searcher{m: m, st: st}
+	return &Searcher{m: m, st: st, ctx: m.NewContext()}
 }
 
 // TraverseSearchTree is the thesis' TRAVERSESEARCHTREE algorithm (§6.2.1):
@@ -121,7 +124,7 @@ func (s *Searcher) TraverseSearchTree(q *query.Query, opts Options) Result {
 			if res.Executed >= opts.MaxExecuted {
 				return false
 			}
-			card = s.m.Count(n.Query, opts.CountCap)
+			card = s.m.CountCtx(s.ctx, n.Query, opts.CountCap)
 			executed[key] = card
 			res.Executed++
 		}
@@ -431,7 +434,7 @@ func (s *Searcher) Exhaustive(q *query.Query, opts Options) Result {
 			if res.Executed >= opts.MaxExecuted {
 				return false
 			}
-			card = s.m.Count(n.Query, opts.CountCap)
+			card = s.m.CountCtx(s.ctx, n.Query, opts.CountCap)
 			executed[key] = card
 			res.Executed++
 		}
@@ -506,7 +509,7 @@ func (s *Searcher) RandomWalk(q *query.Query, opts Options, seed int64) Result {
 		if res.Executed >= opts.MaxExecuted {
 			return 0, false
 		}
-		card := s.m.Count(cand, opts.CountCap)
+		card := s.m.CountCtx(s.ctx, cand, opts.CountCap)
 		executed[key] = card
 		res.Executed++
 		return card, true

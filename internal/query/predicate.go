@@ -1,9 +1,9 @@
 package query
 
 import (
-	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/graph"
@@ -292,22 +292,36 @@ func setMHD(a, b []graph.Value, eq func(x, y graph.Value) bool) float64 {
 
 // String renders the predicate in query-text form.
 func (p Predicate) String() string {
+	var b strings.Builder
+	p.writeTo(&b)
+	return b.String()
+}
+
+// writeTo renders the predicate into b without fmt — Canonical calls this on
+// every element of every deduplicated candidate query.
+func (p Predicate) writeTo(b *strings.Builder) {
 	switch p.Kind {
 	case Range:
-		l, r := "[", "]"
-		if !p.IncLo {
-			l = "("
+		if p.IncLo {
+			b.WriteByte('[')
+		} else {
+			b.WriteByte('(')
 		}
-		if !p.IncHi {
-			r = ")"
+		b.WriteString(strconv.FormatFloat(p.Lo, 'g', -1, 64))
+		b.WriteByte(';')
+		b.WriteString(strconv.FormatFloat(p.Hi, 'g', -1, 64))
+		if p.IncHi {
+			b.WriteByte(']')
+		} else {
+			b.WriteByte(')')
 		}
-		return fmt.Sprintf("%s%v;%v%s", l, p.Lo, p.Hi, r)
 	default:
-		parts := make([]string, len(p.Vals))
 		for i, v := range p.Vals {
-			parts[i] = v.String()
+			if i > 0 {
+				b.WriteString(" OR ")
+			}
+			b.WriteString(v.String())
 		}
-		return strings.Join(parts, " OR ")
 	}
 }
 

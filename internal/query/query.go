@@ -13,6 +13,7 @@ package query
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -395,18 +396,36 @@ func (q *Query) Validate() error {
 
 // Canonical returns a deterministic textual form of the query, suitable as a
 // cache key for the executed-query cache of Chapter 5 and for equality
-// checks between rewritten candidates.
+// checks between rewritten candidates. It is on the hot path of every
+// rewriting search (executed-query dedup, statistics cache keys), so it is
+// built without fmt.
 func (q *Query) Canonical() string {
 	var b strings.Builder
+	b.Grow(32 * (len(q.vertices) + len(q.edges)))
 	for _, vid := range q.VertexIDs() {
 		v := q.vertices[vid]
-		fmt.Fprintf(&b, "v%d{", vid)
+		b.WriteByte('v')
+		b.WriteString(strconv.Itoa(vid))
+		b.WriteByte('{')
 		writePreds(&b, v.Preds)
 		b.WriteString("}\x1e")
 	}
 	for _, eid := range q.EdgeIDs() {
 		e := q.edges[eid]
-		fmt.Fprintf(&b, "e%d(%d%s%d):%s{", eid, e.From, e.Dirs, e.To, strings.Join(sortedStrings(e.Types), "|"))
+		b.WriteByte('e')
+		b.WriteString(strconv.Itoa(eid))
+		b.WriteByte('(')
+		b.WriteString(strconv.Itoa(e.From))
+		b.WriteString(e.Dirs.String())
+		b.WriteString(strconv.Itoa(e.To))
+		b.WriteString("):")
+		for i, t := range sortedStrings(e.Types) {
+			if i > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteString(t)
+		}
+		b.WriteByte('{')
 		writePreds(&b, e.Preds)
 		b.WriteString("}\x1e")
 	}
@@ -420,17 +439,23 @@ func (q *Query) String() string {
 }
 
 func writePreds(b *strings.Builder, preds map[string]Predicate) {
-	keys := make([]string, 0, len(preds))
+	if len(preds) == 0 {
+		return
+	}
+	var buf [8]string
+	keys := buf[:0]
 	for k := range preds {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	for i, k := range keys {
 		if i > 0 {
-			b.WriteString(",")
+			b.WriteByte(',')
 		}
+		b.WriteString(k)
+		b.WriteByte('=')
 		p := preds[k]
-		fmt.Fprintf(b, "%s=%s", k, p.String())
+		p.writeTo(b)
 	}
 }
 

@@ -132,14 +132,17 @@ type Outcome struct {
 }
 
 // Rewriter generates coarse-grained modification-based explanations.
+// A Rewriter reuses one matching context across all candidate executions of
+// its rewriting runs, so it must not be shared between goroutines.
 type Rewriter struct {
-	m  *match.Matcher
-	st *stats.Collector
+	m   *match.Matcher
+	st  *stats.Collector
+	ctx *match.Ctx
 }
 
 // New returns a rewriter over the matcher and its statistics collector.
 func New(m *match.Matcher, st *stats.Collector) *Rewriter {
-	return &Rewriter{m: m, st: st}
+	return &Rewriter{m: m, st: st, ctx: m.NewContext()}
 }
 
 // Rewrite relaxes q until rewritten queries reach the goal interval.
@@ -167,7 +170,7 @@ func (r *Rewriter) Rewrite(q *query.Query, opts Options) Outcome {
 			_ = card
 			continue
 		}
-		card := r.m.Count(c.Query, opts.CountCap)
+		card := r.m.CountCtx(r.ctx, c.Query, opts.CountCap)
 		executed[key] = card
 		out.Executed++
 		out.Trace = append(out.Trace, card)

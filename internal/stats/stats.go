@@ -18,9 +18,12 @@ import (
 )
 
 // Collector computes and caches query-dependent statistics over one data
-// graph. It is safe for concurrent use.
+// graph. It is safe for concurrent use; cache-missing cardinality queries
+// draw reusable matching contexts from a pool so concurrent collectors stay
+// allocation-free in the matching inner loop.
 type Collector struct {
-	m *match.Matcher
+	m    *match.Matcher
+	ctxs sync.Pool
 
 	mu         sync.Mutex
 	vertexCard map[string]int
@@ -32,12 +35,14 @@ type Collector struct {
 
 // New returns a collector over the matcher's data graph.
 func New(m *match.Matcher) *Collector {
-	return &Collector{
+	c := &Collector{
 		m:          m,
 		vertexCard: make(map[string]int),
 		edgeCard:   make(map[string]int),
 		pathCard:   make(map[string]int),
 	}
+	c.ctxs.New = func() any { return m.NewContext() }
+	return c
 }
 
 // CacheStats reports cache hits, misses, and resident entries — the resource
@@ -133,7 +138,9 @@ func (c *Collector) PathCardinality(q *query.Query, chain []int) int {
 	}
 	c.misses++
 	c.mu.Unlock()
-	n := c.m.Count(sub, 0)
+	ctx := c.ctxs.Get().(*match.Ctx)
+	n := c.m.CountCtx(ctx, sub, 0)
+	c.ctxs.Put(ctx)
 	c.mu.Lock()
 	c.pathCard[key] = n
 	c.mu.Unlock()
