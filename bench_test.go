@@ -5,6 +5,10 @@
 package repro_test
 
 import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
 	"sync"
 	"testing"
 
@@ -31,6 +35,23 @@ func setup() (*repro.Graph, *repro.Graph) {
 		benchDBp = datagen.DBpedia(datagen.DefaultDBpedia())
 	})
 	return benchLDBC, benchDBp
+}
+
+// benchWorkers is the worker count the explanation-search benchmarks run
+// with: BENCH_WORKERS when set, otherwise min(4, GOMAXPROCS) — the paper
+// figures' searches at four workers on CI-class machines, sequential on a
+// single core. Results are byte-identical at any setting; only wall-clock
+// changes.
+func benchWorkers() int {
+	if s := os.Getenv("BENCH_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	if p := runtime.GOMAXPROCS(0); p < 4 {
+		return p
+	}
+	return 4
 }
 
 // BenchmarkTableA1 measures executing LDBC QUERY 1–4 (Table A.1 row
@@ -180,12 +201,13 @@ func BenchmarkFig5Priority(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	workers := benchWorkers()
 	for _, p := range []relax.Priority{relax.PriorityRandom, relax.PrioritySyntactic, relax.PriorityEstimatedCardinality, relax.PriorityAvgPath1, relax.PriorityCombined} {
 		b.Run(p.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				st := stats.New(m) // fresh cache: measure the full cost
 				rw := relax.New(m, st)
-				out := rw.Rewrite(q, relax.Options{Priority: p, MaxSolutions: 1, Seed: 7})
+				out := rw.Rewrite(q, relax.Options{Priority: p, MaxSolutions: 1, Seed: 7, Workers: workers})
 				if len(out.Solutions) == 0 {
 					b.Fatal("no solution")
 				}
@@ -251,7 +273,7 @@ func BenchmarkFig6Baselines(b *testing.B) {
 	s := modtree.New(m, st)
 	q := workload.LDBCQuery1()
 	goal := metrics.Interval{Lower: workload.Threshold(20, 2)}
-	opts := modtree.Options{Goal: goal, Domain: dom, MaxExecuted: 100}
+	opts := modtree.Options{Goal: goal, Domain: dom, MaxExecuted: 100, Workers: benchWorkers()}
 	b.Run("tst", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			_ = s.TraverseSearchTree(q, opts)
@@ -282,6 +304,73 @@ func BenchmarkFig6Topology(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = s.TraverseSearchTree(q, opts)
+	}
+}
+
+// BenchmarkParallelFig5 measures one coarse-grained rewriting run per worker
+// count — the Fig. 5.A search under the worker-pool layer. Results are
+// byte-identical across worker counts (see the differential tests); the
+// series shows the wall-clock scaling alone.
+func BenchmarkParallelFig5(b *testing.B) {
+	g, _ := setup()
+	m := match.New(g)
+	q, err := workload.FailingVariant("LDBC QUERY 1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				st := stats.New(m) // fresh cache: measure the full cost
+				rw := relax.New(m, st)
+				out := rw.Rewrite(q, relax.Options{Priority: relax.PriorityCombined, MaxSolutions: 1, Seed: 7, Workers: workers})
+				if len(out.Solutions) == 0 {
+					b.Fatal("no solution")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelFig6 measures one TRAVERSESEARCHTREE run per worker count
+// — the Fig. 6.A search under parallel child evaluation.
+func BenchmarkParallelFig6(b *testing.B) {
+	g, _ := setup()
+	m := match.New(g)
+	st := stats.New(m)
+	dom := stats.BuildDomain(g, 16)
+	s := modtree.New(m, st)
+	q := workload.LDBCQuery1()
+	goal := metrics.Interval{Lower: workload.Threshold(20, 2)}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			opts := modtree.Options{Goal: goal, Domain: dom, MaxExecuted: 100, Workers: workers}
+			for i := 0; i < b.N; i++ {
+				_ = s.TraverseSearchTree(q, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkParallelMCS measures DISCOVERMCS per worker count — the Fig. 4
+// search under parallel frontier probing.
+func BenchmarkParallelMCS(b *testing.B) {
+	g, _ := setup()
+	m := match.New(g)
+	st := stats.New(m)
+	q, err := workload.FailingVariant("LDBC QUERY 2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ex := mcs.DiscoverMCS(m, st, q, mcs.Options{Workers: workers})
+				if !ex.Satisfied {
+					b.Fatal("MCS must exist")
+				}
+			}
+		})
 	}
 }
 

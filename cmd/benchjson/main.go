@@ -1,0 +1,90 @@
+// Command benchjson turns `go test -bench` output into a machine-readable
+// JSON report and enforces allocation-regression gates in CI.
+//
+// Usage:
+//
+//	go test -bench . -benchtime=1x -benchmem -run xxx . | benchjson -out BENCH_ci.json
+//	go test -bench BenchmarkMatcher -benchtime=1000x -benchmem -run xxx . | \
+//	    benchjson -max-allocs 'BenchmarkMatcher/ldbc-q3=18'
+//
+// The report maps each benchmark name (the `-P` GOMAXPROCS suffix stripped)
+// to its ns/op, allocs/op, B/op, and iteration count. Every -max-allocs
+// gate (repeatable, `name=N`) fails the run with exit code 1 when the named
+// benchmark's allocs/op exceeds N — i.e. when allocations regress above the
+// recorded baseline — or when the benchmark is missing from the input.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/benchparse"
+)
+
+func main() {
+	args := os.Args[1:]
+	outPath := ""
+	var gates []benchparse.Gate
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-out":
+			i++
+			if i >= len(args) {
+				fatal("missing value for -out")
+			}
+			outPath = args[i]
+		case "-max-allocs":
+			i++
+			if i >= len(args) {
+				fatal("missing value for -max-allocs")
+			}
+			g, err := benchparse.ParseGate(args[i])
+			if err != nil {
+				fatal(err.Error())
+			}
+			gates = append(gates, g)
+		default:
+			fatal(fmt.Sprintf("unknown flag %q", args[i]))
+		}
+	}
+
+	report, err := benchparse.Parse(os.Stdin)
+	if err != nil {
+		fatal(err.Error())
+	}
+	var out io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatal(err.Error())
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	if err := report.WriteJSON(w); err != nil {
+		fatal(err.Error())
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err.Error())
+	}
+
+	failures := report.CheckGates(gates)
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "benchjson: GATE FAILED:", f)
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+	if len(gates) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d gate(s) passed\n", len(gates))
+	}
+}
+
+func fatal(msg string) {
+	fmt.Fprintln(os.Stderr, "benchjson:", strings.TrimSpace(msg))
+	os.Exit(2)
+}

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	benchrunner -exp all
+//	benchrunner -workers 4 -exp fig5.priority
 //	benchrunner -exp tab-a1
 //	benchrunner -exp fig3.7 | fig3.8 | fig3.9 | fig3.10
 //	benchrunner -exp fig4.discover | fig4.size | fig4.bounded
@@ -25,6 +26,7 @@ import (
 	"repro/internal/mcs"
 	"repro/internal/metrics"
 	"repro/internal/modtree"
+	"repro/internal/parallel"
 	"repro/internal/query"
 	"repro/internal/relax"
 	"repro/internal/stats"
@@ -34,6 +36,10 @@ import (
 type env struct {
 	ldbc    *matchEnv
 	dbpedia *matchEnv
+	// workers is the resolved worker count of the explanation searches
+	// (-workers flag; 0 resolves to GOMAXPROCS). Parallelism never changes
+	// any experiment's numbers except runtime columns.
+	workers int
 }
 
 type matchEnv struct {
@@ -55,8 +61,10 @@ func newEnv() *env {
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see doc comment)")
+	workers := flag.Int("workers", 0, "explanation-search workers (0 = GOMAXPROCS)")
 	flag.Parse()
 	e := newEnv()
+	e.workers = parallel.Workers(*workers)
 	experiments := map[string]func(*env){
 		"tab-a1":           tabA1,
 		"fig3.7":           fig37,
@@ -214,17 +222,17 @@ func fig310(e *env) {
 
 // fig4Discover — DISCOVERMCS optimizations on why-empty variants (§4.5.1).
 func fig4Discover(e *env) {
-	fmt.Println("== FIG-4.A: DISCOVERMCS — naive vs WCC vs single-path ==")
+	fmt.Printf("== FIG-4.A: DISCOVERMCS — naive vs WCC vs single-path (workers=%d) ==\n", e.workers)
 	fmt.Printf("%-22s %-16s %10s %12s %10s\n", "query", "variant", "traversals", "runtime", "MCS edges")
 	run := func(name string, me *matchEnv, q *query.Query) {
 		variants := []struct {
 			label string
 			opts  mcs.Options
 		}{
-			{"naive", mcs.Options{}},
-			{"wcc", mcs.Options{UseWCC: true}},
-			{"single-path", mcs.Options{SinglePath: true}},
-			{"wcc+single", mcs.Options{UseWCC: true, SinglePath: true}},
+			{"naive", mcs.Options{Workers: e.workers}},
+			{"wcc", mcs.Options{UseWCC: true, Workers: e.workers}},
+			{"single-path", mcs.Options{SinglePath: true, Workers: e.workers}},
+			{"wcc+single", mcs.Options{UseWCC: true, SinglePath: true, Workers: e.workers}},
 		}
 		for _, v := range variants {
 			start := time.Now()
@@ -250,13 +258,13 @@ func fig4Discover(e *env) {
 
 // fig4Size — DISCOVERMCS cost vs query size (§4.5.1).
 func fig4Size(e *env) {
-	fmt.Println("== FIG-4.B: DISCOVERMCS cost vs query size (failing chains) ==")
+	fmt.Printf("== FIG-4.B: DISCOVERMCS cost vs query size (failing chains, workers=%d) ==\n", e.workers)
 	fmt.Printf("%8s %12s %12s %12s\n", "edges", "naive", "wcc", "single-path")
 	for size := 1; size <= 5; size++ {
 		q := chainQuery(size)
-		naive := mcs.DiscoverMCS(e.ldbc.m, e.ldbc.st, q, mcs.Options{})
-		wcc := mcs.DiscoverMCS(e.ldbc.m, e.ldbc.st, q, mcs.Options{UseWCC: true})
-		single := mcs.DiscoverMCS(e.ldbc.m, e.ldbc.st, q, mcs.Options{SinglePath: true})
+		naive := mcs.DiscoverMCS(e.ldbc.m, e.ldbc.st, q, mcs.Options{Workers: e.workers})
+		wcc := mcs.DiscoverMCS(e.ldbc.m, e.ldbc.st, q, mcs.Options{UseWCC: true, Workers: e.workers})
+		single := mcs.DiscoverMCS(e.ldbc.m, e.ldbc.st, q, mcs.Options{SinglePath: true, Workers: e.workers})
 		fmt.Printf("%8d %12d %12d %12d\n", size, naive.Traversals, wcc.Traversals, single.Traversals)
 	}
 }
@@ -280,13 +288,13 @@ func chainQuery(edges int) *query.Query {
 
 // fig4Bounded — BOUNDEDMCS for the too-many-answers problem (§4.5.2).
 func fig4Bounded(e *env) {
-	fmt.Println("== FIG-4.C: BOUNDEDMCS under too-many thresholds ==")
+	fmt.Printf("== FIG-4.C: BOUNDEDMCS under too-many thresholds (workers=%d) ==\n", e.workers)
 	fmt.Printf("%-14s %8s %10s %12s %10s %10s\n", "query", "factor", "threshold", "traversals", "MCS edges", "satisfied")
 	for _, nq := range workload.LDBCQueries() {
 		for _, factor := range []float64{0.2, 0.5} {
 			cthr := workload.Threshold(nq.C1, factor)
 			bounds := metrics.Interval{Lower: 1, Upper: cthr}
-			ex := mcs.BoundedMCS(e.ldbc.m, e.ldbc.st, nq.Build(), bounds, mcs.Options{UseWCC: true})
+			ex := mcs.BoundedMCS(e.ldbc.m, e.ldbc.st, nq.Build(), bounds, mcs.Options{UseWCC: true, Workers: e.workers})
 			fmt.Printf("%-14s %8.1f %10d %12d %10d %10v\n", nq.Name, factor, cthr, ex.Traversals, ex.MCS.NumEdges(), ex.Satisfied)
 		}
 	}
@@ -294,14 +302,14 @@ func fig4Bounded(e *env) {
 
 // fig5Priority — executed candidates per priority function (§5.5.1).
 func fig5Priority(e *env) {
-	fmt.Println("== FIG-5.A: priority functions of the query-candidate selector ==")
+	fmt.Printf("== FIG-5.A: priority functions of the query-candidate selector (workers=%d) ==\n", e.workers)
 	fmt.Printf("%-22s %-22s %10s %10s %12s\n", "query", "priority", "executed", "solutions", "runtime")
 	prios := []relax.Priority{relax.PriorityRandom, relax.PrioritySyntactic, relax.PriorityEstimatedCardinality, relax.PriorityAvgPath1, relax.PriorityCombined}
 	run := func(name string, me *matchEnv, q *query.Query) {
 		rw := relax.New(me.m, me.st)
 		for _, p := range prios {
 			start := time.Now()
-			out := rw.Rewrite(q, relax.Options{Priority: p, MaxSolutions: 1, Seed: 7})
+			out := rw.Rewrite(q, relax.Options{Priority: p, MaxSolutions: 1, Seed: 7, Workers: e.workers})
 			fmt.Printf("%-22s %-22s %10d %10d %12s\n", name, p, out.Executed, len(out.Solutions), time.Since(start).Round(time.Microsecond))
 		}
 	}
@@ -318,11 +326,11 @@ func fig5Priority(e *env) {
 // fig5Convergence — best-so-far cardinality over executed candidates
 // (§5.5.2).
 func fig5Convergence(e *env) {
-	fmt.Println("== FIG-5.B: runtime convergence (LDBC QUERY 2 why-empty) ==")
+	fmt.Printf("== FIG-5.B: runtime convergence (LDBC QUERY 2 why-empty, workers=%d) ==\n", e.workers)
 	q, _ := workload.FailingVariant("LDBC QUERY 2")
 	rw := relax.New(e.ldbc.m, e.ldbc.st)
 	for _, p := range []relax.Priority{relax.PriorityRandom, relax.PriorityCombined} {
-		out := rw.Rewrite(q, relax.Options{Priority: p, MaxSolutions: 3, MaxExecuted: 40, Seed: 7})
+		out := rw.Rewrite(q, relax.Options{Priority: p, MaxSolutions: 3, MaxExecuted: 40, Seed: 7, Workers: e.workers})
 		fmt.Printf("%-22s trace:", p)
 		best := 0
 		for _, c := range out.Trace {
@@ -337,13 +345,13 @@ func fig5Convergence(e *env) {
 
 // fig5Induced — combined Path(1)+induced-change priority (§5.5.3).
 func fig5Induced(e *env) {
-	fmt.Println("== FIG-5.C: avg Path(1) + induced-change priority comparison ==")
+	fmt.Printf("== FIG-5.C: avg Path(1) + induced-change priority comparison (workers=%d) ==\n", e.workers)
 	fmt.Printf("%-22s %-22s %10s %10s\n", "query", "priority", "executed", "generated")
 	for _, nq := range workload.LDBCQueries() {
 		q, _ := workload.FailingVariant(nq.Name)
 		rw := relax.New(e.ldbc.m, e.ldbc.st)
 		for _, p := range []relax.Priority{relax.PriorityAvgPath1, relax.PriorityCombined} {
-			out := rw.Rewrite(q, relax.Options{Priority: p, MaxSolutions: 1})
+			out := rw.Rewrite(q, relax.Options{Priority: p, MaxSolutions: 1, Workers: e.workers})
 			fmt.Printf("%-22s %-22s %10d %10d\n", nq.Name, p, out.Executed, out.Generated)
 		}
 	}
@@ -352,7 +360,7 @@ func fig5Induced(e *env) {
 // fig5User — non-intrusive user integration (§5.5.4 + App. B.1): a simulated
 // user protects one query element; count proposals until acceptance.
 func fig5User(e *env) {
-	fmt.Println("== FIG-5.D: user integration — proposals until acceptance ==")
+	fmt.Printf("== FIG-5.D: user integration — proposals until acceptance (workers=%d) ==\n", e.workers)
 	fmt.Printf("%-22s %16s %16s\n", "query", "no model", "with model")
 	for _, nq := range workload.LDBCQueries() {
 		q, _ := workload.FailingVariant(nq.Name)
@@ -367,7 +375,7 @@ func fig5User(e *env) {
 			return true
 		}
 		// Without the model: walk the ranked solution list.
-		out := rw.Rewrite(q, relax.Options{MaxSolutions: 10, AllowTopology: true})
+		out := rw.Rewrite(q, relax.Options{MaxSolutions: 10, AllowTopology: true, Workers: e.workers})
 		noModel := -1
 		for i, s := range out.Solutions {
 			if accepts(s) {
@@ -379,7 +387,7 @@ func fig5User(e *env) {
 		pm := relax.NewPreferenceModel(1)
 		withModel := -1
 		for round := 1; round <= 10; round++ {
-			out := rw.Rewrite(q, relax.Options{MaxSolutions: 1, AllowTopology: true, Prefs: pm})
+			out := rw.Rewrite(q, relax.Options{MaxSolutions: 1, AllowTopology: true, Prefs: pm, Workers: e.workers})
 			if len(out.Solutions) == 0 {
 				break
 			}
@@ -406,15 +414,17 @@ func protectedTargetOf(name string) query.Target {
 	}
 }
 
-// fig5Resources — cache effectiveness (App. B.2).
+// fig5Resources — cache effectiveness (App. B.2). The stat hits/entries
+// columns are exact at -workers 1; at higher worker counts concurrent
+// misses on the same key may each count, so treat them as approximate.
 func fig5Resources(e *env) {
-	fmt.Println("== FIG-5.E: resource consumption of why-empty rewriting ==")
+	fmt.Printf("== FIG-5.E: resource consumption of why-empty rewriting (workers=%d) ==\n", e.workers)
 	fmt.Printf("%-22s %10s %10s %10s %12s %12s\n", "query", "executed", "generated", "cachehits", "stat hits", "stat entries")
 	for _, nq := range workload.LDBCQueries() {
 		q, _ := workload.FailingVariant(nq.Name)
 		me := e.ldbc
 		rw := relax.New(me.m, me.st)
-		out := rw.Rewrite(q, relax.Options{MaxSolutions: 5, MaxDepth: 3, AllowTopology: true})
+		out := rw.Rewrite(q, relax.Options{MaxSolutions: 5, MaxDepth: 3, AllowTopology: true, Workers: e.workers})
 		hits, _, entries := me.st.CacheStats()
 		fmt.Printf("%-22s %10d %10d %10d %12d %12d\n", nq.Name, out.Executed, out.Generated, out.CacheHits, hits, entries)
 	}
@@ -422,14 +432,14 @@ func fig5Resources(e *env) {
 
 // fig6Baseline — TRAVERSESEARCHTREE vs baselines (§6.4.2).
 func fig6Baseline(e *env) {
-	fmt.Println("== FIG-6.A: fine-grained modification vs baselines ==")
+	fmt.Printf("== FIG-6.A: fine-grained modification vs baselines (workers=%d) ==\n", e.workers)
 	fmt.Printf("%-14s %8s %-12s %10s %10s %10s %12s\n", "query", "factor", "method", "executed", "bestCard", "cardΔ", "runtime")
 	for _, nq := range workload.LDBCQueries() {
 		for _, factor := range workload.CardinalityFactors {
 			cthr := workload.Threshold(nq.C1, factor)
 			goal := goalFor(factor, cthr)
 			s := modtree.New(e.ldbc.m, e.ldbc.st)
-			opts := modtree.Options{Goal: goal, Domain: e.ldbc.dom, MaxExecuted: 150}
+			opts := modtree.Options{Goal: goal, Domain: e.ldbc.dom, MaxExecuted: 150, Workers: e.workers}
 			type res struct {
 				label string
 				r     modtree.Result
@@ -464,7 +474,7 @@ func goalFor(factor float64, cthr int) metrics.Interval {
 
 // fig6Topology — topology consideration (§6.4.3).
 func fig6Topology(e *env) {
-	fmt.Println("== FIG-6.B: TST with and without topology modifications ==")
+	fmt.Printf("== FIG-6.B: TST with and without topology modifications (workers=%d) ==\n", e.workers)
 	fmt.Printf("%-22s %-12s %10s %10s %10s\n", "query", "topology", "executed", "bestCard", "satisfied")
 	for _, nq := range workload.LDBCQueries() {
 		q, _ := workload.FailingVariant(nq.Name)
@@ -472,7 +482,7 @@ func fig6Topology(e *env) {
 		for _, topo := range []bool{false, true} {
 			r := s.TraverseSearchTree(q, modtree.Options{
 				Goal: metrics.AtLeastOne, Domain: e.ldbc.dom,
-				MaxExecuted: 150, AllowTopology: topo,
+				MaxExecuted: 150, AllowTopology: topo, Workers: e.workers,
 			})
 			fmt.Printf("%-22s %-12v %10d %10d %10v\n", nq.Name, topo, r.Executed, r.Best.Cardinality, r.Satisfied)
 		}

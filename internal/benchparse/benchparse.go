@@ -1,0 +1,198 @@
+// Package benchparse parses `go test -bench` text output into a structured
+// report and evaluates allocation-regression gates against it. It backs
+// cmd/benchjson, the CI step that publishes BENCH_ci.json and fails builds
+// whose hot paths started allocating more.
+package benchparse
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one parsed benchmark result line.
+type Entry struct {
+	// Name is the benchmark name, normalized: when every line of the run
+	// carries the same trailing -GOMAXPROCS suffix it is stripped
+	// (BenchmarkFoo/case-8 → BenchmarkFoo/case), so reports and gates are
+	// stable across machines.
+	Name string `json:"-"`
+	// Iterations is the measured iteration count (b.N).
+	Iterations int64 `json:"iterations"`
+	// NsPerOp is the reported ns/op.
+	NsPerOp float64 `json:"ns_per_op"`
+	// BytesPerOp is the reported B/op (-1 when -benchmem was off).
+	BytesPerOp int64 `json:"bytes_per_op"`
+	// AllocsPerOp is the reported allocs/op (-1 when -benchmem was off).
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// Report is a full parse of one benchmark run.
+type Report struct {
+	// Entries lists the parsed benchmarks in input order.
+	Entries []Entry
+}
+
+// benchLine matches one result line, e.g.
+//
+//	BenchmarkMatcher/ldbc-q3-4   14612   16520 ns/op   561 B/op   18 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// procSuffix is the `-P` GOMAXPROCS suffix the testing package appends to
+// benchmark names when P > 1.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads `go test -bench` output and collects every result line. The
+// testing package appends the same -GOMAXPROCS suffix to every name when
+// running on more than one CPU; Parse strips it only when all lines agree on
+// one numeric suffix, which keeps sub-benchmarks that legitimately end in
+// -<digits> (workers-4, and mixed suites containing them) intact. Gates
+// additionally match either form (see CheckGates).
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		e := Entry{Name: m[1], BytesPerOp: -1, AllocsPerOp: -1}
+		var err error
+		if e.Iterations, err = strconv.ParseInt(m[2], 10, 64); err != nil {
+			return nil, fmt.Errorf("benchparse: bad iteration count in %q: %w", sc.Text(), err)
+		}
+		if e.NsPerOp, err = strconv.ParseFloat(m[3], 64); err != nil {
+			return nil, fmt.Errorf("benchparse: bad ns/op in %q: %w", sc.Text(), err)
+		}
+		if m[4] != "" {
+			b, err := strconv.ParseFloat(m[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchparse: bad B/op in %q: %w", sc.Text(), err)
+			}
+			e.BytesPerOp = int64(b)
+		}
+		if m[5] != "" {
+			if e.AllocsPerOp, err = strconv.ParseInt(m[5], 10, 64); err != nil {
+				return nil, fmt.Errorf("benchparse: bad allocs/op in %q: %w", sc.Text(), err)
+			}
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(rep.Entries) == 0 {
+		return nil, fmt.Errorf("benchparse: no benchmark result lines found")
+	}
+	rep.stripProcSuffix()
+	return rep, nil
+}
+
+// stripProcSuffix removes the -GOMAXPROCS name suffix when every entry of
+// the run carries the same one.
+func (r *Report) stripProcSuffix() {
+	suffix := procSuffix.FindString(r.Entries[0].Name)
+	if suffix == "" {
+		return
+	}
+	for _, e := range r.Entries[1:] {
+		if procSuffix.FindString(e.Name) != suffix {
+			return
+		}
+	}
+	for i := range r.Entries {
+		r.Entries[i].Name = strings.TrimSuffix(r.Entries[i].Name, suffix)
+	}
+}
+
+// find returns the entry matching name, tolerating the -GOMAXPROCS suffix on
+// the input side (a gate written as BenchmarkFoo/bar matches a measured
+// BenchmarkFoo/bar-8 and vice versa).
+func (r *Report) find(name string) *Entry {
+	base := procSuffix.ReplaceAllString(name, "")
+	for i := range r.Entries {
+		e := &r.Entries[i]
+		if e.Name == name || e.Name == base {
+			return e
+		}
+		if procSuffix.ReplaceAllString(e.Name, "") == name {
+			return e
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the report as a stable JSON object: benchmark name →
+// {iterations, ns_per_op, bytes_per_op, allocs_per_op}, names sorted.
+func (r *Report) WriteJSON(w io.Writer) error {
+	byName := make(map[string]Entry, len(r.Entries))
+	names := make([]string, 0, len(r.Entries))
+	for _, e := range r.Entries {
+		if _, dup := byName[e.Name]; !dup {
+			names = append(names, e.Name)
+		}
+		byName[e.Name] = e
+	}
+	sort.Strings(names)
+	var buf strings.Builder
+	buf.WriteString("{\n  \"benchmarks\": {\n")
+	for i, name := range names {
+		e := byName[name]
+		blob, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&buf, "    %q: %s", name, blob)
+		if i < len(names)-1 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('\n')
+	}
+	buf.WriteString("  }\n}\n")
+	_, err := io.WriteString(w, buf.String())
+	return err
+}
+
+// Gate is one allocation ceiling: the named benchmark's allocs/op must not
+// exceed Max.
+type Gate struct {
+	Name string
+	Max  int64
+}
+
+// ParseGate parses a `name=N` gate specification.
+func ParseGate(s string) (Gate, error) {
+	eq := strings.LastIndex(s, "=")
+	if eq <= 0 || eq == len(s)-1 {
+		return Gate{}, fmt.Errorf("benchparse: gate %q not of the form name=N", s)
+	}
+	max, err := strconv.ParseInt(s[eq+1:], 10, 64)
+	if err != nil || max < 0 {
+		return Gate{}, fmt.Errorf("benchparse: gate %q has a bad allocation ceiling", s)
+	}
+	return Gate{Name: s[:eq], Max: max}, nil
+}
+
+// CheckGates evaluates every gate and describes each violation: a missing
+// benchmark, a run without -benchmem, or allocs/op above the ceiling.
+func (r *Report) CheckGates(gates []Gate) []string {
+	var failures []string
+	for _, g := range gates {
+		e := r.find(g.Name)
+		switch {
+		case e == nil:
+			failures = append(failures, fmt.Sprintf("%s: benchmark missing from input", g.Name))
+		case e.AllocsPerOp < 0:
+			failures = append(failures, fmt.Sprintf("%s: no allocs/op in input (run with -benchmem)", g.Name))
+		case e.AllocsPerOp > g.Max:
+			failures = append(failures, fmt.Sprintf("%s: allocs/op regressed to %d (ceiling %d)", g.Name, e.AllocsPerOp, g.Max))
+		}
+	}
+	return failures
+}

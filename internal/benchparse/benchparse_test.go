@@ -1,0 +1,134 @@
+package benchparse
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleP1 = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkFig5Priority/random         	     460	    498352 ns/op	  205646 B/op	    2981 allocs/op
+BenchmarkParallelFig5/workers-1      	     140	    774089 ns/op
+BenchmarkParallelFig5/workers-4      	     144	    767499 ns/op
+BenchmarkMatcher/ldbc-q3             	   14612	     16520 ns/op	     561 B/op	      18 allocs/op
+PASS
+ok  	repro	3.309s
+`
+
+const sampleP4 = `BenchmarkMatcher/ldbc-q3-4       	   14612	     16520.5 ns/op	     561 B/op	      18 allocs/op
+BenchmarkMatcher/dbpedia-q3-4    	   27625	      9177 ns/op	     433 B/op	      18 allocs/op
+`
+
+func TestParsePreservesLegitimateDashDigits(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleP1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 4 {
+		t.Fatalf("parsed %d entries, want 4", len(rep.Entries))
+	}
+	// Mixed suffixes (workers-1 vs workers-4 vs no suffix): nothing stripped.
+	names := []string{}
+	for _, e := range rep.Entries {
+		names = append(names, e.Name)
+	}
+	want := []string{"BenchmarkFig5Priority/random", "BenchmarkParallelFig5/workers-1", "BenchmarkParallelFig5/workers-4", "BenchmarkMatcher/ldbc-q3"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("name %d = %q, want %q", i, names[i], want[i])
+		}
+	}
+	e := rep.find("BenchmarkMatcher/ldbc-q3")
+	if e == nil || e.Iterations != 14612 || e.NsPerOp != 16520 || e.BytesPerOp != 561 || e.AllocsPerOp != 18 {
+		t.Fatalf("ldbc-q3 entry = %+v", e)
+	}
+	// No -benchmem columns → -1 sentinels.
+	if w := rep.find("BenchmarkParallelFig5/workers-1"); w == nil || w.AllocsPerOp != -1 || w.BytesPerOp != -1 {
+		t.Fatalf("workers-1 entry = %+v", w)
+	}
+}
+
+func TestParseStripsUniformProcSuffix(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleP4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Entries[0].Name != "BenchmarkMatcher/ldbc-q3" || rep.Entries[1].Name != "BenchmarkMatcher/dbpedia-q3" {
+		t.Fatalf("uniform -4 suffix not stripped: %q, %q", rep.Entries[0].Name, rep.Entries[1].Name)
+	}
+	if rep.Entries[0].NsPerOp != 16520.5 {
+		t.Fatalf("fractional ns/op parsed as %v", rep.Entries[0].NsPerOp)
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
+		t.Fatal("want error on input without benchmark lines")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleP1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Benchmarks map[string]Entry `json:"benchmarks"`
+	}
+	if err := json.Unmarshal([]byte(buf.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	got, ok := doc.Benchmarks["BenchmarkMatcher/ldbc-q3"]
+	if !ok || got.NsPerOp != 16520 || got.AllocsPerOp != 18 {
+		t.Fatalf("JSON entry = %+v (present %v)", got, ok)
+	}
+}
+
+func TestGates(t *testing.T) {
+	if _, err := ParseGate("no-equals"); err == nil {
+		t.Fatal("want error for gate without =")
+	}
+	if _, err := ParseGate("name="); err == nil {
+		t.Fatal("want error for gate without ceiling")
+	}
+	g, err := ParseGate("BenchmarkMatcher/ldbc-q3=18")
+	if err != nil || g.Name != "BenchmarkMatcher/ldbc-q3" || g.Max != 18 {
+		t.Fatalf("gate = %+v err %v", g, err)
+	}
+
+	rep, err := Parse(strings.NewReader(sampleP1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := rep.CheckGates([]Gate{{Name: "BenchmarkMatcher/ldbc-q3", Max: 18}}); len(fails) != 0 {
+		t.Fatalf("gate at baseline must pass: %v", fails)
+	}
+	if fails := rep.CheckGates([]Gate{{Name: "BenchmarkMatcher/ldbc-q3", Max: 17}}); len(fails) != 1 {
+		t.Fatalf("regressed gate must fail once: %v", fails)
+	}
+	if fails := rep.CheckGates([]Gate{{Name: "BenchmarkMatcher/missing", Max: 5}}); len(fails) != 1 {
+		t.Fatalf("missing benchmark must fail the gate: %v", fails)
+	}
+	if fails := rep.CheckGates([]Gate{{Name: "BenchmarkParallelFig5/workers-1", Max: 3}}); len(fails) != 1 || !strings.Contains(fails[0], "-benchmem") {
+		t.Fatalf("benchmem-less entry must fail with a hint: %v", fails)
+	}
+
+	// Suffix tolerance: a gate written without -P matches a -P run.
+	rep4, err := Parse(strings.NewReader(sampleP4 + "BenchmarkOther-4 1 5 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep4.find("BenchmarkMatcher/ldbc-q3") == nil {
+		t.Fatal("suffix-stripped lookup failed")
+	}
+	if rep4.find("BenchmarkMatcher/ldbc-q3-4") == nil {
+		t.Fatal("suffixed gate name must still resolve")
+	}
+}

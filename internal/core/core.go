@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/graph"
 	"repro/internal/match"
@@ -22,25 +23,43 @@ import (
 
 // Engine is the why-query engine over one data graph.
 type Engine struct {
-	g      *graph.Graph
-	m      *match.Matcher
-	st     *stats.Collector
-	domain *stats.Domain
-	rw     *relax.Rewriter
-	mt     *modtree.Searcher
+	g       *graph.Graph
+	m       *match.Matcher
+	st      *stats.Collector
+	domain  *stats.Domain
+	rw      *relax.Rewriter
+	mt      *modtree.Searcher
+	workers int
 }
 
 // NewEngine builds an engine (matcher, statistics, domain catalog) over g.
+// Explanation searches run on GOMAXPROCS workers by default; see SetWorkers.
 func NewEngine(g *graph.Graph) *Engine {
 	m := match.New(g)
 	st := stats.New(m)
 	return &Engine{
 		g: g, m: m, st: st,
-		domain: stats.BuildDomain(g, 16),
-		rw:     relax.New(m, st),
-		mt:     modtree.New(m, st),
+		domain:  stats.BuildDomain(g, 16),
+		rw:      relax.New(m, st),
+		mt:      modtree.New(m, st),
+		workers: runtime.GOMAXPROCS(0),
 	}
 }
+
+// SetWorkers sets the worker count the explanation searches (relaxation,
+// modification tree, MCS) evaluate query candidates with. Values below one
+// reset to the default, GOMAXPROCS. Parallelism never changes explanations:
+// every search is byte-identical to its sequential run; only wall-clock time
+// shrinks.
+func (e *Engine) SetWorkers(n int) {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	e.workers = n
+}
+
+// Workers reports the engine's explanation-search worker count.
+func (e *Engine) Workers() int { return e.workers }
 
 // Graph returns the engine's data graph.
 func (e *Engine) Graph() *graph.Graph { return e.g }
@@ -79,6 +98,9 @@ type Options struct {
 	// ResultSample bounds the result graphs enumerated per query when
 	// computing result distances (0 = 100).
 	ResultSample int
+	// Workers overrides the engine's worker count for this explanation
+	// (0 = use the engine's setting).
+	Workers int
 }
 
 func (o *Options) fill() {
@@ -151,10 +173,15 @@ func (e *Engine) Explain(q *query.Query, opts Options) (*Report, error) {
 	}
 
 	// Subgraph-based explanation (Chapter 4).
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = e.workers
+	}
 	sub := mcs.BoundedMCS(e.m, e.st, q, opts.Expected, mcs.Options{
 		UseWCC:          true,
 		EdgeWeights:     opts.EdgeWeights,
 		TraversalBudget: opts.Budget,
+		Workers:         workers,
 	})
 	rep.Subgraph = &sub
 
@@ -170,6 +197,7 @@ func (e *Engine) Explain(q *query.Query, opts Options) (*Report, error) {
 			MaxExecuted:   opts.Budget,
 			AllowTopology: opts.AllowTopology,
 			Domain:        e.domain,
+			Workers:       workers,
 		})
 		if len(res.Best.Ops) > 0 {
 			candidates = append(candidates, Rewriting{
@@ -186,6 +214,7 @@ func (e *Engine) Explain(q *query.Query, opts Options) (*Report, error) {
 			AllowTopology: opts.AllowTopology,
 			Prefs:         opts.Prefs,
 			Priority:      relax.PriorityCombined,
+			Workers:       workers,
 		})
 		for _, s := range out.Solutions {
 			candidates = append(candidates, Rewriting{

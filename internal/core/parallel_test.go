@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/metrics"
+	"repro/internal/query"
+)
+
+// TestExplainWorkersInvariant checks the engine-level guarantee: the full
+// explanation report is identical no matter how many workers run the
+// searches underneath.
+func TestExplainWorkersInvariant(t *testing.T) {
+	g := graph.New(8, 8)
+	p0 := g.AddVertex(graph.Attrs{"type": graph.S("person"), "name": graph.S("Anna")})
+	p1 := g.AddVertex(graph.Attrs{"type": graph.S("person"), "name": graph.S("Bert")})
+	u0 := g.AddVertex(graph.Attrs{"type": graph.S("university"), "name": graph.S("TU Dresden")})
+	c0 := g.AddVertex(graph.Attrs{"type": graph.S("city"), "name": graph.S("Dresden")})
+	g.AddEdge(p0, p1, "knows", nil)
+	g.AddEdge(p0, u0, "worksAt", nil)
+	g.AddEdge(p1, u0, "worksAt", nil)
+	g.AddEdge(u0, c0, "locatedIn", nil)
+	g.BuildVertexIndex("type")
+
+	q := query.New()
+	qp := q.AddVertex(map[string]query.Predicate{"type": query.EqS("person")})
+	qu := q.AddVertex(map[string]query.Predicate{"type": query.EqS("university"), "name": query.EqS("Oxford")})
+	q.AddEdge(qp, qu, []string{"worksAt"}, nil)
+
+	e := NewEngine(g)
+	e.SetWorkers(1)
+	if e.Workers() != 1 {
+		t.Fatalf("Workers() = %d after SetWorkers(1)", e.Workers())
+	}
+	seq, err := e.Explain(q, Options{Expected: metrics.AtLeastOne})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		e.SetWorkers(workers)
+		par, err := e.Explain(q, Options{Expected: metrics.AtLeastOne})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := par.Summary(), seq.Summary(); got != want {
+			t.Fatalf("workers=%d report diverged:\n--- sequential\n%s\n--- parallel\n%s", workers, want, got)
+		}
+	}
+	e.SetWorkers(0)
+	if e.Workers() < 1 {
+		t.Fatalf("SetWorkers(0) must reset to GOMAXPROCS, got %d", e.Workers())
+	}
+}

@@ -71,12 +71,22 @@ type Graph struct {
 	vattrIndex map[string]map[Value][]VertexID
 
 	// Packed adjacency (CSR layout), built by Freeze and invalidated by
-	// mutation: outAdj[outOff[v]:outOff[v+1]] are v's outgoing half-edges.
-	// frozen/freezeMu make the lazy build safe for concurrent readers that
-	// hit a not-yet-frozen graph (double-checked locking with an atomic
-	// flag; the store in Freeze publishes the built arrays).
-	frozen    atomic.Bool
-	freezeMu  sync.Mutex
+	// mutation. The whole snapshot lives behind one atomic pointer so its
+	// publication is a plain acquire/release pair: Freeze builds a csr that
+	// is never written again and Stores it; readers Load the pointer and,
+	// per the Go memory model, a Load observing that Store happens-after
+	// every write that built the snapshot. Mutations Store(nil), so readers
+	// racing a mutation see either the old complete snapshot or none — never
+	// a half-built one. freezeMu only serializes concurrent builders.
+	frozen   atomic.Pointer[csr]
+	freezeMu sync.Mutex
+}
+
+// csr is one immutable packed-adjacency snapshot: per-vertex half-edge lists
+// (outAdj[outOff[v]:outOff[v+1]] are v's outgoing half-edges) plus the dense
+// edge-type numbering. A csr is read-only after construction and shared by
+// every concurrent reader of the graph.
+type csr struct {
 	outAdj    []Adj
 	inAdj     []Adj
 	outOff    []int32
@@ -103,7 +113,7 @@ func (g *Graph) AddVertex(attrs Attrs) VertexID {
 	g.vertices = append(g.vertices, Vertex{ID: id, Attrs: attrs})
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
-	g.frozen.Store(false)
+	g.frozen.Store(nil)
 	return id
 }
 
@@ -123,7 +133,7 @@ func (g *Graph) AddEdge(from, to VertexID, typ string, attrs Attrs) EdgeID {
 		g.typeIndex = make(map[string][]EdgeID)
 	}
 	g.typeIndex[typ] = append(g.typeIndex[typ], id)
-	g.frozen.Store(false)
+	g.frozen.Store(nil)
 	return id
 }
 
@@ -134,78 +144,79 @@ func (g *Graph) AddEdge(from, to VertexID, typ string, attrs Attrs) EdgeID {
 // accessor) rebuilds. Call it after construction when concurrent readers
 // will use OutAdj/InAdj.
 func (g *Graph) Freeze() {
-	if g.frozen.Load() {
+	if g.frozen.Load() != nil {
 		return
 	}
 	g.freezeMu.Lock()
 	defer g.freezeMu.Unlock()
-	if g.frozen.Load() {
+	if g.frozen.Load() != nil {
 		return
 	}
-	g.typeNames = g.EdgeTypes()
-	g.typeIDs = make(map[string]int32, len(g.typeNames))
-	for i, t := range g.typeNames {
-		g.typeIDs[t] = int32(i)
+	c := &csr{typeNames: g.EdgeTypes()}
+	c.typeIDs = make(map[string]int32, len(c.typeNames))
+	for i, t := range c.typeNames {
+		c.typeIDs[t] = int32(i)
 	}
 	nv, ne := len(g.vertices), len(g.edges)
-	g.outOff = make([]int32, nv+1)
-	g.inOff = make([]int32, nv+1)
-	g.outAdj = make([]Adj, ne)
-	g.inAdj = make([]Adj, ne)
+	c.outOff = make([]int32, nv+1)
+	c.inOff = make([]int32, nv+1)
+	c.outAdj = make([]Adj, ne)
+	c.inAdj = make([]Adj, ne)
 	opos, ipos := int32(0), int32(0)
 	for v := 0; v < nv; v++ {
-		g.outOff[v] = opos
+		c.outOff[v] = opos
 		for _, eid := range g.out[v] {
 			e := &g.edges[eid]
-			g.outAdj[opos] = Adj{Edge: eid, Vertex: e.To, Type: g.typeIDs[e.Type]}
+			c.outAdj[opos] = Adj{Edge: eid, Vertex: e.To, Type: c.typeIDs[e.Type]}
 			opos++
 		}
-		g.inOff[v] = ipos
+		c.inOff[v] = ipos
 		for _, eid := range g.in[v] {
 			e := &g.edges[eid]
-			g.inAdj[ipos] = Adj{Edge: eid, Vertex: e.From, Type: g.typeIDs[e.Type]}
+			c.inAdj[ipos] = Adj{Edge: eid, Vertex: e.From, Type: c.typeIDs[e.Type]}
 			ipos++
 		}
 	}
-	g.outOff[nv] = opos
-	g.inOff[nv] = ipos
-	g.frozen.Store(true)
+	c.outOff[nv] = opos
+	c.inOff[nv] = ipos
+	g.frozen.Store(c)
+}
+
+// snapshot returns the current packed-adjacency snapshot, building it when
+// absent. The returned csr is immutable, so all accessor reads go through
+// one atomic Load and inherit the happens-before edge of its publication.
+func (g *Graph) snapshot() *csr {
+	if c := g.frozen.Load(); c != nil {
+		return c
+	}
+	g.Freeze()
+	return g.frozen.Load()
 }
 
 // OutAdj returns the packed outgoing half-edges of v (far endpoint = edge
 // target). The slice is shared; callers must not modify it.
 func (g *Graph) OutAdj(v VertexID) []Adj {
-	if !g.frozen.Load() {
-		g.Freeze()
-	}
-	return g.outAdj[g.outOff[v]:g.outOff[v+1]]
+	c := g.snapshot()
+	return c.outAdj[c.outOff[v]:c.outOff[v+1]]
 }
 
 // InAdj returns the packed incoming half-edges of v (far endpoint = edge
 // source). The slice is shared; callers must not modify it.
 func (g *Graph) InAdj(v VertexID) []Adj {
-	if !g.frozen.Load() {
-		g.Freeze()
-	}
-	return g.inAdj[g.inOff[v]:g.inOff[v+1]]
+	c := g.snapshot()
+	return c.inAdj[c.inOff[v]:c.inOff[v+1]]
 }
 
 // TypeID returns the dense id of an edge type under the current Freeze,
 // and whether the type occurs in the graph at all.
 func (g *Graph) TypeID(typ string) (int32, bool) {
-	if !g.frozen.Load() {
-		g.Freeze()
-	}
-	id, ok := g.typeIDs[typ]
+	id, ok := g.snapshot().typeIDs[typ]
 	return id, ok
 }
 
 // TypeName returns the edge type name for a dense id.
 func (g *Graph) TypeName(id int32) string {
-	if !g.frozen.Load() {
-		g.Freeze()
-	}
-	return g.typeNames[id]
+	return g.snapshot().typeNames[id]
 }
 
 // NumEdgeTypes returns the number of distinct edge types.

@@ -70,9 +70,9 @@ type Plan struct {
 	vids []int // vertex slot → query vertex id (ascending)
 	eids []int // edge slot → query edge id (in step order)
 
-	vpreds   [][]flatPred        // per vertex slot, key-sorted
-	cands    [][]graph.VertexID  // per vertex slot, candidates computed once
-	candBits [][]uint64          // per vertex slot, candidate bitset over data vertices
+	vpreds   [][]flatPred       // per vertex slot, key-sorted
+	cands    [][]graph.VertexID // per vertex slot, candidates computed once
+	candBits [][]uint64         // per vertex slot, candidate bitset over data vertices
 	ops      []planOp
 
 	// compile scratch, reused across compileInto calls on a pooled Plan

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/match"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/query"
 	"repro/internal/stats"
 )
@@ -49,6 +50,13 @@ type Options struct {
 	EdgeWeights map[int]float64
 	// TraversalBudget caps the number of subquery executions (0 = 1000).
 	TraversalBudget int
+	// Workers sets the subquery-probe worker count (0 or 1 = sequential).
+	// At every traversal step the frontier's candidate extensions are
+	// probed concurrently; the explanation, its path, and the Traversals
+	// count stay byte-identical to the sequential search (Traversals counts
+	// logical executions — speculative probes the search never consumes are
+	// prefetch work and do not count).
+	Workers int
 }
 
 // DefaultTraversalBudget bounds the subquery executions per explanation.
@@ -120,6 +128,9 @@ func BoundedMCS(m *match.Matcher, st *stats.Collector, q *query.Query, bounds me
 	if r.budget <= 0 {
 		r.budget = DefaultTraversalBudget
 	}
+	if opts.Workers > 1 {
+		r.pool = parallel.NewPool(opts.Workers, m.NewContext)
+	}
 	if opts.UseWCC {
 		return r.runPerComponent()
 	}
@@ -137,6 +148,14 @@ type runner struct {
 	visited    map[string]bool
 	traversals int
 	budget     int
+
+	// pool and precomputed implement speculative parallel probing: frontier
+	// extensions are counted ahead on the pool's workers, and execute
+	// consumes the precomputed cardinalities in sequential order.
+	pool        *parallel.Pool[*match.Ctx]
+	precomputed map[string]int
+	wave        parallel.Wave
+	waveEdges   [][]int // payload per wave job: the probed edge set
 
 	hasBest       bool
 	bestEdges     []int
@@ -158,11 +177,59 @@ func (r *runner) countCap() int {
 }
 
 // execute counts the embeddings of the subquery induced by the given edges
-// and isolated vertices, spending one traversal.
+// and isolated vertices, spending one traversal. Precomputed probe results
+// are consumed by the edge-set key; cardinalities are deterministic, so a
+// consumed probe is indistinguishable from an inline execution.
 func (r *runner) execute(edges, isolated []int) int {
 	r.traversals++
+	if r.precomputed != nil && len(edges) > 0 {
+		key := stateKey(edges)
+		if card, ok := r.precomputed[key]; ok {
+			delete(r.precomputed, key)
+			return card
+		}
+	}
 	sub := r.q.Subquery(edges, isolated)
 	return r.m.CountCtx(r.ctx, sub, r.countCap())
+}
+
+// speculate probes the next unvisited frontier extensions on the worker
+// pool, ahead of the sequential loop consuming them. Probes are capped at
+// one pool width — the traversal re-speculates wave by wave, so waste on an
+// early exit (SinglePath success, budget out) stays bounded — and at the
+// remaining traversal budget, so speculation never outruns what the
+// sequential search could execute.
+func (r *runner) speculate(frontier, accepted, isolated []int) {
+	if r.precomputed == nil {
+		// Lazily owned by whichever runner actually traverses: keys are edge
+		// sets under one fixed isolated-vertex set, so each (sub-)runner
+		// keeps its own map, like visited.
+		r.precomputed = make(map[string]int)
+	}
+	remaining := r.budget - r.traversals
+	if width := r.pool.Workers(); remaining > width {
+		remaining = width
+	}
+	r.wave.Reset()
+	r.waveEdges = r.waveEdges[:0]
+	for _, eid := range frontier {
+		if r.wave.Len() >= remaining {
+			break
+		}
+		next := append(append([]int(nil), accepted...), eid)
+		key := stateKey(next)
+		if r.visited[key] {
+			continue
+		}
+		if r.wave.Add(key, len(r.waveEdges), r.precomputed) {
+			r.waveEdges = append(r.waveEdges, next)
+		}
+	}
+	countCap := r.countCap()
+	parallel.RunWave(r.pool, &r.wave, r.precomputed, func(ctx *match.Ctx, i int) int {
+		sub := r.q.Subquery(r.waveEdges[i], isolated)
+		return r.m.CountCtx(ctx, sub, countCap)
+	})
 }
 
 // record updates the incumbent with a candidate subquery.
@@ -271,6 +338,7 @@ func (r *runner) runPerComponent() Explanation {
 			ctx:     r.ctx,
 			visited: make(map[string]bool),
 			budget:  r.budget - r.traversals,
+			pool:    r.pool,
 		}
 		sub.grow(edges, okIso)
 		r.traversals += sub.traversals
@@ -342,8 +410,15 @@ func (r *runner) grow(candidates, isolated []int) {
 			return
 		}
 		frontier := r.frontier(accepted, ordered)
+		width := 0
+		if r.pool != nil {
+			width = r.pool.Workers()
+		}
 		extended := false
-		for _, eid := range frontier {
+		for fi, eid := range frontier {
+			if width > 0 && fi%width == 0 {
+				r.speculate(frontier[fi:], accepted, isolated)
+			}
 			next := append(append([]int(nil), accepted...), eid)
 			key := stateKey(next)
 			if r.visited[key] {

@@ -1,0 +1,61 @@
+package mcs
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/query"
+)
+
+// explFingerprint renders every observable field of an Explanation.
+func explFingerprint(ex Explanation) string {
+	return fmt.Sprintf("card=%d satisfied=%v traversals=%d path=%v\nmcs:\n%s\ndiff:\n%s\n",
+		ex.Cardinality, ex.Satisfied, ex.Traversals, ex.Path,
+		ex.MCS.Canonical(), ex.Differential.Canonical())
+}
+
+// TestParallelMCSMatchesSequential proves that parallel frontier probing is
+// pure speculation: explanations, paths, and traversal counts are
+// byte-identical to the sequential search across option combinations.
+func TestParallelMCSMatchesSequential(t *testing.T) {
+	m, st := env()
+	partial := failingQuery()
+	total := query.New()
+	a := total.AddVertex(map[string]query.Predicate{"type": query.EqS("dragon")})
+	b := total.AddVertex(map[string]query.Predicate{"type": query.EqS("unicorn")})
+	total.AddEdge(a, b, []string{"breathes"}, nil)
+	tooMany := failingQuery()
+	tooMany.Vertex(2).Preds["name"] = query.EqS("Dresden")
+
+	cases := []struct {
+		name   string
+		q      *query.Query
+		bounds metrics.Interval
+	}{
+		{"why-empty", partial, metrics.AtLeastOne},
+		{"total-fail", total, metrics.AtLeastOne},
+		{"too-many", tooMany, metrics.Interval{Lower: 1, Upper: 1}},
+	}
+	variants := []Options{
+		{},
+		{UseWCC: true},
+		{SinglePath: true},
+		{UseWCC: true, SinglePath: true},
+		{EdgeWeights: map[int]float64{1: 5}},
+	}
+	for _, tc := range cases {
+		for vi, base := range variants {
+			want := explFingerprint(BoundedMCS(m, st, tc.q, tc.bounds, base))
+			for _, workers := range []int{2, 4} {
+				opts := base
+				opts.Workers = workers
+				got := explFingerprint(BoundedMCS(m, st, tc.q, tc.bounds, opts))
+				if got != want {
+					t.Fatalf("%s variant %d workers=%d diverged:\n--- sequential\n%s--- parallel\n%s",
+						tc.name, vi, workers, want, got)
+				}
+			}
+		}
+	}
+}

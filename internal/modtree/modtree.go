@@ -3,10 +3,12 @@ package modtree
 import (
 	"container/heap"
 	"math/rand"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/match"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/query"
 	"repro/internal/stats"
 )
@@ -30,6 +32,12 @@ type Options struct {
 	// CountCap bounds result counting per execution (0 = derived from the
 	// goal's upper bound, at least 1000).
 	CountCap int
+	// Workers sets the child-evaluation worker count (0 or 1 = sequential).
+	// Each tree expansion evaluates its children's cardinalities on the
+	// worker pool; results, counters, and traces stay byte-identical to the
+	// sequential search. RandomWalk is inherently sequential (each step
+	// depends on the previous count) and ignores the knob.
+	Workers int
 }
 
 func (o *Options) fill() {
@@ -69,6 +77,14 @@ type Node struct {
 	// coordinated follow-up on a dependent element (§6.3.1, change
 	// propagation) still gets one instead of dead-ending the search.
 	Demoted bool
+
+	// op is the modification that produced this node from its parent.
+	op query.Op
+	// key caches the query's canonical form (the executed-query cache key).
+	key string
+	// seq is the heap-insertion number — the total-order tie-break that
+	// keeps the expansion order independent of the heap's internal layout.
+	seq int
 }
 
 // Result reports a fine-grained modification run.
@@ -92,16 +108,75 @@ type Result struct {
 
 // Searcher runs fine-grained modifications over one data graph.
 // A Searcher reuses one matching context across all candidate executions of
-// its searches, so it must not be shared between goroutines.
+// its searches, so it must not be shared between goroutines. Searches with
+// Options.Workers > 1 additionally evaluate children on an internal worker
+// pool private to the Searcher.
 type Searcher struct {
-	m   *match.Matcher
-	st  *stats.Collector
-	ctx *match.Ctx
+	m    *match.Matcher
+	st   *stats.Collector
+	ctx  *match.Ctx
+	pool *parallel.Pool[*match.Ctx] // lazily built, reused across searches
+	wave parallel.Wave              // precompute scratch
 }
 
 // New returns a searcher over the matcher and statistics collector.
 func New(m *match.Matcher, st *stats.Collector) *Searcher {
 	return &Searcher{m: m, st: st, ctx: m.NewContext()}
+}
+
+// getPool returns the searcher's worker pool, (re)built on width changes.
+func (s *Searcher) getPool(workers int) *parallel.Pool[*match.Ctx] {
+	if s.pool == nil || s.pool.Workers() != workers {
+		s.pool = parallel.NewPool(workers, s.m.NewContext)
+	}
+	return s.pool
+}
+
+// makeChildren applies every modification of the parent, returning the
+// resulting child nodes in enumeration order (failed applications dropped).
+// Dedup against already-executed queries stays with the caller so counters
+// match the sequential search exactly.
+func (s *Searcher) makeChildren(parent *Node, opts Options) []*Node {
+	ops := s.Modifications(parent.Query, parent.Cardinality, opts)
+	children := make([]*Node, 0, len(ops))
+	for _, op := range ops {
+		childQ, err := query.Apply(parent.Query, op)
+		if err != nil {
+			continue
+		}
+		children = append(children, &Node{
+			Query: childQ,
+			Depth: parent.Depth + 1,
+			op:    op,
+			key:   childQ.Canonical(),
+		})
+	}
+	return children
+}
+
+// precompute evaluates the cardinalities of the next children the
+// sequential processing loop is about to execute — novel canonicals, capped
+// at one pool width and the remaining execution budget — in parallel,
+// storing them for exec to consume. Cardinalities are deterministic, so
+// consuming a precomputed value is indistinguishable from executing inline.
+func (s *Searcher) precompute(pool *parallel.Pool[*match.Ctx], children []*Node, executed, precomputed map[string]int, countCap, remaining int) {
+	width := pool.Workers()
+	if remaining > width {
+		remaining = width
+	}
+	s.wave.Reset()
+	for ci, ch := range children {
+		if s.wave.Len() >= remaining {
+			break
+		}
+		if _, seen := executed[ch.key]; seen {
+			continue
+		}
+		s.wave.Add(ch.key, ci, precomputed)
+	}
+	parallel.RunWave(pool, &s.wave, precomputed, func(ctx *match.Ctx, i int) int {
+		return s.m.CountCtx(ctx, children[i].Query, countCap)
+	})
 }
 
 // TraverseSearchTree is the thesis' TRAVERSESEARCHTREE algorithm (§6.2.1):
@@ -114,18 +189,34 @@ func (s *Searcher) TraverseSearchTree(q *query.Query, opts Options) Result {
 	opts.fill()
 	res := Result{}
 	executed := map[string]int{}
+	var pool *parallel.Pool[*match.Ctx]
+	var precomputed map[string]int
+	if opts.Workers > 1 {
+		pool = s.getPool(opts.Workers)
+		precomputed = map[string]int{}
+	}
 	pq := &nodeHeap{}
 	heap.Init(pq)
+	pushes := 0
+	push := func(n *Node) {
+		n.seq = pushes
+		pushes++
+		heap.Push(pq, n)
+	}
 
 	exec := func(n *Node) bool {
-		key := n.Query.Canonical()
-		card, seen := executed[key]
+		card, seen := executed[n.key]
 		if !seen {
 			if res.Executed >= opts.MaxExecuted {
 				return false
 			}
-			card = s.m.CountCtx(s.ctx, n.Query, opts.CountCap)
-			executed[key] = card
+			if pc, ok := precomputed[n.key]; ok {
+				card = pc
+				delete(precomputed, n.key)
+			} else {
+				card = s.m.CountCtx(s.ctx, n.Query, opts.CountCap)
+			}
+			executed[n.key] = card
 			res.Executed++
 		}
 		n.Cardinality = card
@@ -134,6 +225,7 @@ func (s *Searcher) TraverseSearchTree(q *query.Query, opts Options) Result {
 	}
 
 	root := &Node{Query: q.Clone()}
+	root.key = root.Query.Canonical()
 	if !exec(root) {
 		return res
 	}
@@ -144,7 +236,7 @@ func (s *Searcher) TraverseSearchTree(q *query.Query, opts Options) Result {
 	if res.Satisfied {
 		return res
 	}
-	heap.Push(pq, root)
+	push(root)
 	res.Generated = 1
 
 	for pq.Len() > 0 && res.Executed < opts.MaxExecuted {
@@ -152,24 +244,23 @@ func (s *Searcher) TraverseSearchTree(q *query.Query, opts Options) Result {
 		if parent.Depth >= opts.MaxDepth {
 			continue
 		}
-		for _, op := range s.Modifications(parent.Query, parent.Cardinality, opts) {
-			childQ, err := query.Apply(parent.Query, op)
-			if err != nil {
+		children := s.makeChildren(parent, opts)
+		for ci, child := range children {
+			if pool != nil && ci%pool.Workers() == 0 {
+				// Precompute one worker-sized wave ahead: waste on an early
+				// exit (goal reached, budget out) stays bounded by the pool
+				// width instead of the whole expansion.
+				s.precompute(pool, children[ci:], executed, precomputed, opts.CountCap, opts.MaxExecuted-res.Executed)
+			}
+			if _, seen := executed[child.key]; seen {
 				continue
 			}
-			if _, seen := executed[childQ.Canonical()]; seen {
-				continue
-			}
-			child := &Node{
-				Query: childQ,
-				Ops:   append(append([]query.Op(nil), parent.Ops...), op),
-				Depth: parent.Depth + 1,
-			}
+			child.Ops = append(append([]query.Op(nil), parent.Ops...), child.op)
 			if !exec(child) {
 				break
 			}
 			res.Generated++
-			child.Syntactic = metrics.SyntacticDistance(q, childQ)
+			child.Syntactic = metrics.SyntacticDistance(q, child.Query)
 			emptied := opts.Goal.Lower >= 1 && child.Cardinality == 0 && parent.Cardinality > 0
 			if child.Cardinality == parent.Cardinality || emptied {
 				// Non-contributing change (§6.3.2) — or one that emptied the
@@ -181,7 +272,7 @@ func (s *Searcher) TraverseSearchTree(q *query.Query, opts Options) Result {
 				res.Pruned++
 				child.Demoted = true
 				res.Trace = append(res.Trace, res.Best.Distance)
-				heap.Push(pq, child)
+				push(child)
 				continue
 			}
 			if better(child, &res.Best) {
@@ -192,7 +283,7 @@ func (s *Searcher) TraverseSearchTree(q *query.Query, opts Options) Result {
 				res.Satisfied = true
 				return res
 			}
-			heap.Push(pq, child)
+			push(child)
 		}
 	}
 	res.Satisfied = opts.Goal.Contains(res.Best.Cardinality)
@@ -204,6 +295,18 @@ func better(a, b *Node) bool {
 		return a.Distance < b.Distance
 	}
 	return a.Syntactic < b.Syntactic
+}
+
+// sortedAttrs returns a predicate map's attribute names in sorted order, so
+// modification enumeration — and with it the whole search — is deterministic
+// across runs (Go map range order is randomized).
+func sortedAttrs(preds map[string]query.Predicate) []string {
+	attrs := make([]string, 0, len(preds))
+	for a := range preds {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	return attrs
 }
 
 // vertexKind extracts the entity kind from a vertex's type predicate when
@@ -260,7 +363,8 @@ func (s *Searcher) relaxOps(q *query.Query, opts Options) []query.Op {
 	}
 	for _, vid := range q.VertexIDs() {
 		v := q.Vertex(vid)
-		for attr, p := range v.Preds {
+		for _, attr := range sortedAttrs(v.Preds) {
+			p := v.Preds[attr]
 			t := query.Target{Kind: query.TargetVertex, ID: vid, Attr: attr}
 			if p.Kind == query.Range {
 				ops = append(ops, query.WidenRange{On: t, Delta: 1})
@@ -272,7 +376,8 @@ func (s *Searcher) relaxOps(q *query.Query, opts Options) []query.Op {
 	}
 	for _, eid := range q.EdgeIDs() {
 		e := q.Edge(eid)
-		for attr, p := range e.Preds {
+		for _, attr := range sortedAttrs(e.Preds) {
+			p := e.Preds[attr]
 			t := query.Target{Kind: query.TargetEdge, ID: eid, Attr: attr}
 			if p.Kind == query.Range {
 				ops = append(ops, query.WidenRange{On: t, Delta: 1})
@@ -317,7 +422,8 @@ func (s *Searcher) concretizeOps(q *query.Query, opts Options) []query.Op {
 	var ops []query.Op
 	for _, vid := range q.VertexIDs() {
 		v := q.Vertex(vid)
-		for attr, p := range v.Preds {
+		for _, attr := range sortedAttrs(v.Preds) {
+			p := v.Preds[attr]
 			t := query.Target{Kind: query.TargetVertex, ID: vid, Attr: attr}
 			if p.Kind == query.Range {
 				ops = append(ops, query.NarrowRange{On: t, Delta: 1})
@@ -354,7 +460,8 @@ func (s *Searcher) concretizeOps(q *query.Query, opts Options) []query.Op {
 	}
 	for _, eid := range q.EdgeIDs() {
 		e := q.Edge(eid)
-		for attr, p := range e.Preds {
+		for _, attr := range sortedAttrs(e.Preds) {
+			p := e.Preds[attr]
 			t := query.Target{Kind: query.TargetEdge, ID: eid, Attr: attr}
 			if p.Kind == query.Range {
 				ops = append(ops, query.NarrowRange{On: t, Delta: 1})
@@ -392,7 +499,9 @@ func (s *Searcher) concretizeOps(q *query.Query, opts Options) []query.Op {
 }
 
 // nodeHeap is a min-heap on (cardinality distance, syntactic distance,
-// depth): the most promising modification-tree branch expands first.
+// depth): the most promising modification-tree branch expands first. The
+// final insertion-number tie-break makes the pop sequence a total order, so
+// expansion order never depends on the heap's internal array layout.
 type nodeHeap []*Node
 
 func (h nodeHeap) Len() int { return len(h) }
@@ -406,7 +515,10 @@ func (h nodeHeap) Less(i, j int) bool {
 	if h[i].Syntactic != h[j].Syntactic {
 		return h[i].Syntactic < h[j].Syntactic
 	}
-	return h[i].Depth < h[j].Depth
+	if h[i].Depth != h[j].Depth {
+		return h[i].Depth < h[j].Depth
+	}
+	return h[i].seq < h[j].seq
 }
 func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*Node)) }
@@ -424,18 +536,27 @@ func (s *Searcher) Exhaustive(q *query.Query, opts Options) Result {
 	opts.fill()
 	res := Result{}
 	executed := map[string]int{}
-	type item struct{ n *Node }
-	var queue []item
+	var pool *parallel.Pool[*match.Ctx]
+	var precomputed map[string]int
+	if opts.Workers > 1 {
+		pool = s.getPool(opts.Workers)
+		precomputed = map[string]int{}
+	}
+	var queue []*Node
 
 	exec := func(n *Node) bool {
-		key := n.Query.Canonical()
-		card, seen := executed[key]
+		card, seen := executed[n.key]
 		if !seen {
 			if res.Executed >= opts.MaxExecuted {
 				return false
 			}
-			card = s.m.CountCtx(s.ctx, n.Query, opts.CountCap)
-			executed[key] = card
+			if pc, ok := precomputed[n.key]; ok {
+				card = pc
+				delete(precomputed, n.key)
+			} else {
+				card = s.m.CountCtx(s.ctx, n.Query, opts.CountCap)
+			}
+			executed[n.key] = card
 			res.Executed++
 		}
 		n.Cardinality = card
@@ -443,6 +564,7 @@ func (s *Searcher) Exhaustive(q *query.Query, opts Options) Result {
 		return true
 	}
 	root := &Node{Query: q.Clone()}
+	root.key = root.Query.Canonical()
 	if !exec(root) {
 		return res
 	}
@@ -453,31 +575,27 @@ func (s *Searcher) Exhaustive(q *query.Query, opts Options) Result {
 		res.Satisfied = true
 		return res
 	}
-	queue = append(queue, item{root})
+	queue = append(queue, root)
 	for len(queue) > 0 && res.Executed < opts.MaxExecuted {
-		cur := queue[0].n
+		cur := queue[0]
 		queue = queue[1:]
 		if cur.Depth >= opts.MaxDepth {
 			continue
 		}
-		for _, op := range s.Modifications(cur.Query, cur.Cardinality, opts) {
-			childQ, err := query.Apply(cur.Query, op)
-			if err != nil {
+		children := s.makeChildren(cur, opts)
+		for ci, child := range children {
+			if pool != nil && ci%pool.Workers() == 0 {
+				s.precompute(pool, children[ci:], executed, precomputed, opts.CountCap, opts.MaxExecuted-res.Executed)
+			}
+			if _, seen := executed[child.key]; seen {
 				continue
 			}
-			if _, seen := executed[childQ.Canonical()]; seen {
-				continue
-			}
-			child := &Node{
-				Query: childQ,
-				Ops:   append(append([]query.Op(nil), cur.Ops...), op),
-				Depth: cur.Depth + 1,
-			}
+			child.Ops = append(append([]query.Op(nil), cur.Ops...), child.op)
 			if !exec(child) {
 				break
 			}
 			res.Generated++
-			child.Syntactic = metrics.SyntacticDistance(q, childQ)
+			child.Syntactic = metrics.SyntacticDistance(q, child.Query)
 			if better(child, &res.Best) {
 				res.Best = *child
 			}
@@ -486,7 +604,7 @@ func (s *Searcher) Exhaustive(q *query.Query, opts Options) Result {
 				res.Satisfied = true
 				return res
 			}
-			queue = append(queue, item{child})
+			queue = append(queue, child)
 		}
 	}
 	res.Satisfied = opts.Goal.Contains(res.Best.Cardinality)

@@ -1,0 +1,66 @@
+package modtree
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/query"
+)
+
+// fingerprint renders every observable field of a Result so sequential and
+// parallel runs can be compared byte-for-byte.
+func fingerprint(res Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "executed=%d generated=%d pruned=%d satisfied=%v trace=%v\n",
+		res.Executed, res.Generated, res.Pruned, res.Satisfied, res.Trace)
+	fmt.Fprintf(&b, "best: card=%d dist=%d syn=%.9f depth=%d ops=%v\n%s\n",
+		res.Best.Cardinality, res.Best.Distance, res.Best.Syntactic, res.Best.Depth,
+		res.Best.Ops, res.Best.Query.Canonical())
+	return b.String()
+}
+
+// TestParallelSearchMatchesSequential proves Workers > 1 only changes
+// wall-clock time: TRAVERSESEARCHTREE and the exhaustive baseline return
+// byte-identical results, counters, and traces for all goal kinds.
+func TestParallelSearchMatchesSequential(t *testing.T) {
+	s, dom := newSearcher()
+	tooFew := query.New()
+	tooFew.AddVertex(map[string]query.Predicate{"type": query.EqS("person"), "name": query.EqS("Anna")})
+	tooMany := query.New()
+	tooMany.AddVertex(map[string]query.Predicate{"type": query.EqS("person")})
+	whyEmpty := query.New()
+	p := whyEmpty.AddVertex(map[string]query.Predicate{"type": query.EqS("person")})
+	u := whyEmpty.AddVertex(map[string]query.Predicate{"type": query.EqS("university"), "name": query.EqS("Oxford")})
+	whyEmpty.AddEdge(p, u, []string{"worksAt"}, nil)
+
+	cases := []struct {
+		name string
+		q    *query.Query
+		goal metrics.Interval
+	}{
+		{"too-few", tooFew, metrics.Interval{Lower: 3}},
+		{"too-many", tooMany, metrics.Interval{Lower: 1, Upper: 2}},
+		{"why-empty", whyEmpty, metrics.AtLeastOne},
+	}
+	for _, tc := range cases {
+		for _, topo := range []bool{false, true} {
+			opts := Options{Goal: tc.goal, Domain: dom, MaxExecuted: 120, AllowTopology: topo}
+			wantTST := fingerprint(s.TraverseSearchTree(tc.q, opts))
+			wantEx := fingerprint(s.Exhaustive(tc.q, opts))
+			for _, workers := range []int{2, 4} {
+				opts.Workers = workers
+				if got := fingerprint(s.TraverseSearchTree(tc.q, opts)); got != wantTST {
+					t.Fatalf("%s topo=%v workers=%d: TST diverged:\n--- sequential\n%s--- parallel\n%s",
+						tc.name, topo, workers, wantTST, got)
+				}
+				if got := fingerprint(s.Exhaustive(tc.q, opts)); got != wantEx {
+					t.Fatalf("%s topo=%v workers=%d: Exhaustive diverged:\n--- sequential\n%s--- parallel\n%s",
+						tc.name, topo, workers, wantEx, got)
+				}
+			}
+			opts.Workers = 0
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Package parallel is the shared worker-pool layer of the explanation
+// searches. The relaxation rewriter (internal/relax), the modification-tree
+// searcher (internal/modtree), and the MCS discovery (internal/mcs) all
+// evaluate many independent query candidates per search step; this package
+// fans those evaluations out over a fixed set of workers, each owning its
+// private state (typically a *match.Ctx), and hands results back by input
+// index so callers stay deterministic without any locking.
+//
+// The design is race-clean by construction: indexes are claimed from one
+// atomic cursor, every index is processed by exactly one worker, each worker
+// touches only its own state value, and callers write results into
+// caller-owned slices at the claimed index. No shared mutable structure is
+// needed beyond the cursor.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: values above zero are taken as-is,
+// zero and below default to GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Pool fans independent jobs out over a fixed set of workers. Each worker
+// owns one state value of type S created once at pool construction; jobs
+// claimed by a worker always run against that worker's state, so S needs no
+// internal synchronization (a *match.Ctx, scratch buffers, …).
+//
+// A Pool is reusable across any number of Each calls but must not be used
+// from multiple goroutines at once.
+type Pool[S any] struct {
+	workers int
+	states  []S
+}
+
+// NewPool builds a pool of Workers(workers) workers, calling newState once
+// per worker for its private state.
+func NewPool[S any](workers int, newState func() S) *Pool[S] {
+	n := Workers(workers)
+	p := &Pool[S]{workers: n, states: make([]S, n)}
+	for i := range p.states {
+		p.states[i] = newState()
+	}
+	return p
+}
+
+// Workers reports the pool's worker count.
+func (p *Pool[S]) Workers() int { return p.workers }
+
+// Each invokes f(state, i) exactly once for every i in [0, n), spreading the
+// invocations over the pool's workers, and returns once all completed. With
+// one worker (or n <= 1) everything runs inline on the caller's goroutine.
+// f must not touch the pool, and any shared output must be written at
+// disjoint locations per index (e.g. out[i] = …).
+func (p *Pool[S]) Each(n int, f func(state S, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(p.states[0], i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	run := func(w int) {
+		s := p.states[w]
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			f(s, i)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers - 1)
+	for w := 1; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			run(w)
+		}(w)
+	}
+	run(0)
+	wg.Wait()
+}
+
+// Wave is one speculative prefetch batch: distinct keys whose integer
+// results a search wants precomputed ahead of its sequential consumption
+// loop. The searches share the pattern — collect novel keyed jobs, evaluate
+// them on the pool, merge into a done map the sequential loop consumes —
+// and Wave keeps that logic (in-batch dedup, the too-small-to-parallelize
+// threshold, the merge) in one place. A Wave is reusable via Reset and must
+// stay confined to one goroutine.
+type Wave struct {
+	keys  []string
+	idxs  []int
+	cards []int
+}
+
+// Reset clears the wave for the next batch, keeping its storage.
+func (w *Wave) Reset() {
+	w.keys = w.keys[:0]
+	w.idxs = w.idxs[:0]
+}
+
+// Len reports the number of jobs collected so far.
+func (w *Wave) Len() int { return len(w.keys) }
+
+// Add collects one job unless its key already has a result (in done) or is
+// already in the wave. idx is the caller-side payload index handed back to
+// the compute callback of RunWave. Reports whether the job was added.
+func (w *Wave) Add(key string, idx int, done map[string]int) bool {
+	if _, ok := done[key]; ok {
+		return false
+	}
+	for _, k := range w.keys {
+		if k == key {
+			return false
+		}
+	}
+	w.keys = append(w.keys, key)
+	w.idxs = append(w.idxs, idx)
+	return true
+}
+
+// RunWave evaluates the wave's jobs on the pool — compute(state, idx) must
+// return the deterministic value of the job added with payload index idx —
+// and merges the results into done. Waves of fewer than two jobs are left
+// to the caller's sequential loop: there is nothing to overlap.
+func RunWave[S any](p *Pool[S], w *Wave, done map[string]int, compute func(state S, idx int) int) {
+	if w.Len() < 2 {
+		return
+	}
+	if cap(w.cards) < len(w.keys) {
+		w.cards = make([]int, len(w.keys))
+	}
+	cards := w.cards[:len(w.keys)]
+	idxs := w.idxs
+	p.Each(len(w.keys), func(s S, i int) {
+		cards[i] = compute(s, idxs[i])
+	})
+	for i, k := range w.keys {
+		done[k] = cards[i]
+	}
+}

@@ -1,0 +1,73 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-2); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-2) = %d, want GOMAXPROCS", got)
+	}
+}
+
+// TestEachCoversEveryIndexOnce drives pools of several widths over job
+// counts around the worker count and checks exactly-once execution with
+// per-index results landing at the right slot.
+func TestEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 7} {
+		p := NewPool(workers, func() int { return 0 })
+		if p.Workers() != workers {
+			t.Fatalf("pool width %d != %d", p.Workers(), workers)
+		}
+		for _, n := range []int{0, 1, workers - 1, workers, workers + 1, 5 * workers} {
+			if n < 0 {
+				continue
+			}
+			out := make([]int, n)
+			var calls atomic.Int64
+			p.Each(n, func(_ int, i int) {
+				calls.Add(1)
+				out[i] = i*i + 1
+			})
+			if int(calls.Load()) != n {
+				t.Fatalf("workers=%d n=%d: %d calls", workers, n, calls.Load())
+			}
+			for i, v := range out {
+				if v != i*i+1 {
+					t.Fatalf("workers=%d n=%d: out[%d] = %d", workers, n, i, v)
+				}
+			}
+		}
+	}
+}
+
+// TestEachWorkerStateIsPrivate checks that every job sees the state value of
+// exactly one worker and that states are never handed to two jobs at once.
+func TestEachWorkerStateIsPrivate(t *testing.T) {
+	type state struct{ busy atomic.Bool }
+	p := NewPool(4, func() *state { return &state{} })
+	var conflicts atomic.Int64
+	p.Each(256, func(s *state, i int) {
+		if !s.busy.CompareAndSwap(false, true) {
+			conflicts.Add(1)
+		}
+		// A tiny bit of work widens the overlap window.
+		x := 0
+		for k := 0; k < 100; k++ {
+			x += k ^ i
+		}
+		_ = x
+		s.busy.Store(false)
+	})
+	if conflicts.Load() != 0 {
+		t.Fatalf("worker state shared between concurrent jobs %d times", conflicts.Load())
+	}
+}

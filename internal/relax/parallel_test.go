@@ -1,0 +1,68 @@
+package relax
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/query"
+)
+
+// fingerprint renders every observable field of an Outcome so sequential
+// and parallel runs can be compared byte-for-byte.
+func fingerprint(out Outcome) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "executed=%d generated=%d cachehits=%d trace=%v\n",
+		out.Executed, out.Generated, out.CacheHits, out.Trace)
+	for i, s := range out.Solutions {
+		fmt.Fprintf(&b, "solution %d: card=%d syn=%.9f score=%.9f ops=%v\n%s\n",
+			i, s.Cardinality, s.Syntactic, s.Score, s.Ops, s.Query.Canonical())
+	}
+	return b.String()
+}
+
+// TestParallelRewriteMatchesSequential proves Workers > 1 is pure
+// speculation: for every priority function the parallel run's solutions,
+// ranks, and counters are byte-identical to the sequential run's.
+func TestParallelRewriteMatchesSequential(t *testing.T) {
+	queries := map[string]*query.Query{"empty-city": emptyQuery()}
+	manyPreds := query.New()
+	p := manyPreds.AddVertex(map[string]query.Predicate{"type": query.EqS("person"), "age": query.Between(25, 35)})
+	u := manyPreds.AddVertex(map[string]query.Predicate{"type": query.EqS("university"), "name": query.EqS("Oxford")})
+	c := manyPreds.AddVertex(map[string]query.Predicate{"type": query.EqS("city")})
+	manyPreds.AddEdge(p, u, []string{"worksAt"}, nil)
+	manyPreds.AddEdge(u, c, []string{"locatedIn"}, nil)
+	queries["many-preds"] = manyPreds
+
+	prios := []Priority{PriorityRandom, PrioritySyntactic, PriorityEstimatedCardinality, PriorityAvgPath1, PriorityCombined}
+	for name, q := range queries {
+		for _, prio := range prios {
+			for _, topo := range []bool{false, true} {
+				opts := Options{Priority: prio, MaxSolutions: 3, Seed: 7, AllowTopology: topo}
+				want := fingerprint(newRewriter().Rewrite(q, opts))
+				for _, workers := range []int{2, 4} {
+					opts.Workers = workers
+					got := fingerprint(newRewriter().Rewrite(q, opts))
+					if got != want {
+						t.Fatalf("%s/%v topo=%v workers=%d diverged from sequential:\n--- sequential\n%s--- parallel\n%s",
+							name, prio, topo, workers, want, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestParallelRewriterReuse runs one rewriter across mixed worker counts to
+// check the lazily built pool resets cleanly between runs.
+func TestParallelRewriterReuse(t *testing.T) {
+	r := newRewriter()
+	q := emptyQuery()
+	want := fingerprint(r.Rewrite(q, Options{MaxSolutions: 2}))
+	for _, workers := range []int{4, 1, 2, 4, 4} {
+		got := fingerprint(r.Rewrite(q, Options{MaxSolutions: 2, Workers: workers}))
+		if got != want {
+			t.Fatalf("workers=%d diverged on reused rewriter:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/match"
 	"repro/internal/metrics"
+	"repro/internal/parallel"
 	"repro/internal/query"
 	"repro/internal/stats"
 )
@@ -80,6 +81,12 @@ type Options struct {
 	// AllowTopology enables edge/vertex discarding in addition to
 	// predicate-level relaxations (§5.1.2 considers both).
 	AllowTopology bool
+	// Workers sets the candidate-evaluation worker count (0 or 1 =
+	// sequential). Results, ranks, and counts are byte-identical to the
+	// sequential search for every priority function; extra workers only
+	// speculate ahead on the priority queue's best candidates and shrink
+	// wall-clock time.
+	Workers int
 }
 
 func (o *Options) fill() {
@@ -112,6 +119,22 @@ type Candidate struct {
 	Syntactic float64
 	// Score is the priority under which the candidate was scheduled.
 	Score float64
+
+	// ckey caches the canonical form (the executed-query cache key).
+	ckey string
+	// seq is the generation number, the heap's total-order tie-break: it
+	// makes the pop sequence independent of the heap's internal layout, so
+	// the parallel search's pop/evaluate/push-back speculation cannot
+	// reorder equal-score candidates relative to the sequential search.
+	seq int
+}
+
+// key returns the candidate's canonical form, computed once.
+func (c *Candidate) key() string {
+	if c.ckey == "" {
+		c.ckey = c.Query.Canonical()
+	}
+	return c.ckey
 }
 
 // Outcome reports a rewriting run.
@@ -133,16 +156,91 @@ type Outcome struct {
 
 // Rewriter generates coarse-grained modification-based explanations.
 // A Rewriter reuses one matching context across all candidate executions of
-// its rewriting runs, so it must not be shared between goroutines.
+// its rewriting runs, so it must not be shared between goroutines. Runs with
+// Options.Workers > 1 additionally fan candidate evaluations out over an
+// internal worker pool; the pool is private to the Rewriter and its results
+// are consumed on the calling goroutine only.
 type Rewriter struct {
 	m   *match.Matcher
 	st  *stats.Collector
 	ctx *match.Ctx
+	ex  *executor // lazily built speculation pool, reused across runs
 }
 
 // New returns a rewriter over the matcher and its statistics collector.
 func New(m *match.Matcher, st *stats.Collector) *Rewriter {
 	return &Rewriter{m: m, st: st, ctx: m.NewContext()}
+}
+
+// executor speculatively evaluates the priority queue's best candidates on a
+// worker pool, ahead of the sequential search consuming them. done maps a
+// candidate's canonical form to its precomputed cardinality; because counts
+// are deterministic, consuming a precomputed value is indistinguishable from
+// executing inline — only wall-clock time changes.
+type executor struct {
+	m    *match.Matcher
+	pool *parallel.Pool[*match.Ctx]
+	done map[string]int
+
+	batch []*Candidate  // prefetch scratch: popped heap prefix
+	wave  parallel.Wave // prefetch scratch: deduplicated novel jobs
+}
+
+func newExecutor(m *match.Matcher, workers int) *executor {
+	return &executor{
+		m:    m,
+		pool: parallel.NewPool(workers, m.NewContext),
+		done: make(map[string]int),
+	}
+}
+
+func (e *executor) reset() { clear(e.done) }
+
+// take consumes the precomputed cardinality of a canonical key, if any.
+func (e *executor) take(key string) (int, bool) {
+	card, ok := e.done[key]
+	if ok {
+		delete(e.done, key)
+	}
+	return card, ok
+}
+
+// prefetch pops up to one batch of top candidates, evaluates the ones no one
+// executed or precomputed yet in parallel (at most budget of them), and
+// pushes the batch back. The heap's total order makes pop/push-back
+// invisible to the sequential search.
+func (e *executor) prefetch(pq *candidateHeap, executed map[string]int, countCap, budget int) {
+	width := e.pool.Workers()
+	e.batch = e.batch[:0]
+	e.wave.Reset()
+	for len(e.batch) < width && pq.Len() > 0 {
+		c := heap.Pop(pq).(*Candidate)
+		e.batch = append(e.batch, c)
+		key := c.key()
+		if e.wave.Len() >= budget {
+			continue
+		}
+		if _, seen := executed[key]; seen {
+			continue
+		}
+		e.wave.Add(key, len(e.batch)-1, e.done)
+	}
+	parallel.RunWave(e.pool, &e.wave, e.done, func(ctx *match.Ctx, i int) int {
+		return e.m.CountCtx(ctx, e.batch[i].Query, countCap)
+	})
+	for _, c := range e.batch {
+		heap.Push(pq, c)
+	}
+}
+
+// deterministicScore reports whether the priority function is rng-free, so
+// child scores may be computed out of order (and therefore in parallel).
+func deterministicScore(p Priority) bool {
+	switch p {
+	case PrioritySyntactic, PriorityEstimatedCardinality, PriorityAvgPath1, PriorityCombined:
+		return true
+	}
+	return false
 }
 
 // Rewrite relaxes q until rewritten queries reach the goal interval.
@@ -155,22 +253,51 @@ func (r *Rewriter) Rewrite(q *query.Query, opts Options) Outcome {
 	pq := &candidateHeap{}
 	heap.Init(pq)
 
+	var ex *executor
+	if opts.Workers > 1 {
+		if r.ex == nil || r.ex.pool.Workers() != opts.Workers {
+			r.ex = newExecutor(r.m, opts.Workers)
+		}
+		ex = r.ex
+		ex.reset()
+	}
+
 	push := func(c *Candidate) {
+		c.seq = out.Generated
 		out.Generated++
 		heap.Push(pq, c)
 	}
 	root := &Candidate{Query: q.Clone(), Cardinality: -1, Score: math.Inf(1)}
 	push(root)
 
+	// Child-expansion scratch, reused across iterations. key carries the
+	// canonical form already computed for the dedup check into the pushed
+	// Candidate, so it is never rebuilt on pop or prefetch.
+	type childCand struct {
+		op    query.Op
+		query *query.Query
+		key   string
+	}
+	var children []childCand
+	var scores []float64
+
 	for pq.Len() > 0 && out.Executed < opts.MaxExecuted && len(out.Solutions) < opts.MaxSolutions {
+		if ex != nil {
+			ex.prefetch(pq, executed, opts.CountCap, opts.MaxExecuted-out.Executed)
+		}
 		c := heap.Pop(pq).(*Candidate)
-		key := c.Query.Canonical()
-		if card, seen := executed[key]; seen {
+		key := c.key()
+		if _, seen := executed[key]; seen {
 			out.CacheHits++
-			_ = card
 			continue
 		}
-		card := r.m.CountCtx(r.ctx, c.Query, opts.CountCap)
+		card, precomputed := 0, false
+		if ex != nil {
+			card, precomputed = ex.take(key)
+		}
+		if !precomputed {
+			card = r.m.CountCtx(r.ctx, c.Query, opts.CountCap)
+		}
 		executed[key] = card
 		out.Executed++
 		out.Trace = append(out.Trace, card)
@@ -183,21 +310,43 @@ func (r *Rewriter) Rewrite(q *query.Query, opts Options) Outcome {
 		if len(c.Ops) >= opts.MaxDepth {
 			continue
 		}
+		// Generate children first (Apply and the executed-query dedup stay
+		// in enumeration order), then score: scoring is the statistics-heavy
+		// part and — for rng-free priorities — order-independent, so the
+		// worker pool can compute all child scores of one expansion at once.
+		children = children[:0]
 		for _, op := range r.relaxations(c.Query, opts) {
 			child, err := query.Apply(c.Query, op)
 			if err != nil {
 				continue
 			}
-			if _, seen := executed[child.Canonical()]; seen {
+			childKey := child.Canonical()
+			if _, seen := executed[childKey]; seen {
 				out.CacheHits++
 				continue
 			}
-			ops := append(append([]query.Op(nil), c.Ops...), op)
-			score := r.score(q, c.Query, child, op, opts, rng)
+			children = append(children, childCand{op: op, query: child, key: childKey})
+		}
+		if cap(scores) < len(children) {
+			scores = make([]float64, len(children))
+		}
+		scores = scores[:len(children)]
+		if ex != nil && len(children) >= 2 && deterministicScore(opts.Priority) {
+			ex.pool.Each(len(children), func(_ *match.Ctx, i int) {
+				scores[i] = r.score(q, c.Query, children[i].query, children[i].op, opts, nil)
+			})
+		} else {
+			for i := range children {
+				scores[i] = r.score(q, c.Query, children[i].query, children[i].op, opts, rng)
+			}
+		}
+		for i := range children {
+			ops := append(append([]query.Op(nil), c.Ops...), children[i].op)
+			score := scores[i]
 			if opts.Prefs != nil {
 				score *= 1 - opts.Prefs.Penalty(ops)
 			}
-			push(&Candidate{Query: child, Ops: ops, Cardinality: -1, Score: score})
+			push(&Candidate{Query: children[i].query, Ops: ops, Cardinality: -1, Score: score, ckey: children[i].key})
 		}
 	}
 	rankSolutions(out.Solutions)
@@ -281,11 +430,20 @@ func rankSolutions(sols []Candidate) {
 	})
 }
 
-// candidateHeap is a max-heap over candidate scores.
+// candidateHeap is a max-heap over candidate scores with a generation-number
+// tie-break. The tie-break makes the pop sequence a total order — equal
+// scores pop in generation order regardless of the heap's internal array
+// layout — which the parallel search relies on: speculatively popping a
+// batch and pushing it back must not change which candidate pops next.
 type candidateHeap []*Candidate
 
-func (h candidateHeap) Len() int            { return len(h) }
-func (h candidateHeap) Less(i, j int) bool  { return h[i].Score > h[j].Score }
+func (h candidateHeap) Len() int { return len(h) }
+func (h candidateHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score > h[j].Score
+	}
+	return h[i].seq < h[j].seq
+}
 func (h candidateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
 func (h *candidateHeap) Push(x interface{}) { *h = append(*h, x.(*Candidate)) }
 func (h *candidateHeap) Pop() interface{} {

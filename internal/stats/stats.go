@@ -11,35 +11,102 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/match"
 	"repro/internal/query"
 )
 
+// cardShards is the shard count of each cardinality cache. Sixteen shards
+// keep the worker pools of the parallel explanation searches (typically
+// GOMAXPROCS wide) from serializing on one mutex while staying small enough
+// that CacheStats' full sweep is cheap.
+const cardShards = 16
+
+// cardShard is one lock-striped slice of a cardinality cache.
+type cardShard struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// cardCache is a sharded string → cardinality map. Keys are canonical query
+// fragments; values are immutable once computed, so double computation under
+// racing misses is harmless (both writers store the same number).
+type cardCache struct {
+	shards [cardShards]cardShard
+}
+
+func newCardCache() *cardCache {
+	c := &cardCache{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[string]int)
+	}
+	return c
+}
+
+// shard picks the shard of a key by FNV-1a.
+func (c *cardCache) shard(key string) *cardShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &c.shards[h%cardShards]
+}
+
+func (c *cardCache) get(key string) (int, bool) {
+	s := c.shard(key)
+	s.mu.RLock()
+	n, ok := s.m[key]
+	s.mu.RUnlock()
+	return n, ok
+}
+
+func (c *cardCache) put(key string, n int) {
+	s := c.shard(key)
+	s.mu.Lock()
+	s.m[key] = n
+	s.mu.Unlock()
+}
+
+func (c *cardCache) len() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		total += len(s.m)
+		s.mu.RUnlock()
+	}
+	return total
+}
+
 // Collector computes and caches query-dependent statistics over one data
-// graph. It is safe for concurrent use; cache-missing cardinality queries
-// draw reusable matching contexts from a pool so concurrent collectors stay
-// allocation-free in the matching inner loop.
+// graph. It is safe for concurrent use: the cardinality caches are sharded
+// (lock striping, so the parallel searches' workers do not serialize on one
+// mutex), hit/miss counters are atomic, and cache-missing cardinality
+// queries draw reusable matching contexts from a pool so concurrent
+// collectors stay allocation-free in the matching inner loop. Racing misses
+// on the same key may both compute it; the cached values are deterministic,
+// so the duplicate work only shows up in the miss counter.
 type Collector struct {
 	m    *match.Matcher
 	ctxs sync.Pool
 
-	mu         sync.Mutex
-	vertexCard map[string]int
-	edgeCard   map[string]int
-	pathCard   map[string]int
+	vertexCard *cardCache
+	edgeCard   *cardCache
+	pathCard   *cardCache
 
-	hits, misses int
+	hits, misses atomic.Int64
 }
 
 // New returns a collector over the matcher's data graph.
 func New(m *match.Matcher) *Collector {
 	c := &Collector{
 		m:          m,
-		vertexCard: make(map[string]int),
-		edgeCard:   make(map[string]int),
-		pathCard:   make(map[string]int),
+		vertexCard: newCardCache(),
+		edgeCard:   newCardCache(),
+		pathCard:   newCardCache(),
 	}
 	c.ctxs.New = func() any { return m.NewContext() }
 	return c
@@ -48,9 +115,8 @@ func New(m *match.Matcher) *Collector {
 // CacheStats reports cache hits, misses, and resident entries — the resource
 // accounting of Appendix B.2.
 func (c *Collector) CacheStats() (hits, misses, entries int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses, len(c.vertexCard) + len(c.edgeCard) + len(c.pathCard)
+	return int(c.hits.Load()), int(c.misses.Load()),
+		c.vertexCard.len() + c.edgeCard.len() + c.pathCard.len()
 }
 
 func vertexKey(v *query.Vertex) string {
@@ -71,18 +137,13 @@ func clonePreds(p map[string]query.Predicate) map[string]query.Predicate {
 // query vertex (querying statistics for vertices, §5.2.2).
 func (c *Collector) VertexCardinality(v *query.Vertex) int {
 	key := "v:" + vertexKey(v)
-	c.mu.Lock()
-	if n, ok := c.vertexCard[key]; ok {
-		c.hits++
-		c.mu.Unlock()
+	if n, ok := c.vertexCard.get(key); ok {
+		c.hits.Add(1)
 		return n
 	}
-	c.misses++
-	c.mu.Unlock()
+	c.misses.Add(1)
 	n := c.m.CandidateCount(v)
-	c.mu.Lock()
-	c.vertexCard[key] = n
-	c.mu.Unlock()
+	c.vertexCard.put(key, n)
 	return n
 }
 
@@ -100,18 +161,13 @@ func edgeKey(e *query.Edge) string {
 // (querying statistics for edges, §5.2.2).
 func (c *Collector) EdgeCardinality(e *query.Edge) int {
 	key := "e:" + edgeKey(e)
-	c.mu.Lock()
-	if n, ok := c.edgeCard[key]; ok {
-		c.hits++
-		c.mu.Unlock()
+	if n, ok := c.edgeCard.get(key); ok {
+		c.hits.Add(1)
 		return n
 	}
-	c.misses++
-	c.mu.Unlock()
+	c.misses.Add(1)
 	n := c.m.EdgeCandidateCount(e)
-	c.mu.Lock()
-	c.edgeCard[key] = n
-	c.mu.Unlock()
+	c.edgeCard.put(key, n)
 	return n
 }
 
@@ -130,20 +186,15 @@ func (c *Collector) PathCardinality(q *query.Query, chain []int) int {
 	}
 	sub := q.SubqueryByEdges(chain)
 	key := "p:" + sub.Canonical()
-	c.mu.Lock()
-	if n, ok := c.pathCard[key]; ok {
-		c.hits++
-		c.mu.Unlock()
+	if n, ok := c.pathCard.get(key); ok {
+		c.hits.Add(1)
 		return n
 	}
-	c.misses++
-	c.mu.Unlock()
+	c.misses.Add(1)
 	ctx := c.ctxs.Get().(*match.Ctx)
 	n := c.m.CountCtx(ctx, sub, 0)
 	c.ctxs.Put(ctx)
-	c.mu.Lock()
-	c.pathCard[key] = n
-	c.mu.Unlock()
+	c.pathCard.put(key, n)
 	return n
 }
 

@@ -1,0 +1,167 @@
+// Differential tests for the parallel explanation searches: with any worker
+// count, the relaxation rewriter (all five priority functions), the
+// modification-tree searches, and MCS discovery must produce results, ranks,
+// and counters byte-identical to their sequential runs — on both generated
+// data sets. Run them under -race to also certify the shared caches
+// (matcher candidate cache, statistics collector) for concurrent mutation.
+package repro_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/match"
+	"repro/internal/mcs"
+	"repro/internal/metrics"
+	"repro/internal/modtree"
+	"repro/internal/relax"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// diffWorkers is the worker count the parallel runs use. Fixed (not
+// GOMAXPROCS) so single-core CI still exercises batch speculation.
+const diffWorkers = 4
+
+func relaxFingerprint(out relax.Outcome) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "executed=%d generated=%d cachehits=%d trace=%v\n",
+		out.Executed, out.Generated, out.CacheHits, out.Trace)
+	for i, s := range out.Solutions {
+		fmt.Fprintf(&b, "solution %d: card=%d syn=%.9f score=%.9f ops=%v\n%s\n",
+			i, s.Cardinality, s.Syntactic, s.Score, s.Ops, s.Query.Canonical())
+	}
+	return b.String()
+}
+
+func modtreeFingerprint(res modtree.Result) string {
+	return fmt.Sprintf("executed=%d generated=%d pruned=%d satisfied=%v trace=%v best{card=%d dist=%d syn=%.9f ops=%v}\n%s",
+		res.Executed, res.Generated, res.Pruned, res.Satisfied, res.Trace,
+		res.Best.Cardinality, res.Best.Distance, res.Best.Syntactic, res.Best.Ops,
+		res.Best.Query.Canonical())
+}
+
+func mcsFingerprint(ex mcs.Explanation) string {
+	return fmt.Sprintf("card=%d satisfied=%v traversals=%d path=%v\n%s\n%s",
+		ex.Cardinality, ex.Satisfied, ex.Traversals, ex.Path,
+		ex.MCS.Canonical(), ex.Differential.Canonical())
+}
+
+// failingVariantFor resolves the why-empty variant of a named query on
+// either data set.
+func failingVariantFor(t *testing.T, dataset string, name string) *repro.Query {
+	t.Helper()
+	var (
+		q   *repro.Query
+		err error
+	)
+	if dataset == "ldbc" {
+		q, err = workload.FailingVariant(name)
+	} else {
+		q, err = workload.DBpediaFailingVariant(name)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func runRelaxDifferential(t *testing.T, g *repro.Graph, dataset string, base []workload.Named) {
+	t.Helper()
+	m := match.New(g)
+	st := stats.New(m)
+	prios := []relax.Priority{
+		relax.PriorityRandom, relax.PrioritySyntactic, relax.PriorityEstimatedCardinality,
+		relax.PriorityAvgPath1, relax.PriorityCombined,
+	}
+	for _, nq := range base {
+		q := failingVariantFor(t, dataset, nq.Name)
+		for _, p := range prios {
+			opts := relax.Options{Priority: p, MaxSolutions: 3, MaxExecuted: 60, Seed: 7}
+			want := relaxFingerprint(relax.New(m, st).Rewrite(q, opts))
+			opts.Workers = diffWorkers
+			got := relaxFingerprint(relax.New(m, st).Rewrite(q, opts))
+			if got != want {
+				t.Errorf("%s/%v: parallel relaxation diverged from sequential:\n--- sequential\n%s--- parallel (workers=%d)\n%s",
+					nq.Name, p, want, diffWorkers, got)
+			}
+		}
+	}
+}
+
+func runModtreeDifferential(t *testing.T, g *repro.Graph, base []workload.Named) {
+	t.Helper()
+	m := match.New(g)
+	st := stats.New(m)
+	dom := stats.BuildDomain(g, 16)
+	s := modtree.New(m, st)
+	for _, nq := range base {
+		q := nq.Build()
+		c1 := m.Count(q, 0)
+		goals := []metrics.Interval{
+			{Lower: workload.Threshold(c1, 2)},           // too few
+			{Lower: 1, Upper: workload.Threshold(c1, 1)}, // too many-ish boundary
+		}
+		for gi, goal := range goals {
+			opts := modtree.Options{Goal: goal, Domain: dom, MaxExecuted: 80}
+			wantTST := modtreeFingerprint(s.TraverseSearchTree(q, opts))
+			wantEx := modtreeFingerprint(s.Exhaustive(q, opts))
+			opts.Workers = diffWorkers
+			if got := modtreeFingerprint(s.TraverseSearchTree(q, opts)); got != wantTST {
+				t.Errorf("%s goal %d: parallel TST diverged:\n--- sequential\n%s\n--- parallel\n%s", nq.Name, gi, wantTST, got)
+			}
+			if got := modtreeFingerprint(s.Exhaustive(q, opts)); got != wantEx {
+				t.Errorf("%s goal %d: parallel Exhaustive diverged:\n--- sequential\n%s\n--- parallel\n%s", nq.Name, gi, wantEx, got)
+			}
+		}
+	}
+}
+
+func runMCSDifferential(t *testing.T, g *repro.Graph, dataset string, base []workload.Named) {
+	t.Helper()
+	m := match.New(g)
+	st := stats.New(m)
+	for _, nq := range base {
+		q := failingVariantFor(t, dataset, nq.Name)
+		for _, opts := range []mcs.Options{{}, {UseWCC: true}, {SinglePath: true}} {
+			want := mcsFingerprint(mcs.BoundedMCS(m, st, q, metrics.AtLeastOne, opts))
+			par := opts
+			par.Workers = diffWorkers
+			if got := mcsFingerprint(mcs.BoundedMCS(m, st, q, metrics.AtLeastOne, par)); got != want {
+				t.Errorf("%s opts %+v: parallel MCS diverged:\n--- sequential\n%s\n--- parallel\n%s", nq.Name, opts, want, got)
+			}
+		}
+	}
+}
+
+func TestParallelRelaxDifferentialLDBC(t *testing.T) {
+	lg, _ := setup()
+	runRelaxDifferential(t, lg, "ldbc", workload.LDBCQueries())
+}
+
+func TestParallelRelaxDifferentialDBpedia(t *testing.T) {
+	_, dg := setup()
+	runRelaxDifferential(t, dg, "dbpedia", workload.DBpediaQueries())
+}
+
+func TestParallelModtreeDifferentialLDBC(t *testing.T) {
+	lg, _ := setup()
+	runModtreeDifferential(t, lg, workload.LDBCQueries())
+}
+
+func TestParallelModtreeDifferentialDBpedia(t *testing.T) {
+	_, dg := setup()
+	runModtreeDifferential(t, dg, workload.DBpediaQueries())
+}
+
+func TestParallelMCSDifferentialLDBC(t *testing.T) {
+	lg, _ := setup()
+	runMCSDifferential(t, lg, "ldbc", workload.LDBCQueries())
+}
+
+func TestParallelMCSDifferentialDBpedia(t *testing.T) {
+	_, dg := setup()
+	runMCSDifferential(t, dg, "dbpedia", workload.DBpediaQueries())
+}
