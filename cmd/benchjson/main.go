@@ -1,17 +1,20 @@
 // Command benchjson turns `go test -bench` output into a machine-readable
-// JSON report and enforces allocation-regression gates in CI.
+// JSON report and enforces allocation- and runtime-regression gates in CI.
 //
 // Usage:
 //
 //	go test -bench . -benchtime=1x -benchmem -run xxx . | benchjson -out BENCH_ci.json
 //	go test -bench BenchmarkMatcher -benchtime=1000x -benchmem -run xxx . | \
-//	    benchjson -max-allocs 'BenchmarkMatcher/ldbc-q3=18'
+//	    benchjson -max-allocs 'BenchmarkMatcher/ldbc-q3=18' \
+//	    -baseline BENCH_pr3.json -max-ns-ratio 'BenchmarkFig6Baselines/tst=1.30'
 //
 // The report maps each benchmark name (the `-P` GOMAXPROCS suffix stripped)
 // to its ns/op, allocs/op, B/op, and iteration count. Every -max-allocs
 // gate (repeatable, `name=N`) fails the run with exit code 1 when the named
 // benchmark's allocs/op exceeds N — i.e. when allocations regress above the
 // recorded baseline — or when the benchmark is missing from the input.
+// Every -max-ns-ratio gate (repeatable, `name=R`) fails when the measured
+// ns/op exceeds the -baseline report's ns/op × R.
 package main
 
 import (
@@ -27,7 +30,9 @@ import (
 func main() {
 	args := os.Args[1:]
 	outPath := ""
+	baselinePath := ""
 	var gates []benchparse.Gate
+	var nsGates []benchparse.NsGate
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
 		case "-out":
@@ -36,6 +41,12 @@ func main() {
 				fatal("missing value for -out")
 			}
 			outPath = args[i]
+		case "-baseline":
+			i++
+			if i >= len(args) {
+				fatal("missing value for -baseline")
+			}
+			baselinePath = args[i]
 		case "-max-allocs":
 			i++
 			if i >= len(args) {
@@ -46,9 +57,22 @@ func main() {
 				fatal(err.Error())
 			}
 			gates = append(gates, g)
+		case "-max-ns-ratio":
+			i++
+			if i >= len(args) {
+				fatal("missing value for -max-ns-ratio")
+			}
+			g, err := benchparse.ParseNsGate(args[i])
+			if err != nil {
+				fatal(err.Error())
+			}
+			nsGates = append(nsGates, g)
 		default:
 			fatal(fmt.Sprintf("unknown flag %q", args[i]))
 		}
+	}
+	if len(nsGates) > 0 && baselinePath == "" {
+		fatal("-max-ns-ratio requires -baseline")
 	}
 
 	report, err := benchparse.Parse(os.Stdin)
@@ -73,14 +97,26 @@ func main() {
 	}
 
 	failures := report.CheckGates(gates)
+	if len(nsGates) > 0 {
+		bf, err := os.Open(baselinePath)
+		if err != nil {
+			fatal(err.Error())
+		}
+		baseline, err := benchparse.ReadJSON(bf)
+		bf.Close()
+		if err != nil {
+			fatal(err.Error())
+		}
+		failures = append(failures, report.CheckNsGates(baseline, nsGates)...)
+	}
 	for _, f := range failures {
 		fmt.Fprintln(os.Stderr, "benchjson: GATE FAILED:", f)
 	}
 	if len(failures) > 0 {
 		os.Exit(1)
 	}
-	if len(gates) > 0 {
-		fmt.Fprintf(os.Stderr, "benchjson: %d gate(s) passed\n", len(gates))
+	if n := len(gates) + len(nsGates); n > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d gate(s) passed\n", n)
 	}
 }
 

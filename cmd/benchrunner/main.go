@@ -59,6 +59,21 @@ func newEnv() *env {
 	}
 }
 
+// cacheStats summarizes the matcher-level cache counters of both data sets
+// for report headers: compiled-plan cache and executed-count cache hits and
+// misses accumulated so far in this process.
+func (e *env) cacheStats() string {
+	ph, pm := 0, 0
+	ch, cm := 0, 0
+	for _, me := range []*matchEnv{e.ldbc, e.dbpedia} {
+		h, m, _ := me.m.PlanCacheStats()
+		ph, pm = ph+h, pm+m
+		h, m, _ = me.m.CountCacheStats()
+		ch, cm = ch+h, cm+m
+	}
+	return fmt.Sprintf("plan-cache %dh/%dm, count-cache %dh/%dm", ph, pm, ch, cm)
+}
+
 func main() {
 	exp := flag.String("exp", "all", "experiment id (see doc comment)")
 	workers := flag.Int("workers", 0, "explanation-search workers (0 = GOMAXPROCS)")
@@ -222,7 +237,7 @@ func fig310(e *env) {
 
 // fig4Discover — DISCOVERMCS optimizations on why-empty variants (§4.5.1).
 func fig4Discover(e *env) {
-	fmt.Printf("== FIG-4.A: DISCOVERMCS — naive vs WCC vs single-path (workers=%d) ==\n", e.workers)
+	fmt.Printf("== FIG-4.A: DISCOVERMCS — naive vs WCC vs single-path (workers=%d, %s) ==\n", e.workers, e.cacheStats())
 	fmt.Printf("%-22s %-16s %10s %12s %10s\n", "query", "variant", "traversals", "runtime", "MCS edges")
 	run := func(name string, me *matchEnv, q *query.Query) {
 		variants := []struct {
@@ -258,7 +273,7 @@ func fig4Discover(e *env) {
 
 // fig4Size — DISCOVERMCS cost vs query size (§4.5.1).
 func fig4Size(e *env) {
-	fmt.Printf("== FIG-4.B: DISCOVERMCS cost vs query size (failing chains, workers=%d) ==\n", e.workers)
+	fmt.Printf("== FIG-4.B: DISCOVERMCS cost vs query size (failing chains, workers=%d, %s) ==\n", e.workers, e.cacheStats())
 	fmt.Printf("%8s %12s %12s %12s\n", "edges", "naive", "wcc", "single-path")
 	for size := 1; size <= 5; size++ {
 		q := chainQuery(size)
@@ -288,7 +303,7 @@ func chainQuery(edges int) *query.Query {
 
 // fig4Bounded — BOUNDEDMCS for the too-many-answers problem (§4.5.2).
 func fig4Bounded(e *env) {
-	fmt.Printf("== FIG-4.C: BOUNDEDMCS under too-many thresholds (workers=%d) ==\n", e.workers)
+	fmt.Printf("== FIG-4.C: BOUNDEDMCS under too-many thresholds (workers=%d, %s) ==\n", e.workers, e.cacheStats())
 	fmt.Printf("%-14s %8s %10s %12s %10s %10s\n", "query", "factor", "threshold", "traversals", "MCS edges", "satisfied")
 	for _, nq := range workload.LDBCQueries() {
 		for _, factor := range []float64{0.2, 0.5} {
@@ -302,7 +317,7 @@ func fig4Bounded(e *env) {
 
 // fig5Priority — executed candidates per priority function (§5.5.1).
 func fig5Priority(e *env) {
-	fmt.Printf("== FIG-5.A: priority functions of the query-candidate selector (workers=%d) ==\n", e.workers)
+	fmt.Printf("== FIG-5.A: priority functions of the query-candidate selector (workers=%d, %s) ==\n", e.workers, e.cacheStats())
 	fmt.Printf("%-22s %-22s %10s %10s %12s\n", "query", "priority", "executed", "solutions", "runtime")
 	prios := []relax.Priority{relax.PriorityRandom, relax.PrioritySyntactic, relax.PriorityEstimatedCardinality, relax.PriorityAvgPath1, relax.PriorityCombined}
 	run := func(name string, me *matchEnv, q *query.Query) {
@@ -326,7 +341,7 @@ func fig5Priority(e *env) {
 // fig5Convergence — best-so-far cardinality over executed candidates
 // (§5.5.2).
 func fig5Convergence(e *env) {
-	fmt.Printf("== FIG-5.B: runtime convergence (LDBC QUERY 2 why-empty, workers=%d) ==\n", e.workers)
+	fmt.Printf("== FIG-5.B: runtime convergence (LDBC QUERY 2 why-empty, workers=%d, %s) ==\n", e.workers, e.cacheStats())
 	q, _ := workload.FailingVariant("LDBC QUERY 2")
 	rw := relax.New(e.ldbc.m, e.ldbc.st)
 	for _, p := range []relax.Priority{relax.PriorityRandom, relax.PriorityCombined} {
@@ -345,7 +360,7 @@ func fig5Convergence(e *env) {
 
 // fig5Induced — combined Path(1)+induced-change priority (§5.5.3).
 func fig5Induced(e *env) {
-	fmt.Printf("== FIG-5.C: avg Path(1) + induced-change priority comparison (workers=%d) ==\n", e.workers)
+	fmt.Printf("== FIG-5.C: avg Path(1) + induced-change priority comparison (workers=%d, %s) ==\n", e.workers, e.cacheStats())
 	fmt.Printf("%-22s %-22s %10s %10s\n", "query", "priority", "executed", "generated")
 	for _, nq := range workload.LDBCQueries() {
 		q, _ := workload.FailingVariant(nq.Name)
@@ -360,7 +375,7 @@ func fig5Induced(e *env) {
 // fig5User — non-intrusive user integration (§5.5.4 + App. B.1): a simulated
 // user protects one query element; count proposals until acceptance.
 func fig5User(e *env) {
-	fmt.Printf("== FIG-5.D: user integration — proposals until acceptance (workers=%d) ==\n", e.workers)
+	fmt.Printf("== FIG-5.D: user integration — proposals until acceptance (workers=%d, %s) ==\n", e.workers, e.cacheStats())
 	fmt.Printf("%-22s %16s %16s\n", "query", "no model", "with model")
 	for _, nq := range workload.LDBCQueries() {
 		q, _ := workload.FailingVariant(nq.Name)
@@ -418,7 +433,7 @@ func protectedTargetOf(name string) query.Target {
 // columns are exact at -workers 1; at higher worker counts concurrent
 // misses on the same key may each count, so treat them as approximate.
 func fig5Resources(e *env) {
-	fmt.Printf("== FIG-5.E: resource consumption of why-empty rewriting (workers=%d) ==\n", e.workers)
+	fmt.Printf("== FIG-5.E: resource consumption of why-empty rewriting (workers=%d, %s) ==\n", e.workers, e.cacheStats())
 	fmt.Printf("%-22s %10s %10s %10s %12s %12s\n", "query", "executed", "generated", "cachehits", "stat hits", "stat entries")
 	for _, nq := range workload.LDBCQueries() {
 		q, _ := workload.FailingVariant(nq.Name)
@@ -432,7 +447,7 @@ func fig5Resources(e *env) {
 
 // fig6Baseline — TRAVERSESEARCHTREE vs baselines (§6.4.2).
 func fig6Baseline(e *env) {
-	fmt.Printf("== FIG-6.A: fine-grained modification vs baselines (workers=%d) ==\n", e.workers)
+	fmt.Printf("== FIG-6.A: fine-grained modification vs baselines (workers=%d, %s) ==\n", e.workers, e.cacheStats())
 	fmt.Printf("%-14s %8s %-12s %10s %10s %10s %12s\n", "query", "factor", "method", "executed", "bestCard", "cardΔ", "runtime")
 	for _, nq := range workload.LDBCQueries() {
 		for _, factor := range workload.CardinalityFactors {
@@ -474,7 +489,7 @@ func goalFor(factor float64, cthr int) metrics.Interval {
 
 // fig6Topology — topology consideration (§6.4.3).
 func fig6Topology(e *env) {
-	fmt.Printf("== FIG-6.B: TST with and without topology modifications (workers=%d) ==\n", e.workers)
+	fmt.Printf("== FIG-6.B: TST with and without topology modifications (workers=%d, %s) ==\n", e.workers, e.cacheStats())
 	fmt.Printf("%-22s %-12s %10s %10s %10s\n", "query", "topology", "executed", "bestCard", "satisfied")
 	for _, nq := range workload.LDBCQueries() {
 		q, _ := workload.FailingVariant(nq.Name)

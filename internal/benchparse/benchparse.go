@@ -196,3 +196,92 @@ func (r *Report) CheckGates(gates []Gate) []string {
 	}
 	return failures
 }
+
+// NsGate is one runtime-regression ceiling: the named benchmark's measured
+// ns/op must not exceed the baseline report's ns/op times MaxRatio (e.g.
+// 1.30 fails runs more than 30% slower than the committed baseline).
+type NsGate struct {
+	Name     string
+	MaxRatio float64
+}
+
+// ParseNsGate parses a `name=R` ns-ratio gate specification (R > 0, e.g.
+// `BenchmarkFig6Baselines/tst=1.30`).
+func ParseNsGate(s string) (NsGate, error) {
+	eq := strings.LastIndex(s, "=")
+	if eq <= 0 || eq == len(s)-1 {
+		return NsGate{}, fmt.Errorf("benchparse: ns gate %q not of the form name=ratio", s)
+	}
+	ratio, err := strconv.ParseFloat(s[eq+1:], 64)
+	if err != nil || ratio <= 0 {
+		return NsGate{}, fmt.Errorf("benchparse: ns gate %q has a bad ratio", s)
+	}
+	return NsGate{Name: s[:eq], MaxRatio: ratio}, nil
+}
+
+// CheckNsGates evaluates runtime gates against a baseline report: each gate
+// fails when the benchmark is missing from either report or its measured
+// ns/op exceeds baseline ns/op × MaxRatio.
+func (r *Report) CheckNsGates(baseline *Report, gates []NsGate) []string {
+	var failures []string
+	for _, g := range gates {
+		e := r.find(g.Name)
+		if e == nil {
+			failures = append(failures, fmt.Sprintf("%s: benchmark missing from input", g.Name))
+			continue
+		}
+		b := baseline.find(g.Name)
+		if b == nil {
+			failures = append(failures, fmt.Sprintf("%s: benchmark missing from baseline", g.Name))
+			continue
+		}
+		if limit := b.NsPerOp * g.MaxRatio; e.NsPerOp > limit {
+			failures = append(failures, fmt.Sprintf("%s: ns/op regressed to %.0f (baseline %.0f, ceiling ×%.2f = %.0f)",
+				g.Name, e.NsPerOp, b.NsPerOp, g.MaxRatio, limit))
+		}
+	}
+	return failures
+}
+
+// jsonReport mirrors WriteJSON's wire format for reading baselines back.
+type jsonReport struct {
+	Benchmarks map[string]struct {
+		Iterations  int64   `json:"iterations"`
+		NsPerOp     float64 `json:"ns_per_op"`
+		BytesPerOp  int64   `json:"bytes_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
+	} `json:"benchmarks"`
+}
+
+// ReadJSON parses a report previously produced by WriteJSON (the committed
+// BENCH_*.json baselines). Entries come back sorted by name.
+func ReadJSON(r io.Reader) (*Report, error) {
+	blob, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var jr jsonReport
+	if err := json.Unmarshal(blob, &jr); err != nil {
+		return nil, fmt.Errorf("benchparse: bad baseline JSON: %w", err)
+	}
+	if len(jr.Benchmarks) == 0 {
+		return nil, fmt.Errorf("benchparse: baseline has no benchmarks")
+	}
+	names := make([]string, 0, len(jr.Benchmarks))
+	for name := range jr.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rep := &Report{}
+	for _, name := range names {
+		e := jr.Benchmarks[name]
+		rep.Entries = append(rep.Entries, Entry{
+			Name:        name,
+			Iterations:  e.Iterations,
+			NsPerOp:     e.NsPerOp,
+			BytesPerOp:  e.BytesPerOp,
+			AllocsPerOp: e.AllocsPerOp,
+		})
+	}
+	return rep, nil
+}

@@ -132,3 +132,71 @@ func TestGates(t *testing.T) {
 		t.Fatal("suffixed gate name must still resolve")
 	}
 }
+
+func TestParseNsGate(t *testing.T) {
+	g, err := ParseNsGate("BenchmarkFig6Baselines/tst=1.30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "BenchmarkFig6Baselines/tst" || g.MaxRatio != 1.30 {
+		t.Fatalf("gate = %+v", g)
+	}
+	for _, bad := range []string{"", "name", "name=", "=1.3", "name=0", "name=-1", "name=x"} {
+		if _, err := ParseNsGate(bad); err == nil {
+			t.Fatalf("ParseNsGate(%q) must fail", bad)
+		}
+	}
+}
+
+func TestNsGatesAgainstBaseline(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleP1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip the report through WriteJSON/ReadJSON as the baseline.
+	var buf strings.Builder
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := ReadJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := baseline.find("BenchmarkMatcher/ldbc-q3"); b == nil || b.NsPerOp != 16520 {
+		t.Fatalf("baseline round-trip lost entries: %+v", b)
+	}
+
+	// Identical measurements pass any ratio >= 1.
+	gates := []NsGate{
+		{Name: "BenchmarkMatcher/ldbc-q3", MaxRatio: 1.30},
+		{Name: "BenchmarkFig5Priority/random", MaxRatio: 1.30},
+	}
+	if fails := rep.CheckNsGates(baseline, gates); len(fails) != 0 {
+		t.Fatalf("unexpected failures: %v", fails)
+	}
+
+	// A 2x-slower measurement fails a 1.30 gate.
+	slow := &Report{Entries: []Entry{{Name: "BenchmarkMatcher/ldbc-q3", NsPerOp: 33040}}}
+	fails := slow.CheckNsGates(baseline, gates[:1])
+	if len(fails) != 1 || !strings.Contains(fails[0], "regressed") {
+		t.Fatalf("slow run must fail the gate: %v", fails)
+	}
+
+	// Missing from input and missing from baseline both fail.
+	if fails := slow.CheckNsGates(baseline, []NsGate{{Name: "BenchmarkNope", MaxRatio: 2}}); len(fails) != 1 {
+		t.Fatalf("missing benchmark must fail: %v", fails)
+	}
+	empty := &Report{Entries: []Entry{{Name: "BenchmarkOnlyHere", NsPerOp: 1}}}
+	if fails := empty.CheckNsGates(baseline, []NsGate{{Name: "BenchmarkOnlyHere", MaxRatio: 2}}); len(fails) != 1 {
+		t.Fatalf("missing baseline entry must fail: %v", fails)
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage must fail")
+	}
+	if _, err := ReadJSON(strings.NewReader(`{"benchmarks":{}}`)); err == nil {
+		t.Fatal("empty baseline must fail")
+	}
+}

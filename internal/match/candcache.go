@@ -33,28 +33,37 @@ const (
 // the current graph.
 func (m *Matcher) candidates(p *Plan, preds []flatPred, words int) ([]graph.VertexID, []uint64) {
 	p.keyBuf = appendPredKey(p.keyBuf[:0], preds)
+	e := m.resolveCandidates(p.keyBuf, preds, words, &p.scratch)
+	return e.list, e.bits
+}
+
+// resolveCandidates returns the shared cache entry for one flattened
+// predicate set keyed by key, computing and inserting it on a miss. The
+// entry is read-only; scratch is the caller's reusable pool buffer for the
+// indexed access path.
+func (m *Matcher) resolveCandidates(key []byte, preds []flatPred, words int, scratch *[]graph.VertexID) *candEntry {
 	m.candMu.RLock()
-	e, ok := m.candCache[string(p.keyBuf)]
+	e, ok := m.candCache[string(key)]
 	m.candMu.RUnlock()
 	if ok {
-		return e.list, e.bits
+		return e
 	}
-	list := m.candidatesFlat(nil, preds, &p.scratch)
+	list := m.candidatesFlat(nil, preds, scratch)
 	bits := make([]uint64, words)
 	for _, id := range list {
 		bits[int(id)>>6] |= 1 << (uint(id) & 63)
 	}
 	e = &candEntry{list: list, bits: bits}
-	size := len(list)*4 + len(bits)*8 + len(p.keyBuf)
+	size := len(list)*4 + len(bits)*8 + len(key)
 	m.candMu.Lock()
 	if len(m.candCache) >= candCacheCap || m.candBytes+size > candCacheMaxBytes {
 		m.candCache = make(map[string]*candEntry)
 		m.candBytes = 0
 	}
-	m.candCache[string(p.keyBuf)] = e
+	m.candCache[string(key)] = e
 	m.candBytes += size
 	m.candMu.Unlock()
-	return e.list, e.bits
+	return e
 }
 
 // appendPredKey appends an unambiguous binary encoding of a flattened

@@ -17,6 +17,12 @@ type Ctx struct {
 	vBind []graph.VertexID
 	eBind []graph.EdgeID
 
+	// keyBuf and cntBuf are scratch for deriving a query's binary canonical
+	// key and its (key, cap) count-cache key during cache lookups, so cache
+	// hits allocate nothing.
+	keyBuf []byte
+	cntBuf []byte
+
 	// per-run state
 	p     *Plan
 	mode  uint8

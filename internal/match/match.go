@@ -20,8 +20,10 @@
 package match
 
 import (
+	"encoding/binary"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/query"
@@ -59,9 +61,9 @@ type Options struct {
 
 // Matcher executes pattern-matching queries over one data graph.
 // A Matcher is safe for concurrent use once constructed: the implicit
-// Find/Count/Exists entry points draw compiled plans and execution contexts
-// from internal pools, while the *Ctx variants let hot callers pin a
-// reusable context explicitly.
+// Find/Count/Exists entry points draw execution contexts from an internal
+// pool and compiled plans from the shared plan cache, while the *Ctx
+// variants let hot callers pin a reusable context explicitly.
 type Matcher struct {
 	g     *graph.Graph
 	plans sync.Pool
@@ -73,13 +75,40 @@ type Matcher struct {
 	candMu    sync.RWMutex
 	candCache map[string]*candEntry
 	candBytes int // approximate resident bytes of cached lists, bitsets, keys
+
+	// edge-candidate-count cache: edge constraint key → matching data-edge
+	// count, for the §5.2.2 edge-cardinality statistic the collectors probe.
+	edgeCountMu sync.RWMutex
+	edgeCounts  map[string]int
+
+	// compiled-plan cache: binary canonical key → shared read-only plan, so
+	// repeat queries — almost all of them, across the rewriting searches —
+	// skip compilation entirely (see plancache.go).
+	planMu       sync.RWMutex
+	planCache    map[string]*Plan
+	planResident int
+	planOff      bool
+	planHits     atomic.Int64
+	planMisses   atomic.Int64
+
+	// executed-count cache: (binary canonical key, cap) → exact count — the
+	// App. B.2 executed-query cache shared across searches and runs (see
+	// plancache.go). Gated together with the plan cache by planOff.
+	countCache  [countShards]countShard
+	countHits   atomic.Int64
+	countMisses atomic.Int64
 }
 
 // New returns a matcher over g. The graph's packed adjacency is frozen here
 // so concurrent matching never races on the lazy build.
 func New(g *graph.Graph) *Matcher {
 	g.Freeze()
-	m := &Matcher{g: g, candCache: make(map[string]*candEntry)}
+	m := &Matcher{
+		g:          g,
+		candCache:  make(map[string]*candEntry),
+		edgeCounts: make(map[string]int),
+		planCache:  make(map[string]*Plan),
+	}
 	m.plans.New = func() any { return new(Plan) }
 	m.ctxs.New = func() any { return newCtx(g) }
 	return m
@@ -118,24 +147,48 @@ func (m *Matcher) EdgeMatches(eq *query.Edge, ed graph.EdgeID) bool {
 	return true
 }
 
-// Candidates returns the data vertices satisfying query vertex vq, using an
-// attribute index when one covers an equality predicate and scanning
-// otherwise.
+// Candidates returns the data vertices satisfying query vertex vq, resolved
+// through the matcher's shared candidate cache (an attribute index or a
+// scan on a cache miss). The returned slice is a fresh copy the caller may
+// mutate.
 func (m *Matcher) Candidates(vq *query.Vertex) []graph.VertexID {
-	preds := flattenPreds(nil, vq.Preds)
-	var scratch []graph.VertexID
-	return m.candidatesFlat(nil, preds, &scratch)
+	e := m.candidateEntry(vq)
+	return append([]graph.VertexID(nil), e.list...)
 }
 
 // CandidateCount returns the number of data vertices matching vq
-// (the vertex cardinality statistic of §5.2.2).
+// (the vertex cardinality statistic of §5.2.2). Like compilation, it is
+// served from the matcher's candidate cache, so the statistics collectors'
+// cold-cache probes rescan the graph only for novel predicate sets.
 func (m *Matcher) CandidateCount(vq *query.Vertex) int {
-	return len(m.Candidates(vq))
+	return len(m.candidateEntry(vq).list)
+}
+
+// candidateEntry resolves vq's shared candidate-cache entry.
+func (m *Matcher) candidateEntry(vq *query.Vertex) *candEntry {
+	var keyBuf [128]byte
+	var predBuf [8]flatPred
+	preds := flattenPreds(predBuf[:0], vq.Preds)
+	key := appendPredKey(keyBuf[:0], preds)
+	var scratch []graph.VertexID
+	words := (m.g.NumVertices() + 63) / 64
+	return m.resolveCandidates(key, preds, words, &scratch)
 }
 
 // EdgeCandidateCount returns the number of data edges matching eq's type and
 // predicates, ignoring endpoints (the edge cardinality statistic of §5.2.2).
+// Counts are cached by the edge's constraint key, so repeated probes — the
+// statistics collectors re-derive them per search — scan the type's edge
+// lists only once per distinct constraint.
 func (m *Matcher) EdgeCandidateCount(eq *query.Edge) int {
+	var keyBuf [96]byte
+	key := eq.AppendConstraintKey(keyBuf[:0])
+	m.edgeCountMu.RLock()
+	n, ok := m.edgeCounts[string(key)]
+	m.edgeCountMu.RUnlock()
+	if ok {
+		return n
+	}
 	count := 0
 	countType := func(ids []graph.EdgeID) {
 		for _, id := range ids {
@@ -148,13 +201,19 @@ func (m *Matcher) EdgeCandidateCount(eq *query.Edge) int {
 		for _, t := range eq.Types {
 			countType(m.g.EdgesByType(t))
 		}
-		return count
-	}
-	for i := 0; i < m.g.NumEdges(); i++ {
-		if m.EdgeMatches(eq, graph.EdgeID(i)) {
-			count++
+	} else {
+		for i := 0; i < m.g.NumEdges(); i++ {
+			if m.EdgeMatches(eq, graph.EdgeID(i)) {
+				count++
+			}
 		}
 	}
+	m.edgeCountMu.Lock()
+	if len(m.edgeCounts) >= candCacheCap {
+		m.edgeCounts = make(map[string]int)
+	}
+	m.edgeCounts[string(key)] = count
+	m.edgeCountMu.Unlock()
 	return count
 }
 
@@ -170,9 +229,13 @@ func (m *Matcher) FindCtx(c *Ctx, q *query.Query, opts Options) []Result {
 	if q.NumVertices() == 0 {
 		return nil
 	}
-	p := m.getPlan(q)
-	defer m.plans.Put(p)
-	return p.Find(c, opts)
+	if m.planOff {
+		p := m.getPlan(q)
+		defer m.plans.Put(p)
+		return p.Find(c, opts)
+	}
+	c.loadKey(q, "")
+	return m.cachedPlan(c, q).Find(c, opts)
 }
 
 // Count returns the number of result graphs C(Q) (Definition 2). A non-zero
@@ -187,13 +250,38 @@ func (m *Matcher) Count(q *query.Query, cap int) int {
 // CountCtx is Count against a caller-owned execution context — the hot path
 // of the relaxation (relax), MCS (mcs), and modification-tree (modtree)
 // searches, which issue thousands of counts and reuse one context each.
+// The compiled plan comes from the plan cache: a repeat query (almost all
+// of them across a rewriting search) performs zero compilations.
 func (m *Matcher) CountCtx(c *Ctx, q *query.Query, cap int) int {
+	return m.CountKeyed(c, q, "", cap)
+}
+
+// CountKeyed is CountCtx for callers that already hold q's binary canonical
+// key (query.AppendKey) — the rewriting searches dedup executed candidates
+// on exactly that key, so passing it through skips re-deriving it. An empty
+// key means "derive it here". The (key, cap) pair is first resolved against
+// the executed-count cache; only a novel pair compiles (plan cache) and
+// executes.
+func (m *Matcher) CountKeyed(c *Ctx, q *query.Query, key string, cap int) int {
 	if q.NumVertices() == 0 {
 		return 0
 	}
-	p := m.getPlan(q)
-	defer m.plans.Put(p)
-	return p.Count(c, cap)
+	if m.planOff {
+		p := m.getPlan(q)
+		defer m.plans.Put(p)
+		return p.Count(c, cap)
+	}
+	c.loadKey(q, key)
+	c.cntBuf = append(c.cntBuf[:0], c.keyBuf...)
+	c.cntBuf = binary.AppendUvarint(c.cntBuf, uint64(cap))
+	if n, ok := m.countGet(c.cntBuf); ok {
+		m.countHits.Add(1)
+		return n
+	}
+	m.countMisses.Add(1)
+	n := m.cachedPlan(c, q).Count(c, cap)
+	m.countPut(c.cntBuf, n)
+	return n
 }
 
 // Exists reports whether q has at least one embedding.

@@ -1,0 +1,173 @@
+package match
+
+import (
+	"sync"
+
+	"repro/internal/query"
+)
+
+// Compiled-plan cache.
+//
+// The rewriting searches of Chapters 4–6 execute thousands of query
+// candidates, and — because of the executed-query dedup, restarts, and the
+// statistics probes — almost all of those candidates repeat across a search
+// (and across searches on the same matcher). Before this cache every
+// CountCtx/FindCtx call recompiled a full Plan: re-resolving candidate
+// lists, re-flattening predicates, and re-planning the step order. The
+// cache maps a query's binary canonical key (query.AppendKey) to a shared
+// read-only *Plan, so a repeat query pays one map lookup instead of a
+// compilation. Plans are immutable after publication and may be executed
+// concurrently against per-goroutine contexts, which makes the cache safe
+// for the parallel searches' worker pools.
+//
+// Eviction is the same wholesale epoch reset the candidate cache uses: when
+// the entry count or the approximate resident bytes exceed the bounds the
+// whole map is dropped. Steady-state workloads — whose distinct candidate
+// queries number in the hundreds — stay permanently warm; adversarial query
+// streams stay bounded.
+const (
+	planCacheCap      = 8192
+	planCacheMaxBytes = 64 << 20
+)
+
+// planBytes approximates a cached plan's resident size, including the
+// candidate lists and bitsets it references. Those are shared with the
+// candidate cache — counting them here double-counts while both caches hold
+// them — but a plan can outlive a candidate-cache epoch reset, at which
+// point it pins entries no longer accounted anywhere; overcounting keeps
+// planCacheMaxBytes a real bound on what the plan cache can pin.
+func planBytes(key string, p *Plan) int {
+	n := len(key) + 96
+	n += len(p.vids)*8 + len(p.eids)*8
+	for i := range p.ops {
+		op := &p.ops[i]
+		n += 48 + len(op.types)*4 + len(op.epreds)*32
+	}
+	for s := 0; s < p.nv; s++ {
+		n += len(p.vpreds[s])*32 + len(p.cands[s])*4 + len(p.candBits[s])*8
+	}
+	return n
+}
+
+// Executed-count cache: (binary canonical key, count cap) → exact count.
+//
+// This is the thesis' executed-query cache (App. B.2) lifted from one
+// search run to the whole matcher: counting is deterministic over the
+// frozen data graph, so a (query, cap) pair that any search — or any prior
+// run — already counted never re-executes. The per-search executed maps
+// stay (they also drive the CacheHits counters and candidate dedup); this
+// layer catches the repeats they cannot see: the same candidates generated
+// by different runs, different searches, and the statistics collectors'
+// Path(n) probes. Sharded like stats' cardinality caches so the parallel
+// searches' workers do not serialize on one mutex.
+const (
+	countShards      = 16
+	countCachePerCap = 1 << 12 // per-shard entry bound (epoch eviction)
+)
+
+type countShard struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+func (m *Matcher) countShardOf(key []byte) *countShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &m.countCache[h%countShards]
+}
+
+func (m *Matcher) countGet(key []byte) (int, bool) {
+	s := m.countShardOf(key)
+	s.mu.RLock()
+	n, ok := s.m[string(key)]
+	s.mu.RUnlock()
+	return n, ok
+}
+
+func (m *Matcher) countPut(key []byte, n int) {
+	s := m.countShardOf(key)
+	s.mu.Lock()
+	if s.m == nil || len(s.m) >= countCachePerCap {
+		s.m = make(map[string]int)
+	}
+	s.m[string(key)] = n
+	s.mu.Unlock()
+}
+
+// CountCacheStats reports the executed-count cache's hit and miss counters
+// and resident entries.
+func (m *Matcher) CountCacheStats() (hits, misses, entries int) {
+	for i := range m.countCache {
+		s := &m.countCache[i]
+		s.mu.RLock()
+		entries += len(s.m)
+		s.mu.RUnlock()
+	}
+	return int(m.countHits.Load()), int(m.countMisses.Load()), entries
+}
+
+// SetPlanCache enables or disables the compiled-plan cache and the
+// executed-count cache together (enabled by default). Disabling forces
+// every execution back onto the compile-and-execute-per-call pooled path;
+// the differential tests use it to prove cached and uncached runs produce
+// byte-identical explanations. Not safe to toggle while matches are in
+// flight.
+func (m *Matcher) SetPlanCache(enabled bool) { m.planOff = !enabled }
+
+// PlanCacheStats reports the plan cache's hit and miss counters and its
+// resident entry count. Every miss is exactly one compilation, so a
+// hits-only delta between two points proves the executions in between
+// compiled nothing.
+func (m *Matcher) PlanCacheStats() (hits, misses, entries int) {
+	m.planMu.RLock()
+	entries = len(m.planCache)
+	m.planMu.RUnlock()
+	return int(m.planHits.Load()), int(m.planMisses.Load()), entries
+}
+
+// loadKey materializes q's binary canonical key into c.keyBuf, copying the
+// caller's precomputed key when one is given (the searches dedup executed
+// candidates on exactly that key) and deriving it otherwise. Either way the
+// buffer is reused, so steady-state lookups allocate nothing.
+func (c *Ctx) loadKey(q *query.Query, key string) {
+	if key == "" {
+		c.keyBuf = q.AppendKey(c.keyBuf[:0])
+	} else {
+		c.keyBuf = append(c.keyBuf[:0], key...)
+	}
+}
+
+// cachedPlan resolves the shared compiled plan for the query whose binary
+// canonical key sits in c.keyBuf (see loadKey). Concurrent misses on the
+// same novel key may both compile; the first published plan wins and the
+// duplicate is dropped (plans for one key are interchangeable).
+func (m *Matcher) cachedPlan(c *Ctx, q *query.Query) *Plan {
+	m.planMu.RLock()
+	p, ok := m.planCache[string(c.keyBuf)]
+	m.planMu.RUnlock()
+	if ok {
+		m.planHits.Add(1)
+		return p
+	}
+	m.planMisses.Add(1)
+	p = &Plan{}
+	m.compileInto(p, q)
+	key := string(c.keyBuf)
+	size := planBytes(key, p)
+	m.planMu.Lock()
+	if prev, ok := m.planCache[key]; ok {
+		m.planMu.Unlock()
+		return prev
+	}
+	if len(m.planCache) >= planCacheCap || m.planResident+size > planCacheMaxBytes {
+		m.planCache = make(map[string]*Plan)
+		m.planResident = 0
+	}
+	m.planCache[key] = p
+	m.planResident += size
+	m.planMu.Unlock()
+	return p
+}

@@ -23,9 +23,8 @@
 package mcs
 
 import (
+	"encoding/binary"
 	"sort"
-	"strconv"
-	"strings"
 
 	"repro/internal/match"
 	"repro/internal/metrics"
@@ -295,15 +294,20 @@ func (r *runner) priority(edges []int) []int {
 	return out
 }
 
+// stateKey encodes a traversal state (an edge-id set) as a compact binary
+// string: sorted ids, uvarint-encoded. It keys the visited and precomputed
+// maps of the growth search; the binary form avoids the per-probe
+// strconv/strings.Builder garbage of the textual encoding it replaced.
 func stateKey(edges []int) string {
-	c := append([]int(nil), edges...)
+	var stack [16]int
+	c := append(stack[:0], edges...)
 	sort.Ints(c)
-	var b strings.Builder
+	var buf [80]byte
+	b := buf[:0]
 	for _, id := range c {
-		b.WriteString(strconv.Itoa(id))
-		b.WriteByte(',')
+		b = binary.AppendUvarint(b, uint64(id))
 	}
-	return b.String()
+	return string(b)
 }
 
 // runWhole is the naive strategy: candidate subqueries span all components

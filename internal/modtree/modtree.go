@@ -80,7 +80,8 @@ type Node struct {
 
 	// op is the modification that produced this node from its parent.
 	op query.Op
-	// key caches the query's canonical form (the executed-query cache key).
+	// key caches the query's binary canonical key (the executed-query cache
+	// key, derived incrementally from the parent's key on generation).
 	key string
 	// seq is the heap-insertion number — the total-order tie-break that
 	// keeps the expansion order independent of the heap's internal layout.
@@ -140,7 +141,7 @@ func (s *Searcher) makeChildren(parent *Node, opts Options) []*Node {
 	ops := s.Modifications(parent.Query, parent.Cardinality, opts)
 	children := make([]*Node, 0, len(ops))
 	for _, op := range ops {
-		childQ, err := query.Apply(parent.Query, op)
+		childQ, childKey, err := query.ApplyKeyed(parent.Query, parent.key, op)
 		if err != nil {
 			continue
 		}
@@ -148,7 +149,7 @@ func (s *Searcher) makeChildren(parent *Node, opts Options) []*Node {
 			Query: childQ,
 			Depth: parent.Depth + 1,
 			op:    op,
-			key:   childQ.Canonical(),
+			key:   childKey,
 		})
 	}
 	return children
@@ -175,7 +176,7 @@ func (s *Searcher) precompute(pool *parallel.Pool[*match.Ctx], children []*Node,
 		s.wave.Add(ch.key, ci, precomputed)
 	}
 	parallel.RunWave(pool, &s.wave, precomputed, func(ctx *match.Ctx, i int) int {
-		return s.m.CountCtx(ctx, children[i].Query, countCap)
+		return s.m.CountKeyed(ctx, children[i].Query, children[i].key, countCap)
 	})
 }
 
@@ -214,7 +215,7 @@ func (s *Searcher) TraverseSearchTree(q *query.Query, opts Options) Result {
 				card = pc
 				delete(precomputed, n.key)
 			} else {
-				card = s.m.CountCtx(s.ctx, n.Query, opts.CountCap)
+				card = s.m.CountKeyed(s.ctx, n.Query, n.key, opts.CountCap)
 			}
 			executed[n.key] = card
 			res.Executed++
@@ -225,7 +226,7 @@ func (s *Searcher) TraverseSearchTree(q *query.Query, opts Options) Result {
 	}
 
 	root := &Node{Query: q.Clone()}
-	root.key = root.Query.Canonical()
+	root.key = root.Query.Key()
 	if !exec(root) {
 		return res
 	}
@@ -554,7 +555,7 @@ func (s *Searcher) Exhaustive(q *query.Query, opts Options) Result {
 				card = pc
 				delete(precomputed, n.key)
 			} else {
-				card = s.m.CountCtx(s.ctx, n.Query, opts.CountCap)
+				card = s.m.CountKeyed(s.ctx, n.Query, n.key, opts.CountCap)
 			}
 			executed[n.key] = card
 			res.Executed++
@@ -564,7 +565,7 @@ func (s *Searcher) Exhaustive(q *query.Query, opts Options) Result {
 		return true
 	}
 	root := &Node{Query: q.Clone()}
-	root.key = root.Query.Canonical()
+	root.key = root.Query.Key()
 	if !exec(root) {
 		return res
 	}
@@ -619,21 +620,21 @@ func (s *Searcher) RandomWalk(q *query.Query, opts Options, seed int64) Result {
 	res := Result{}
 	executed := map[string]int{}
 
-	count := func(cand *query.Query) (int, bool) {
-		key := cand.Canonical()
+	count := func(cand *query.Query, key string) (int, bool) {
 		if card, seen := executed[key]; seen {
 			return card, true
 		}
 		if res.Executed >= opts.MaxExecuted {
 			return 0, false
 		}
-		card := s.m.CountCtx(s.ctx, cand, opts.CountCap)
+		card := s.m.CountKeyed(s.ctx, cand, key, opts.CountCap)
 		executed[key] = card
 		res.Executed++
 		return card, true
 	}
 
-	rootCard, _ := count(q)
+	rootKey := q.Key()
+	rootCard, _ := count(q, rootKey)
 	res.Best = Node{Query: q.Clone(), Cardinality: rootCard, Distance: opts.Goal.Distance(rootCard)}
 	res.Generated = 1
 	res.Trace = append(res.Trace, res.Best.Distance)
@@ -642,7 +643,7 @@ func (s *Searcher) RandomWalk(q *query.Query, opts Options, seed int64) Result {
 		return res
 	}
 	for res.Executed < opts.MaxExecuted {
-		cur := q.Clone()
+		cur, curKey := q.Clone(), rootKey
 		card := rootCard
 		var ops []query.Op
 		for depth := 0; depth < opts.MaxDepth && res.Executed < opts.MaxExecuted; depth++ {
@@ -651,16 +652,16 @@ func (s *Searcher) RandomWalk(q *query.Query, opts Options, seed int64) Result {
 				break
 			}
 			op := avail[rng.Intn(len(avail))]
-			next, err := query.Apply(cur, op)
+			next, nextKey, err := query.ApplyKeyed(cur, curKey, op)
 			if err != nil {
 				continue
 			}
-			c, ok := count(next)
+			c, ok := count(next, nextKey)
 			if !ok {
 				break
 			}
 			res.Generated++
-			cur, card = next, c
+			cur, curKey, card = next, nextKey, c
 			ops = append(ops, op)
 			node := Node{
 				Query: cur, Ops: append([]query.Op(nil), ops...),

@@ -1,0 +1,217 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// keyBaseQuery builds a small but representative query: multiple vertices
+// and edges, value and range predicates, multi-type edges, mixed directions.
+func keyBaseQuery() *Query {
+	q := New()
+	a := q.AddVertex(map[string]Predicate{"type": EqS("person"), "age": Between(20, 40)})
+	b := q.AddVertex(map[string]Predicate{"type": EqS("person"), "name": In(graph.S("Anna"), graph.S("Bob"))})
+	c := q.AddVertex(map[string]Predicate{"type": EqS("city"), "population": AtLeast(100000)})
+	d := q.AddVertex(nil)
+	q.AddEdge(a, b, []string{"knows", "follows"}, map[string]Predicate{"since": AtLeast(2010)})
+	q.AddEdge(b, c, []string{"livesIn"}, nil)
+	q.AddEdge(a, c, []string{"livesIn"}, map[string]Predicate{"verified": Eq(graph.B(true))})
+	q.AddEdge(c, d, nil, nil)
+	return q
+}
+
+// randomKeyOp draws one modification op covering the whole Table 3.1
+// catalog, biased toward applicable ones.
+func randomKeyOp(q *Query, rng *rand.Rand) Op {
+	vids, eids := q.VertexIDs(), q.EdgeIDs()
+	pickV := func() int { return vids[rng.Intn(len(vids))] }
+	attrs := []string{"type", "age", "name", "population", "since", "verified", "extra"}
+	pickAttr := func() string { return attrs[rng.Intn(len(attrs))] }
+	vals := []graph.Value{graph.S("x"), graph.S("person"), graph.N(7), graph.N(2015), graph.B(false)}
+	pickVal := func() graph.Value { return vals[rng.Intn(len(vals))] }
+	types := []string{"knows", "follows", "livesIn", "worksAt"}
+
+	switch rng.Intn(14) {
+	case 0:
+		if len(eids) == 0 {
+			return nil
+		}
+		return DeleteEdge{Edge: eids[rng.Intn(len(eids))]}
+	case 1:
+		return DeleteVertex{Vertex: pickV()}
+	case 2:
+		if len(eids) == 0 {
+			return nil
+		}
+		return DeleteDirection{Edge: eids[rng.Intn(len(eids))]}
+	case 3:
+		if len(eids) == 0 {
+			return nil
+		}
+		dirs := []Dir{Forward, Backward, Both}
+		return SetDirection{Edge: eids[rng.Intn(len(eids))], Dirs: dirs[rng.Intn(len(dirs))]}
+	case 4:
+		return InsertEdge{From: pickV(), To: pickV(), Types: types[:1+rng.Intn(2)], Dirs: Forward}
+	case 5:
+		if len(eids) == 0 {
+			return nil
+		}
+		return DeleteType{Edge: eids[rng.Intn(len(eids))]}
+	case 6:
+		if len(eids) == 0 {
+			return nil
+		}
+		return AddType{Edge: eids[rng.Intn(len(eids))], Type: types[rng.Intn(len(types))]}
+	case 7:
+		if len(eids) == 0 {
+			return nil
+		}
+		return RemoveType{Edge: eids[rng.Intn(len(eids))], Type: types[rng.Intn(len(types))]}
+	case 8:
+		return DeletePredicate{On: Target{Kind: TargetVertex, ID: pickV(), Attr: pickAttr()}}
+	case 9:
+		return InsertPredicate{On: Target{Kind: TargetVertex, ID: pickV(), Attr: pickAttr()}, Pred: Eq(pickVal())}
+	case 10:
+		return ExtendPredicate{On: Target{Kind: TargetVertex, ID: pickV(), Attr: pickAttr()}, Value: pickVal()}
+	case 11:
+		return ShrinkPredicate{On: Target{Kind: TargetVertex, ID: pickV(), Attr: pickAttr()}, Value: pickVal()}
+	case 12:
+		return WidenRange{On: Target{Kind: TargetVertex, ID: pickV(), Attr: pickAttr()}, Delta: 1}
+	default:
+		if len(eids) > 0 && rng.Intn(2) == 0 {
+			return DeletePredicate{On: Target{Kind: TargetEdge, ID: eids[rng.Intn(len(eids))], Attr: pickAttr()}}
+		}
+		return NarrowRange{On: Target{Kind: TargetVertex, ID: pickV(), Attr: pickAttr()}, Delta: 1}
+	}
+}
+
+// TestKeyMatchesCanonical proves key equality ⇔ Canonical() equality over
+// randomized Apply chains: every generated query's binary key is recorded
+// against its canonical text, and any disagreement in either direction —
+// equal keys with different canonicals (a collision) or different keys with
+// equal canonicals (an instability) — fails.
+func TestKeyMatchesCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260726))
+	keyToCanon := map[string]string{}
+	canonToKey := map[string]string{}
+	chains, steps := 0, 0
+
+	check := func(q *Query) {
+		key := q.Key()
+		canon := q.Canonical()
+		if prev, ok := keyToCanon[key]; ok {
+			if prev != canon {
+				t.Fatalf("key collision: %q maps to both\n%s\nand\n%s", key, prev, canon)
+			}
+		} else {
+			keyToCanon[key] = canon
+		}
+		if prev, ok := canonToKey[canon]; ok {
+			if prev != key {
+				t.Fatalf("key instability: canonical\n%s\nproduced keys %q and %q", canon, prev, key)
+			}
+		} else {
+			canonToKey[canon] = key
+		}
+	}
+
+	for chains < 1200 {
+		chains++
+		q := keyBaseQuery()
+		key := q.Key()
+		check(q)
+		depth := 1 + rng.Intn(6)
+		for d := 0; d < depth; d++ {
+			op := randomKeyOp(q, rng)
+			if op == nil {
+				continue
+			}
+			child, childKey, err := ApplyKeyed(q, key, op)
+			if err != nil {
+				continue
+			}
+			steps++
+			// The delta-derived key must equal a from-scratch encode, and
+			// the delta-applied query must equal a plain Apply.
+			if fresh := child.Key(); childKey != fresh {
+				t.Fatalf("ApplyKeyed key diverged after %s:\n delta %q\n fresh %q\nquery:\n%s", op, childKey, fresh, child)
+			}
+			plain, err2 := Apply(q, op)
+			if err2 != nil {
+				t.Fatalf("Apply failed where ApplyKeyed succeeded: %s: %v", op, err2)
+			}
+			if plain.Canonical() != child.Canonical() {
+				t.Fatalf("ApplyKeyed query diverged from Apply after %s:\n%s\nvs\n%s", op, child, plain)
+			}
+			check(child)
+			q, key = child, childKey
+			if q.NumVertices() == 0 {
+				break
+			}
+		}
+	}
+	if steps < 1000 {
+		t.Fatalf("randomized chain workload too small: %d applied steps, want >= 1000", steps)
+	}
+	if len(keyToCanon) < 500 {
+		t.Fatalf("workload produced only %d distinct queries", len(keyToCanon))
+	}
+}
+
+// TestKeyRoundTrip pins simple structural facts of the encoding.
+func TestKeyRoundTrip(t *testing.T) {
+	q := keyBaseQuery()
+	if q.Key() != q.Key() {
+		t.Fatal("Key must be deterministic")
+	}
+	c := q.Clone()
+	if q.Key() != c.Key() {
+		t.Fatal("clone must share the key")
+	}
+	if !q.Equal(c) {
+		t.Fatal("Equal must hold for clones")
+	}
+	c.Vertex(0).Preds["age"] = Between(21, 40)
+	if q.Key() == c.Key() {
+		t.Fatal("predicate change must change the key")
+	}
+	if q.Equal(c) {
+		t.Fatal("Equal must fail after a predicate change")
+	}
+}
+
+// TestSetTypesKeepsCanonicalSorted covers the precomputed sorted type list:
+// package mutators and direct Types writes must both yield sorted canonical
+// text.
+func TestSetTypesKeepsCanonicalSorted(t *testing.T) {
+	q := New()
+	a := q.AddVertex(nil)
+	b := q.AddVertex(nil)
+	id := q.AddEdge(a, b, []string{"zeta", "alpha"}, nil)
+	want := q.Canonical()
+	if err := (AddType{Edge: id, Type: "mid"}).Apply(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := (RemoveType{Edge: id, Type: "mid"}).Apply(q); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Canonical(); got != want {
+		t.Fatalf("AddType+RemoveType changed canonical:\n%s\nvs\n%s", got, want)
+	}
+	// Direct write bypassing the mutators: the defensive check must catch it.
+	q.Edge(id).Types = []string{"omega", "beta"}
+	q2 := New()
+	a2 := q2.AddVertex(nil)
+	b2 := q2.AddVertex(nil)
+	q2.AddEdge(a2, b2, []string{"beta", "omega"}, nil)
+	if q.Canonical() != q2.Canonical() || q.Key() != q2.Key() {
+		t.Fatal("direct Types write must still canonicalize sorted")
+	}
+	// SetTypes path.
+	q.Edge(id).SetTypes([]string{"omega", "beta"})
+	if q.Key() != q2.Key() {
+		t.Fatal("SetTypes must refresh the sorted cache")
+	}
+}

@@ -212,6 +212,7 @@ func (op DeleteType) Apply(q *Query) error {
 		return ErrNotApplicable
 	}
 	e.Types = nil
+	e.refreshSortedTypes()
 	return nil
 }
 
@@ -240,6 +241,7 @@ func (op AddType) Apply(q *Query) error {
 		return ErrNotApplicable
 	}
 	e.Types = append(e.Types, op.Type)
+	e.refreshSortedTypes()
 	return nil
 }
 
@@ -270,6 +272,7 @@ func (op RemoveType) Apply(q *Query) error {
 	for i, t := range e.Types {
 		if t == op.Type {
 			e.Types = append(e.Types[:i], e.Types[i+1:]...)
+			e.refreshSortedTypes()
 			return nil
 		}
 	}

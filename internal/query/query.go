@@ -78,6 +78,11 @@ func (v *Vertex) Clone() *Vertex {
 
 // Edge is a query edge: type disjunction, source/target vertex ids,
 // direction set, and predicate intervals (Eq. 3.5/3.6/3.7).
+//
+// Types is read-only for external callers: mutate it through the operations
+// of Table 3.1 (DeleteType, AddType, RemoveType) or SetTypes, which keep the
+// precomputed sorted type list — used by Canonical and the binary key
+// encoder on every candidate dedup — in sync.
 type Edge struct {
 	ID    int
 	From  int      // source query-vertex id
@@ -85,17 +90,83 @@ type Edge struct {
 	Types []string // disjunction; empty means "any type" (type deleted)
 	Dirs  Dir
 	Preds map[string]Predicate
+
+	// sorted caches Types in ascending order. It is precomputed on every
+	// mutation so Canonical/AppendKey never re-sort (and never allocate) per
+	// edge per call; typesSorted revalidates defensively against direct
+	// Types writes that bypassed the mutators.
+	sorted []string
 }
 
 // Clone deep-copies the edge.
 func (e *Edge) Clone() *Edge {
 	c := &Edge{ID: e.ID, From: e.From, To: e.To, Dirs: e.Dirs,
-		Types: append([]string(nil), e.Types...),
-		Preds: make(map[string]Predicate, len(e.Preds))}
+		Types:  append([]string(nil), e.Types...),
+		sorted: append([]string(nil), e.sorted...),
+		Preds:  make(map[string]Predicate, len(e.Preds))}
 	for k, p := range e.Preds {
 		c.Preds[k] = p.Clone()
 	}
 	return c
+}
+
+// SetTypes replaces the edge's type disjunction, refreshing the precomputed
+// sorted list. nil (or empty) deletes the type constraint entirely.
+func (e *Edge) SetTypes(types []string) {
+	e.Types = append(e.Types[:0:0], types...)
+	e.refreshSortedTypes()
+}
+
+// refreshSortedTypes recomputes the sorted type cache; every mutation of
+// Types inside this package calls it.
+func (e *Edge) refreshSortedTypes() {
+	if len(e.Types) == 0 {
+		e.sorted = nil
+		return
+	}
+	e.sorted = append(e.sorted[:0], e.Types...)
+	sort.Strings(e.sorted)
+}
+
+// typesSorted returns the type disjunction in ascending order without
+// allocating on the precomputed path. If a caller mutated Types directly
+// (bypassing the package's mutators), the multiset check fails and a fresh
+// sorted copy is returned WITHOUT touching the cache: candidate queries
+// share Edge structs copy-on-write (see ApplyKeyed) and are encoded by
+// concurrent search workers, so the read path must never write.
+func (e *Edge) typesSorted() []string {
+	if sameMultiset(e.Types, e.sorted) {
+		return e.sorted
+	}
+	c := append([]string(nil), e.Types...)
+	sort.Strings(c)
+	return c
+}
+
+// sameMultiset reports whether a and b hold the same strings with the same
+// multiplicities. Type disjunctions are tiny, so the quadratic probe is
+// cheaper than sorting and performs no allocations.
+func sameMultiset(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, x := range a {
+		ca, cb := 0, 0
+		for _, y := range a {
+			if y == x {
+				ca++
+			}
+		}
+		for _, y := range b {
+			if y == x {
+				cb++
+			}
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
 }
 
 // HasType reports whether the edge's type disjunction admits typ.
@@ -153,7 +224,9 @@ func (q *Query) AddEdge(from, to int, types []string, preds map[string]Predicate
 	if preds == nil {
 		preds = map[string]Predicate{}
 	}
-	q.edges[id] = &Edge{ID: id, From: from, To: to, Types: append([]string(nil), types...), Dirs: Forward, Preds: preds}
+	e := &Edge{ID: id, From: from, To: to, Types: append([]string(nil), types...), Dirs: Forward, Preds: preds}
+	e.refreshSortedTypes()
+	q.edges[id] = e
 	return id
 }
 
@@ -250,6 +323,25 @@ func (q *Query) RemoveVertex(id int) bool {
 		}
 	}
 	return true
+}
+
+// cloneShallow returns a child with fresh vertex/edge maps that share the
+// element structs with q — the copy-on-write substrate of ApplyKeyed. The
+// caller must deep-clone any element it intends to mutate.
+func (q *Query) cloneShallow() *Query {
+	c := &Query{
+		vertices: make(map[int]*Vertex, len(q.vertices)),
+		edges:    make(map[int]*Edge, len(q.edges)),
+		nextVID:  q.nextVID,
+		nextEID:  q.nextEID,
+	}
+	for id, v := range q.vertices {
+		c.vertices[id] = v
+	}
+	for id, e := range q.edges {
+		c.edges[id] = e
+	}
+	return c
 }
 
 // Clone returns a deep copy sharing no storage; identifiers are preserved.
@@ -419,7 +511,7 @@ func (q *Query) Canonical() string {
 		b.WriteString(e.Dirs.String())
 		b.WriteString(strconv.Itoa(e.To))
 		b.WriteString("):")
-		for i, t := range sortedStrings(e.Types) {
+		for i, t := range e.typesSorted() {
 			if i > 0 {
 				b.WriteByte('|')
 			}
@@ -459,14 +551,10 @@ func writePreds(b *strings.Builder, preds map[string]Predicate) {
 	}
 }
 
-func sortedStrings(s []string) []string {
-	c := append([]string(nil), s...)
-	sort.Strings(c)
-	return c
-}
-
 // Equal reports whether two queries are structurally identical (same
-// identifiers, topology, types, directions, and predicates).
+// identifiers, topology, types, directions, and predicates). It compares
+// binary canonical keys, which is equivalent to comparing Canonical() texts.
 func (q *Query) Equal(o *Query) bool {
-	return q.Canonical() == o.Canonical()
+	var a, b [128]byte
+	return string(q.AppendKey(a[:0])) == string(o.AppendKey(b[:0]))
 }

@@ -120,7 +120,8 @@ type Candidate struct {
 	// Score is the priority under which the candidate was scheduled.
 	Score float64
 
-	// ckey caches the canonical form (the executed-query cache key).
+	// ckey caches the binary canonical key (the executed-query cache key,
+	// also the matcher's plan-cache key).
 	ckey string
 	// seq is the generation number, the heap's total-order tie-break: it
 	// makes the pop sequence independent of the heap's internal layout, so
@@ -129,10 +130,12 @@ type Candidate struct {
 	seq int
 }
 
-// key returns the candidate's canonical form, computed once.
+// key returns the candidate's binary canonical key, computed once. Children
+// inherit their key from the delta encoder at generation time; only roots
+// derive it from scratch here.
 func (c *Candidate) key() string {
 	if c.ckey == "" {
-		c.ckey = c.Query.Canonical()
+		c.ckey = c.Query.Key()
 	}
 	return c.ckey
 }
@@ -150,7 +153,9 @@ type Outcome struct {
 	// already executed (App. B.2).
 	CacheHits int
 	// Trace records the executed candidates' cardinalities in execution
-	// order — the §5.5.2 convergence series.
+	// order — the §5.5.2 convergence series. The slice is owned by the
+	// Rewriter's reusable scratch: it stays valid until the next Rewrite
+	// call on the same Rewriter (copy it to retain it longer).
 	Trace []int
 }
 
@@ -165,6 +170,13 @@ type Rewriter struct {
 	st  *stats.Collector
 	ctx *match.Ctx
 	ex  *executor // lazily built speculation pool, reused across runs
+
+	// Run-scoped scratch retained across Rewrite calls: the executed-query
+	// map is cleared (not reallocated) per run, and the trace slice's
+	// backing array is reused — every run of a steady workload otherwise
+	// rebuilt both from nothing.
+	executed map[string]int
+	trace    []int
 }
 
 // New returns a rewriter over the matcher and its statistics collector.
@@ -226,7 +238,7 @@ func (e *executor) prefetch(pq *candidateHeap, executed map[string]int, countCap
 		e.wave.Add(key, len(e.batch)-1, e.done)
 	}
 	parallel.RunWave(e.pool, &e.wave, e.done, func(ctx *match.Ctx, i int) int {
-		return e.m.CountCtx(ctx, e.batch[i].Query, countCap)
+		return e.m.CountKeyed(ctx, e.batch[i].Query, e.batch[i].key(), countCap)
 	})
 	for _, c := range e.batch {
 		heap.Push(pq, c)
@@ -249,7 +261,13 @@ func (r *Rewriter) Rewrite(q *query.Query, opts Options) Outcome {
 	opts.fill()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	var out Outcome
-	executed := map[string]int{} // canonical → cardinality
+	if r.executed == nil {
+		r.executed = make(map[string]int)
+	} else {
+		clear(r.executed)
+	}
+	executed := r.executed // binary canonical key → cardinality
+	r.trace = r.trace[:0]
 	pq := &candidateHeap{}
 	heap.Init(pq)
 
@@ -271,8 +289,9 @@ func (r *Rewriter) Rewrite(q *query.Query, opts Options) Outcome {
 	push(root)
 
 	// Child-expansion scratch, reused across iterations. key carries the
-	// canonical form already computed for the dedup check into the pushed
-	// Candidate, so it is never rebuilt on pop or prefetch.
+	// binary canonical key already computed by the delta encoder for the
+	// dedup check into the pushed Candidate, so it is never rebuilt on pop
+	// or prefetch.
 	type childCand struct {
 		op    query.Op
 		query *query.Query
@@ -296,11 +315,11 @@ func (r *Rewriter) Rewrite(q *query.Query, opts Options) Outcome {
 			card, precomputed = ex.take(key)
 		}
 		if !precomputed {
-			card = r.m.CountCtx(r.ctx, c.Query, opts.CountCap)
+			card = r.m.CountKeyed(r.ctx, c.Query, key, opts.CountCap)
 		}
 		executed[key] = card
 		out.Executed++
-		out.Trace = append(out.Trace, card)
+		r.trace = append(r.trace, card)
 		c.Cardinality = card
 		c.Syntactic = metrics.SyntacticDistance(q, c.Query)
 		if opts.Goal.Contains(card) && len(c.Ops) > 0 {
@@ -316,11 +335,10 @@ func (r *Rewriter) Rewrite(q *query.Query, opts Options) Outcome {
 		// worker pool can compute all child scores of one expansion at once.
 		children = children[:0]
 		for _, op := range r.relaxations(c.Query, opts) {
-			child, err := query.Apply(c.Query, op)
+			child, childKey, err := query.ApplyKeyed(c.Query, key, op)
 			if err != nil {
 				continue
 			}
-			childKey := child.Canonical()
 			if _, seen := executed[childKey]; seen {
 				out.CacheHits++
 				continue
@@ -349,6 +367,7 @@ func (r *Rewriter) Rewrite(q *query.Query, opts Options) Outcome {
 			push(&Candidate{Query: children[i].query, Ops: ops, Cardinality: -1, Score: score, ckey: children[i].key})
 		}
 	}
+	out.Trace = r.trace
 	rankSolutions(out.Solutions)
 	return out
 }
@@ -410,9 +429,27 @@ func (r *Rewriter) relaxations(q *query.Query, opts Options) []query.Op {
 	return ops
 }
 
-// sortOps makes enumeration order deterministic.
+// sortOps makes enumeration order deterministic (lexicographic on the ops'
+// textual forms, which are precomputed once per op — String() goes through
+// fmt, so calling it inside the comparator would dominate enumeration).
 func sortOps(ops []query.Op) {
-	sort.Slice(ops, func(i, j int) bool { return ops[i].String() < ops[j].String() })
+	keys := make([]string, len(ops))
+	for i, op := range ops {
+		keys[i] = op.String()
+	}
+	sort.Sort(&opsByKey{ops: ops, keys: keys})
+}
+
+type opsByKey struct {
+	ops  []query.Op
+	keys []string
+}
+
+func (s *opsByKey) Len() int           { return len(s.ops) }
+func (s *opsByKey) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *opsByKey) Swap(i, j int) {
+	s.ops[i], s.ops[j] = s.ops[j], s.ops[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
 }
 
 // rankSolutions orders solutions by syntactic distance (closest first), then

@@ -30,8 +30,9 @@ type cardShard struct {
 	m  map[string]int
 }
 
-// cardCache is a sharded string → cardinality map. Keys are canonical query
-// fragments; values are immutable once computed, so double computation under
+// cardCache is a sharded string → cardinality map. Keys are binary canonical
+// encodings of query fragments (query.AppendKey and the id-free element
+// forms); values are immutable once computed, so double computation under
 // racing misses is harmless (both writers store the same number).
 type cardCache struct {
 	shards [cardShards]cardShard
@@ -46,7 +47,7 @@ func newCardCache() *cardCache {
 }
 
 // shard picks the shard of a key by FNV-1a.
-func (c *cardCache) shard(key string) *cardShard {
+func (c *cardCache) shard(key []byte) *cardShard {
 	h := uint32(2166136261)
 	for i := 0; i < len(key); i++ {
 		h ^= uint32(key[i])
@@ -55,18 +56,20 @@ func (c *cardCache) shard(key string) *cardShard {
 	return &c.shards[h%cardShards]
 }
 
-func (c *cardCache) get(key string) (int, bool) {
+// get looks a key up without allocating: the []byte→string conversions in
+// the map index expressions are elided by the compiler.
+func (c *cardCache) get(key []byte) (int, bool) {
 	s := c.shard(key)
 	s.mu.RLock()
-	n, ok := s.m[key]
+	n, ok := s.m[string(key)]
 	s.mu.RUnlock()
 	return n, ok
 }
 
-func (c *cardCache) put(key string, n int) {
+func (c *cardCache) put(key []byte, n int) {
 	s := c.shard(key)
 	s.mu.Lock()
-	s.m[key] = n
+	s.m[string(key)] = n
 	s.mu.Unlock()
 }
 
@@ -92,6 +95,7 @@ func (c *cardCache) len() int {
 type Collector struct {
 	m    *match.Matcher
 	ctxs sync.Pool
+	keys sync.Pool // *[]byte scratch for building cache keys without garbage
 
 	vertexCard *cardCache
 	edgeCard   *cardCache
@@ -99,6 +103,15 @@ type Collector struct {
 
 	hits, misses atomic.Int64
 }
+
+// getKeyBuf returns an empty key scratch buffer; put it back with putKeyBuf.
+func (c *Collector) getKeyBuf() *[]byte {
+	kb := c.keys.Get().(*[]byte)
+	*kb = (*kb)[:0]
+	return kb
+}
+
+func (c *Collector) putKeyBuf(kb *[]byte) { c.keys.Put(kb) }
 
 // New returns a collector over the matcher's data graph.
 func New(m *match.Matcher) *Collector {
@@ -109,6 +122,7 @@ func New(m *match.Matcher) *Collector {
 		pathCard:   newCardCache(),
 	}
 	c.ctxs.New = func() any { return m.NewContext() }
+	c.keys.New = func() any { b := make([]byte, 0, 128); return &b }
 	return c
 }
 
@@ -119,55 +133,38 @@ func (c *Collector) CacheStats() (hits, misses, entries int) {
 		c.vertexCard.len() + c.edgeCard.len() + c.pathCard.len()
 }
 
-func vertexKey(v *query.Vertex) string {
-	q := query.New()
-	q.AddVertex(clonePreds(v.Preds))
-	return q.Canonical()
-}
-
-func clonePreds(p map[string]query.Predicate) map[string]query.Predicate {
-	c := make(map[string]query.Predicate, len(p))
-	for k, v := range p {
-		c[k] = v.Clone()
-	}
-	return c
-}
-
 // VertexCardinality returns the exact number of data vertices matching the
-// query vertex (querying statistics for vertices, §5.2.2).
+// query vertex (querying statistics for vertices, §5.2.2). The cache key is
+// the vertex's id-free binary predicate encoding, so equal predicate sets
+// share one entry regardless of vertex identifiers.
 func (c *Collector) VertexCardinality(v *query.Vertex) int {
-	key := "v:" + vertexKey(v)
-	if n, ok := c.vertexCard.get(key); ok {
+	kb := c.getKeyBuf()
+	defer c.putKeyBuf(kb)
+	*kb = v.AppendPredKey(*kb)
+	if n, ok := c.vertexCard.get(*kb); ok {
 		c.hits.Add(1)
 		return n
 	}
 	c.misses.Add(1)
 	n := c.m.CandidateCount(v)
-	c.vertexCard.put(key, n)
+	c.vertexCard.put(*kb, n)
 	return n
-}
-
-func edgeKey(e *query.Edge) string {
-	q := query.New()
-	a := q.AddVertex(nil)
-	b := q.AddVertex(nil)
-	id := q.AddEdge(a, b, e.Types, clonePreds(e.Preds))
-	q.Edge(id).Dirs = e.Dirs
-	return q.Canonical()
 }
 
 // EdgeCardinality returns the exact number of data edges matching the query
 // edge's type disjunction and predicates, ignoring endpoint constraints
 // (querying statistics for edges, §5.2.2).
 func (c *Collector) EdgeCardinality(e *query.Edge) int {
-	key := "e:" + edgeKey(e)
-	if n, ok := c.edgeCard.get(key); ok {
+	kb := c.getKeyBuf()
+	defer c.putKeyBuf(kb)
+	*kb = e.AppendConstraintKey(*kb)
+	if n, ok := c.edgeCard.get(*kb); ok {
 		c.hits.Add(1)
 		return n
 	}
 	c.misses.Add(1)
 	n := c.m.EdgeCandidateCount(e)
-	c.edgeCard.put(key, n)
+	c.edgeCard.put(*kb, n)
 	return n
 }
 
@@ -180,21 +177,26 @@ func (c *Collector) Path1Cardinality(q *query.Query, edgeID int) int {
 
 // PathCardinality returns the exact number of data paths matching the given
 // chain of query edges including endpoint predicates — Path(n), §5.2.3.
+// Cache-missing probes run on a collector-owned context and pass the
+// subquery's key straight through to the matcher's plan cache, so repeated
+// probes of the same fragment never recompile it.
 func (c *Collector) PathCardinality(q *query.Query, chain []int) int {
 	if len(chain) == 0 {
 		return 0
 	}
 	sub := q.SubqueryByEdges(chain)
-	key := "p:" + sub.Canonical()
-	if n, ok := c.pathCard.get(key); ok {
+	kb := c.getKeyBuf()
+	defer c.putKeyBuf(kb)
+	*kb = sub.AppendKey(*kb)
+	if n, ok := c.pathCard.get(*kb); ok {
 		c.hits.Add(1)
 		return n
 	}
 	c.misses.Add(1)
 	ctx := c.ctxs.Get().(*match.Ctx)
-	n := c.m.CountCtx(ctx, sub, 0)
+	n := c.m.CountKeyed(ctx, sub, string(*kb), 0)
 	c.ctxs.Put(ctx)
-	c.pathCard.put(key, n)
+	c.pathCard.put(*kb, n)
 	return n
 }
 

@@ -1,0 +1,155 @@
+// Differential tests for the compiled-plan cache: with the cache enabled
+// (the default) every explanation search — the relaxation rewriter under all
+// five priority functions, the modification-tree searches, MCS discovery in
+// all variants, and the assembled Engine.Explain — must produce results,
+// ranks, traces, and counters byte-identical to a run with the cache
+// disabled (compile-per-execution, the pre-cache behavior). Caching may only
+// change wall-clock time, never an explanation.
+package repro_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/match"
+	"repro/internal/mcs"
+	"repro/internal/metrics"
+	"repro/internal/modtree"
+	"repro/internal/relax"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// cachePair returns two matchers over the same graph, plan cache on and off.
+func cachePair(g *repro.Graph) (on, off *match.Matcher) {
+	on = match.New(g)
+	off = match.New(g)
+	off.SetPlanCache(false)
+	return on, off
+}
+
+func TestPlanCacheDifferentialRelax(t *testing.T) {
+	lg, _ := setup()
+	on, off := cachePair(lg)
+	stOn, stOff := stats.New(on), stats.New(off)
+	prios := []relax.Priority{
+		relax.PriorityRandom, relax.PrioritySyntactic, relax.PriorityEstimatedCardinality,
+		relax.PriorityAvgPath1, relax.PriorityCombined,
+	}
+	for _, nq := range workload.LDBCQueries() {
+		q, err := workload.FailingVariant(nq.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range prios {
+			opts := relax.Options{Priority: p, MaxSolutions: 3, MaxExecuted: 60, Seed: 7}
+			got := relaxFingerprint(relax.New(on, stOn).Rewrite(q, opts))
+			want := relaxFingerprint(relax.New(off, stOff).Rewrite(q, opts))
+			if got != want {
+				t.Errorf("%s/%v: plan cache changed the rewriting:\n--- cache off\n%s--- cache on\n%s", nq.Name, p, want, got)
+			}
+		}
+	}
+	if hits, _, _ := on.PlanCacheStats(); hits == 0 {
+		t.Fatal("cached run never hit the plan cache — the differential proves nothing")
+	}
+}
+
+func TestPlanCacheDifferentialModtree(t *testing.T) {
+	lg, _ := setup()
+	on, off := cachePair(lg)
+	stOn, stOff := stats.New(on), stats.New(off)
+	dom := stats.BuildDomain(lg, 16)
+	sOn, sOff := modtree.New(on, stOn), modtree.New(off, stOff)
+	for _, nq := range workload.LDBCQueries() {
+		q := nq.Build()
+		c1 := on.Count(q, 0)
+		goals := []metrics.Interval{
+			{Lower: workload.Threshold(c1, 2)},
+			{Lower: 1, Upper: workload.Threshold(c1, 1)},
+		}
+		for gi, goal := range goals {
+			opts := modtree.Options{Goal: goal, Domain: dom, MaxExecuted: 80}
+			if got, want := modtreeFingerprint(sOn.TraverseSearchTree(q, opts)), modtreeFingerprint(sOff.TraverseSearchTree(q, opts)); got != want {
+				t.Errorf("%s goal %d: plan cache changed TST:\n--- cache off\n%s\n--- cache on\n%s", nq.Name, gi, want, got)
+			}
+			if got, want := modtreeFingerprint(sOn.Exhaustive(q, opts)), modtreeFingerprint(sOff.Exhaustive(q, opts)); got != want {
+				t.Errorf("%s goal %d: plan cache changed Exhaustive:\n--- cache off\n%s\n--- cache on\n%s", nq.Name, gi, want, got)
+			}
+			if got, want := modtreeFingerprint(sOn.RandomWalk(q, opts, 7)), modtreeFingerprint(sOff.RandomWalk(q, opts, 7)); got != want {
+				t.Errorf("%s goal %d: plan cache changed RandomWalk:\n--- cache off\n%s\n--- cache on\n%s", nq.Name, gi, want, got)
+			}
+		}
+	}
+}
+
+func TestPlanCacheDifferentialMCS(t *testing.T) {
+	_, dg := setup()
+	on, off := cachePair(dg)
+	stOn, stOff := stats.New(on), stats.New(off)
+	for _, nq := range workload.DBpediaQueries() {
+		q := failingVariantFor(t, "dbpedia", nq.Name)
+		for _, opts := range []mcs.Options{{}, {UseWCC: true}, {SinglePath: true}, {UseWCC: true, SinglePath: true}} {
+			got := mcsFingerprint(mcs.BoundedMCS(on, stOn, q, metrics.AtLeastOne, opts))
+			want := mcsFingerprint(mcs.BoundedMCS(off, stOff, q, metrics.AtLeastOne, opts))
+			if got != want {
+				t.Errorf("%s opts %+v: plan cache changed MCS:\n--- cache off\n%s\n--- cache on\n%s", nq.Name, opts, want, got)
+			}
+		}
+	}
+}
+
+// explainFingerprint serializes the full report including rewriting queries.
+func explainFingerprint(rep *repro.Report) string {
+	var b strings.Builder
+	b.WriteString(rep.Summary())
+	for _, rw := range rep.Rewritings {
+		fmt.Fprintf(&b, "\n%s", rw.Query.Canonical())
+	}
+	return b.String()
+}
+
+func TestPlanCacheDifferentialExplain(t *testing.T) {
+	lg, _ := setup()
+	engOn := repro.NewEngine(lg)
+	engOff := repro.NewEngine(lg)
+	engOff.Matcher().SetPlanCache(false)
+	// Fixed worker count: this differential isolates the plan cache.
+	engOn.SetWorkers(2)
+	engOff.SetWorkers(2)
+	for _, nq := range workload.LDBCQueries() {
+		q, err := workload.FailingVariant(nq.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		repOn, err := engOn.Explain(q, repro.ExplainOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		repOff, err := engOff.Explain(q, repro.ExplainOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := explainFingerprint(repOn), explainFingerprint(repOff); got != want {
+			t.Errorf("%s: plan cache changed Explain:\n--- cache off\n%s\n--- cache on\n%s", nq.Name, want, got)
+		}
+		tooMany := nq.Build()
+		bounds := repro.Interval{Lower: 1, Upper: workload.Threshold(nq.C1, 0.5)}
+		repOn, err = engOn.Explain(tooMany, repro.ExplainOptions{Expected: bounds})
+		if err != nil {
+			t.Fatal(err)
+		}
+		repOff, err = engOff.Explain(tooMany, repro.ExplainOptions{Expected: bounds})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := explainFingerprint(repOn), explainFingerprint(repOff); got != want {
+			t.Errorf("%s too-many: plan cache changed Explain:\n--- cache off\n%s\n--- cache on\n%s", nq.Name, want, got)
+		}
+	}
+	if hits, _, _ := engOn.Matcher().PlanCacheStats(); hits == 0 {
+		t.Fatal("cached engine never hit the plan cache")
+	}
+}
