@@ -1,16 +1,20 @@
 // Command whydb is an interactive demonstrator: it generates one of the
 // built-in data sets, runs a built-in query (or its failing variant), and
-// prints the why-query explanation report.
+// prints the why-query explanation report — as terminal text by default, or
+// as the service wire format with -json (the same internal/wire encoding
+// whydbd serves, so a report printed here is byte-comparable with a report
+// fetched from the daemon).
 //
 // Usage:
 //
 //	whydb -dataset ldbc -query "LDBC QUERY 2" -fail -lower 1
 //	whydb -dataset ldbc -query "LDBC QUERY 3" -lower 40 -upper 90
-//	whydb -dataset dbpedia -query "DBPEDIA QUERY 1" -fail
+//	whydb -dataset dbpedia -query "DBPEDIA QUERY 1" -fail -json
 //	whydb -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +23,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/metrics"
 	"repro/internal/query"
+	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
@@ -29,6 +34,7 @@ func main() {
 	lower := flag.Int("lower", 1, "expected lower cardinality bound")
 	upper := flag.Int("upper", 0, "expected upper cardinality bound (0 = none)")
 	topo := flag.Bool("topology", false, "allow topology-changing rewritings")
+	asJSON := flag.Bool("json", false, "emit the query and report in the whydbd wire format")
 	list := flag.Bool("list", false, "list built-in queries and exit")
 	flag.Parse()
 
@@ -73,8 +79,10 @@ func main() {
 		os.Exit(2)
 	}
 
-	fmt.Println("query:")
-	fmt.Println(q)
+	if !*asJSON {
+		fmt.Println("query:")
+		fmt.Println(q)
+	}
 	rep, err := engine.Explain(q, core.Options{
 		Expected:      metrics.Interval{Lower: *lower, Upper: *upper},
 		AllowTopology: *topo,
@@ -82,6 +90,19 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *asJSON {
+		out := struct {
+			Query  wire.Query  `json:"query"`
+			Report wire.Report `json:"report"`
+		}{Query: wire.FromQuery(q), Report: wire.FromReport(rep)}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
 	}
 	fmt.Println(rep.Summary())
 	if len(rep.Rewritings) > 0 {

@@ -1,0 +1,128 @@
+// Command whydbd is the long-running why-query daemon: it loads one or more
+// built-in datasets at startup, wraps each in a concurrency-safe core.Engine,
+// and serves the HTTP/JSON API of internal/server until terminated.
+//
+// Usage:
+//
+//	whydbd -addr :8080 -datasets ldbc,dbpedia
+//	whydbd -addr 127.0.0.1:8091 -datasets ldbc -scale 0.5 -workers 4
+//
+// Endpoints: POST /v1/explain, POST /v1/match, GET /v1/datasets,
+// GET /v1/stats, GET /healthz. See the README's HTTP API section for request
+// bodies and curl examples. SIGINT/SIGTERM trigger a graceful shutdown:
+// in-flight requests get -shutdown-grace to finish (their contexts are
+// cancelled at the deadline, which stops the explanation searches).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	datasets := flag.String("datasets", "ldbc,dbpedia", "comma-separated datasets to load (ldbc, dbpedia)")
+	scale := flag.Float64("scale", 1.0, "dataset size factor (1.0 = the experiment-suite defaults)")
+	workers := flag.Int("workers", 0, "explanation-search workers per engine (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-request processing deadline")
+	maxTimeout := flag.Duration("max-timeout", 120*time.Second, "upper clamp for client-requested timeouts")
+	budget := flag.Int("budget", 0, "default explanation candidate budget (0 = engine default, 300)")
+	maxBudget := flag.Int("max-budget", 20000, "upper clamp for client-requested budgets")
+	grace := flag.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		DefaultBudget:  *budget,
+		MaxBudget:      *maxBudget,
+	})
+	loaded := 0
+	for _, name := range strings.Split(*datasets, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		start := time.Now()
+		switch name {
+		case "ldbc":
+			eng := core.NewEngine(datagen.LDBC(datagen.DefaultLDBC().Scaled(*scale)))
+			eng.SetWorkers(*workers)
+			srv.AddDataset(name, eng, workload.LDBCQueries(), workload.FailingVariant)
+			logLoaded(name, eng, start)
+		case "dbpedia":
+			cfg := datagen.DefaultDBpedia()
+			cfg.Entities = scaleCount(cfg.Entities, *scale)
+			eng := core.NewEngine(datagen.DBpedia(cfg))
+			eng.SetWorkers(*workers)
+			srv.AddDataset(name, eng, workload.DBpediaQueries(), workload.DBpediaFailingVariant)
+			logLoaded(name, eng, start)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown dataset %q (want ldbc or dbpedia)\n", name)
+			os.Exit(2)
+		}
+		loaded++
+	}
+	if loaded == 0 {
+		fmt.Fprintln(os.Stderr, "no datasets loaded")
+		os.Exit(2)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("whydbd listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+	select {
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+		log.Printf("shutdown signal received, draining for up to %v", *grace)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		err := httpSrv.Shutdown(shutdownCtx)
+		if errors.Is(err, context.DeadlineExceeded) {
+			// Stragglers past the grace period: closing the connections
+			// cancels their request contexts, which stops the searches.
+			err = httpSrv.Close()
+		}
+		if err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+}
+
+func logLoaded(name string, eng *core.Engine, start time.Time) {
+	g := eng.Graph()
+	log.Printf("loaded dataset %s: %d vertices, %d edges, %d workers (%.2fs)",
+		name, g.NumVertices(), g.NumEdges(), eng.Workers(), time.Since(start).Seconds())
+}
+
+func scaleCount(n int, f float64) int {
+	v := int(float64(n) * f)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}

@@ -1,0 +1,287 @@
+// Command whyload is the why-query load generator: it discovers a running
+// whydbd's datasets and built-in queries, replays a mix of explain and match
+// requests at a target concurrency, and reports throughput (RPS) and latency
+// percentiles (p50/p95/p99) — the repo's end-to-end service numbers.
+//
+// Usage:
+//
+//	whyload -addr http://127.0.0.1:8080 -mix mixed -concurrency 8 -duration 10s
+//	whyload -addr http://127.0.0.1:8091 -mix explain -requests 200 -out summary.json
+//
+// The request corpus is derived from GET /v1/datasets: per dataset, every
+// built-in query yields a why-empty explain (its failing variant), a
+// bounded explain (why-so-many against a tight interval), a count match,
+// and a find match. -mix selects explain ops, match ops, or both.
+//
+// whyload exits non-zero if any request failed (non-2xx or transport
+// error), so a CI smoke run fails loudly; -allow-errors downgrades that to
+// a report line.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+type job struct {
+	kind string // "explain" | "match"
+	body []byte
+}
+
+// kindStats aggregates one request kind's outcomes.
+type kindStats struct {
+	Requests  int     `json:"requests"`
+	Errors    int     `json:"errors"`
+	P50Ms     float64 `json:"p50Ms"`
+	P95Ms     float64 `json:"p95Ms"`
+	P99Ms     float64 `json:"p99Ms"`
+	MaxMs     float64 `json:"maxMs"`
+	MeanMs    float64 `json:"meanMs"`
+	latencies []time.Duration
+}
+
+// summary is the machine-readable run report (-out, uploaded as a CI
+// artifact).
+type summary struct {
+	Target      string               `json:"target"`
+	Mix         string               `json:"mix"`
+	Concurrency int                  `json:"concurrency"`
+	Requests    int                  `json:"requests"`
+	Errors      int                  `json:"errors"`
+	DurationMs  float64              `json:"durationMs"`
+	RPS         float64              `json:"rps"`
+	P50Ms       float64              `json:"p50Ms"`
+	P95Ms       float64              `json:"p95Ms"`
+	P99Ms       float64              `json:"p99Ms"`
+	MaxMs       float64              `json:"maxMs"`
+	MeanMs      float64              `json:"meanMs"`
+	PerKind     map[string]kindStats `json:"perKind"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "whydbd base URL")
+	mix := flag.String("mix", "mixed", "request mix: explain, match, or mixed")
+	concurrency := flag.Int("concurrency", 8, "concurrent request workers")
+	requests := flag.Int("requests", 0, "total requests to send (0 = run for -duration)")
+	duration := flag.Duration("duration", 10*time.Second, "run length when -requests is 0")
+	budget := flag.Int("budget", 150, "explanation candidate budget per explain request")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+	out := flag.String("out", "", "write the JSON summary to this file")
+	allowErrors := flag.Bool("allow-errors", false, "exit 0 even when requests failed")
+	flag.Parse()
+	if *mix != "explain" && *mix != "match" && *mix != "mixed" {
+		fmt.Fprintf(os.Stderr, "unknown mix %q (want explain, match, or mixed)\n", *mix)
+		os.Exit(2)
+	}
+	if *concurrency < 1 {
+		*concurrency = 1
+	}
+
+	client := &http.Client{Timeout: *timeout}
+	jobs, err := buildJobs(client, *addr, *mix, *budget)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "whyload: %v\n", err)
+		os.Exit(1)
+	}
+	if len(jobs) == 0 {
+		fmt.Fprintln(os.Stderr, "whyload: the daemon serves no datasets")
+		os.Exit(1)
+	}
+
+	type sample struct {
+		kind string
+		lat  time.Duration
+		err  bool
+	}
+	perWorker := make([][]sample, *concurrency)
+	var next atomic.Int64
+	deadline := time.Now().Add(*duration)
+	useCount := *requests > 0
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if useCount {
+					if int(i) >= *requests {
+						return
+					}
+				} else if time.Now().After(deadline) {
+					return
+				}
+				j := jobs[int(i)%len(jobs)]
+				t0 := time.Now()
+				ok := post(client, *addr+"/v1/"+j.kind, j.body)
+				perWorker[w] = append(perWorker[w], sample{kind: j.kind, lat: time.Since(t0), err: !ok})
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sum := summary{
+		Target:      *addr,
+		Mix:         *mix,
+		Concurrency: *concurrency,
+		DurationMs:  float64(elapsed.Nanoseconds()) / 1e6,
+		PerKind:     map[string]kindStats{},
+	}
+	var all []time.Duration
+	var mean time.Duration
+	for _, ws := range perWorker {
+		for _, s := range ws {
+			sum.Requests++
+			ks := sum.PerKind[s.kind]
+			ks.Requests++
+			if s.err {
+				sum.Errors++
+				ks.Errors++
+			} else {
+				all = append(all, s.lat)
+				mean += s.lat
+				ks.latencies = append(ks.latencies, s.lat)
+			}
+			sum.PerKind[s.kind] = ks
+		}
+	}
+	sum.RPS = float64(sum.Requests) / elapsed.Seconds()
+	sum.P50Ms, sum.P95Ms, sum.P99Ms, sum.MaxMs = percentiles(all)
+	if len(all) > 0 {
+		sum.MeanMs = float64(mean.Nanoseconds()) / 1e6 / float64(len(all))
+	}
+	for kind, ks := range sum.PerKind {
+		var km time.Duration
+		for _, l := range ks.latencies {
+			km += l
+		}
+		ks.P50Ms, ks.P95Ms, ks.P99Ms, ks.MaxMs = percentiles(ks.latencies)
+		if n := len(ks.latencies); n > 0 {
+			ks.MeanMs = float64(km.Nanoseconds()) / 1e6 / float64(n)
+		}
+		ks.latencies = nil
+		sum.PerKind[kind] = ks
+	}
+
+	fmt.Printf("whyload: %s mix against %s, %d workers\n", sum.Mix, sum.Target, sum.Concurrency)
+	fmt.Printf("  %d requests in %.2fs → %.1f req/s, %d errors\n", sum.Requests, elapsed.Seconds(), sum.RPS, sum.Errors)
+	fmt.Printf("  latency ms: p50=%.2f p95=%.2f p99=%.2f max=%.2f mean=%.2f\n", sum.P50Ms, sum.P95Ms, sum.P99Ms, sum.MaxMs, sum.MeanMs)
+	for _, kind := range sortedKinds(sum.PerKind) {
+		ks := sum.PerKind[kind]
+		fmt.Printf("  %-8s %5d requests, %d errors, p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
+			kind, ks.Requests, ks.Errors, ks.P50Ms, ks.P95Ms, ks.P99Ms, ks.MaxMs)
+	}
+	if *out != "" {
+		blob, err := json.MarshalIndent(sum, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, append(blob, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "whyload: writing summary: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if sum.Errors > 0 && !*allowErrors {
+		os.Exit(1)
+	}
+}
+
+// buildJobs derives the request corpus from the daemon's dataset listing.
+func buildJobs(client *http.Client, addr, mix string, budget int) ([]job, error) {
+	resp, err := client.Get(addr + "/v1/datasets")
+	if err != nil {
+		return nil, fmt.Errorf("discovering datasets: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("discovering datasets: %s", resp.Status)
+	}
+	var infos []wire.DatasetInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return nil, fmt.Errorf("decoding dataset listing: %w", err)
+	}
+	var jobs []job
+	add := func(kind string, body any) {
+		blob, err := json.Marshal(body)
+		if err != nil {
+			panic(err) // request types always marshal
+		}
+		jobs = append(jobs, job{kind: kind, body: blob})
+	}
+	for _, info := range infos {
+		for _, builtin := range info.Builtins {
+			if mix != "match" {
+				add("explain", wire.ExplainRequest{
+					Dataset: info.Name, Builtin: builtin, Failing: true, Lower: 1, Budget: budget,
+				})
+				add("explain", wire.ExplainRequest{
+					Dataset: info.Name, Builtin: builtin, Lower: 1, Upper: 3, Budget: budget,
+				})
+			}
+			if mix != "explain" {
+				add("match", wire.MatchRequest{
+					Dataset: info.Name, Builtin: builtin,
+				})
+				add("match", wire.MatchRequest{
+					Dataset: info.Name, Builtin: builtin, Mode: "find", Limit: 10,
+				})
+			}
+		}
+	}
+	return jobs, nil
+}
+
+// post sends one request and reports whether it got a 2xx answer with a
+// well-formed JSON body.
+func post(client *http.Client, url string, body []byte) bool {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil || resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return false
+	}
+	return json.Valid(blob)
+}
+
+// percentiles returns p50/p95/p99/max in milliseconds.
+func percentiles(lats []time.Duration) (p50, p95, p99, max float64) {
+	if len(lats) == 0 {
+		return 0, 0, 0, 0
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) float64 {
+		idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return float64(sorted[idx].Nanoseconds()) / 1e6
+	}
+	return at(0.50), at(0.95), at(0.99), float64(sorted[len(sorted)-1].Nanoseconds()) / 1e6
+}
+
+func sortedKinds(m map[string]kindStats) []string {
+	kinds := make([]string, 0, len(m))
+	for k := range m {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	return kinds
+}

@@ -8,8 +8,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/match"
@@ -22,14 +24,30 @@ import (
 )
 
 // Engine is the why-query engine over one data graph.
+//
+// An Engine is safe for concurrent use: the matcher and statistics collector
+// are concurrency-safe by construction, and every Explain call draws a
+// private search state (relaxation rewriter, modification-tree searcher,
+// matching context) from an internal pool, so a long-running service can
+// serve Explain requests from many goroutines against one loaded graph.
+// SetWorkers is the exception: call it before sharing the engine.
 type Engine struct {
 	g       *graph.Graph
 	m       *match.Matcher
 	st      *stats.Collector
 	domain  *stats.Domain
-	rw      *relax.Rewriter
-	mt      *modtree.Searcher
+	states  sync.Pool // *explainState, one per in-flight Explain
 	workers int
+}
+
+// explainState is the per-call mutable search state of Explain. The rewriter
+// and searcher each own a matching context and (lazily) a worker pool, none
+// of which tolerate concurrent use, so states are pooled and checked out for
+// the duration of one explanation.
+type explainState struct {
+	rw  *relax.Rewriter
+	mt  *modtree.Searcher
+	ctx *match.Ctx
 }
 
 // NewEngine builds an engine (matcher, statistics, domain catalog) over g.
@@ -37,20 +55,23 @@ type Engine struct {
 func NewEngine(g *graph.Graph) *Engine {
 	m := match.New(g)
 	st := stats.New(m)
-	return &Engine{
+	e := &Engine{
 		g: g, m: m, st: st,
 		domain:  stats.BuildDomain(g, 16),
-		rw:      relax.New(m, st),
-		mt:      modtree.New(m, st),
 		workers: runtime.GOMAXPROCS(0),
 	}
+	e.states.New = func() any {
+		return &explainState{rw: relax.New(m, st), mt: modtree.New(m, st), ctx: m.NewContext()}
+	}
+	return e
 }
 
 // SetWorkers sets the worker count the explanation searches (relaxation,
 // modification tree, MCS) evaluate query candidates with. Values below one
 // reset to the default, GOMAXPROCS. Parallelism never changes explanations:
 // every search is byte-identical to its sequential run; only wall-clock time
-// shrinks.
+// shrinks. Not safe to call concurrently with Explain — configure the engine
+// before serving.
 func (e *Engine) SetWorkers(n int) {
 	if n < 1 {
 		n = runtime.GOMAXPROCS(0)
@@ -150,19 +171,45 @@ type Report struct {
 	// Rewritings are the modification-based explanations, ranked by
 	// cardinality distance, then syntactic distance, then result distance.
 	Rewritings []Rewriting
+	// FineGrained reports which rewriting engine ran: true for the Chapter 6
+	// TRAVERSESEARCHTREE, false for the Chapter 5 coarse-grained relaxation.
+	FineGrained bool
+	// Executed counts the rewriting search's candidate executions — the
+	// §5.5.1/§6.4.2 cost currency (MCS traversals are reported separately in
+	// Subgraph.Traversals).
+	Executed int
+	// Trace is the rewriting search's convergence series: executed-candidate
+	// cardinalities for the coarse-grained relaxation (§5.5.2), best-so-far
+	// cardinality distances for TRAVERSESEARCHTREE (§6.4.2). The slice is
+	// owned by the report.
+	Trace []int
 }
 
 // Explain debugs the query against the expected cardinality interval.
 func (e *Engine) Explain(q *query.Query, opts Options) (*Report, error) {
+	return e.ExplainCtx(context.Background(), q, opts)
+}
+
+// ExplainCtx is Explain under a cancellation context: when ctx is cancelled
+// (client gone, deadline hit), the explanation searches stop within one
+// candidate execution and the context's error is returned — the partial
+// explanation is discarded. This is the entry point of the whydbd service
+// layer, where an abandoned request must stop burning the worker pool.
+func (e *Engine) ExplainCtx(ctx context.Context, q *query.Query, opts Options) (*Report, error) {
 	if err := q.Validate(); err != nil {
 		return nil, fmt.Errorf("core: invalid query: %w", err)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	opts.fill()
+	st := e.states.Get().(*explainState)
+	defer e.states.Put(st)
 	countCap := 0
 	if opts.Expected.Upper > 0 {
 		countCap = opts.Expected.Upper * 4
 	}
-	card := e.m.Count(q, countCap)
+	card := e.m.CountCtx(st.ctx, q, countCap)
 	rep := &Report{
 		Problem:     opts.Expected.Classify(card),
 		Cardinality: card,
@@ -182,22 +229,28 @@ func (e *Engine) Explain(q *query.Query, opts Options) (*Report, error) {
 		EdgeWeights:     opts.EdgeWeights,
 		TraversalBudget: opts.Budget,
 		Workers:         workers,
+		Ctx:             ctx,
 	})
 	rep.Subgraph = &sub
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Modification-based explanations (Chapters 5–6).
 	fine := rep.Problem != metrics.WhyEmpty
 	if opts.FineGrained != nil {
 		fine = *opts.FineGrained
 	}
+	rep.FineGrained = fine
 	var candidates []Rewriting
 	if fine {
-		res := e.mt.TraverseSearchTree(q, modtree.Options{
+		res := st.mt.TraverseSearchTree(q, modtree.Options{
 			Goal:          opts.Expected,
 			MaxExecuted:   opts.Budget,
 			AllowTopology: opts.AllowTopology,
 			Domain:        e.domain,
 			Workers:       workers,
+			Ctx:           ctx,
 		})
 		if len(res.Best.Ops) > 0 {
 			candidates = append(candidates, Rewriting{
@@ -206,8 +259,10 @@ func (e *Engine) Explain(q *query.Query, opts Options) (*Report, error) {
 				Cardinality: res.Best.Cardinality,
 			})
 		}
+		rep.Executed = res.Executed
+		rep.Trace = append([]int(nil), res.Trace...)
 	} else {
-		out := e.rw.Rewrite(q, relax.Options{
+		out := st.rw.Rewrite(q, relax.Options{
 			Goal:          opts.Expected,
 			MaxExecuted:   opts.Budget,
 			MaxSolutions:  opts.MaxRewritings,
@@ -215,6 +270,7 @@ func (e *Engine) Explain(q *query.Query, opts Options) (*Report, error) {
 			Prefs:         opts.Prefs,
 			Priority:      relax.PriorityCombined,
 			Workers:       workers,
+			Ctx:           ctx,
 		})
 		for _, s := range out.Solutions {
 			candidates = append(candidates, Rewriting{
@@ -223,15 +279,24 @@ func (e *Engine) Explain(q *query.Query, opts Options) (*Report, error) {
 				Cardinality: s.Cardinality,
 			})
 		}
+		rep.Executed = out.Executed
+		// Copy: Outcome.Trace is scratch owned by the pooled rewriter and
+		// would be overwritten by the next explanation that checks it out.
+		rep.Trace = append([]int(nil), out.Trace...)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
-	ctx := e.m.NewContext()
-	origResults := e.m.FindCtx(ctx, q, match.Options{Limit: opts.ResultSample})
+	origResults := e.m.FindCtx(st.ctx, q, match.Options{Limit: opts.ResultSample})
 	for i := range candidates {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		c := &candidates[i]
 		c.Syntactic = metrics.SyntacticDistance(q, c.Query)
 		c.CardinalityDistance = opts.Expected.Distance(c.Cardinality)
-		newResults := e.m.FindCtx(ctx, c.Query, match.Options{Limit: opts.ResultSample})
+		newResults := e.m.FindCtx(st.ctx, c.Query, match.Options{Limit: opts.ResultSample})
 		c.ResultDistance = metrics.ResultSetDistance(origResults, newResults)
 	}
 	sortRewritings(candidates)

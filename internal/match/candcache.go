@@ -46,8 +46,10 @@ func (m *Matcher) resolveCandidates(key []byte, preds []flatPred, words int, scr
 	e, ok := m.candCache[string(key)]
 	m.candMu.RUnlock()
 	if ok {
+		m.candHits.Add(1)
 		return e
 	}
+	m.candMisses.Add(1)
 	list := m.candidatesFlat(nil, preds, scratch)
 	bits := make([]uint64, words)
 	for _, id := range list {
@@ -64,6 +66,17 @@ func (m *Matcher) resolveCandidates(key []byte, preds []flatPred, words int, scr
 	m.candBytes += size
 	m.candMu.Unlock()
 	return e
+}
+
+// CandCacheStats reports the candidate cache's hit and miss counters and its
+// resident entry count. Every miss is one full candidate resolution (an index
+// probe or a graph scan); a high hit rate means the rewriting searches and
+// the plan compiler are reusing candidate lists across query variants.
+func (m *Matcher) CandCacheStats() (hits, misses, entries int) {
+	m.candMu.RLock()
+	entries = len(m.candCache)
+	m.candMu.RUnlock()
+	return int(m.candHits.Load()), int(m.candMisses.Load()), entries
 }
 
 // appendPredKey appends an unambiguous binary encoding of a flattened

@@ -72,9 +72,11 @@ type Matcher struct {
 	// candidate cache: flattened-predicate key → shared candidate list and
 	// bitset, so compiling the thousands of query variants a rewriting
 	// search executes rescans the graph only for novel predicates.
-	candMu    sync.RWMutex
-	candCache map[string]*candEntry
-	candBytes int // approximate resident bytes of cached lists, bitsets, keys
+	candMu     sync.RWMutex
+	candCache  map[string]*candEntry
+	candBytes  int // approximate resident bytes of cached lists, bitsets, keys
+	candHits   atomic.Int64
+	candMisses atomic.Int64
 
 	// edge-candidate-count cache: edge constraint key → matching data-edge
 	// count, for the §5.2.2 edge-cardinality statistic the collectors probe.

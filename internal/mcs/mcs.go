@@ -23,6 +23,7 @@
 package mcs
 
 import (
+	"context"
 	"encoding/binary"
 	"sort"
 
@@ -56,6 +57,16 @@ type Options struct {
 	// logical executions — speculative probes the search never consumes are
 	// prefetch work and do not count).
 	Workers int
+	// Ctx, when non-nil, cancels the search: the traversal stops before its
+	// next subquery execution once Ctx is done and the best explanation found
+	// so far is returned, so an abandoned request stops burning the matcher
+	// and worker pool within one execution.
+	Ctx context.Context
+}
+
+// ctxDone reports whether a cancellation context was supplied and fired.
+func ctxDone(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
 }
 
 // DefaultTraversalBudget bounds the subquery executions per explanation.
@@ -162,6 +173,12 @@ type runner struct {
 	bestCard      int
 	bestSatisfied bool
 	bestDist      int
+}
+
+// stopped reports whether the traversal must halt: traversal budget exhausted
+// or the caller's cancellation context fired.
+func (r *runner) stopped() bool {
+	return r.traversals >= r.budget || ctxDone(r.opts.Ctx)
 }
 
 // countCap limits result enumeration per execution ("bounded" evaluation).
@@ -410,7 +427,7 @@ func (r *runner) grow(candidates, isolated []int) {
 	ordered := r.priority(candidates)
 	var dfs func(accepted []int)
 	dfs = func(accepted []int) {
-		if r.traversals >= r.budget {
+		if r.stopped() {
 			return
 		}
 		frontier := r.frontier(accepted, ordered)
@@ -429,7 +446,7 @@ func (r *runner) grow(candidates, isolated []int) {
 				continue
 			}
 			r.visited[key] = true
-			if r.traversals >= r.budget {
+			if r.stopped() {
 				break
 			}
 			card := r.execute(next, isolated)
@@ -458,7 +475,7 @@ func (r *runner) grow(candidates, isolated []int) {
 		for _, eid := range candidates {
 			e := r.q.Edge(eid)
 			for _, v := range []int{e.From, e.To} {
-				if seen[v] || r.traversals >= r.budget {
+				if seen[v] || r.stopped() {
 					continue
 				}
 				seen[v] = true

@@ -2,6 +2,7 @@ package modtree
 
 import (
 	"container/heap"
+	"context"
 	"math/rand"
 	"sort"
 
@@ -38,6 +39,16 @@ type Options struct {
 	// sequential search. RandomWalk is inherently sequential (each step
 	// depends on the previous count) and ignores the knob.
 	Workers int
+	// Ctx, when non-nil, cancels the search: every search stops before its
+	// next candidate execution once Ctx is done and returns the partial
+	// Result, so an abandoned request stops burning the matcher and worker
+	// pool within one execution.
+	Ctx context.Context
+}
+
+// ctxDone reports whether a cancellation context was supplied and fired.
+func ctxDone(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
 }
 
 func (o *Options) fill() {
@@ -208,7 +219,7 @@ func (s *Searcher) TraverseSearchTree(q *query.Query, opts Options) Result {
 	exec := func(n *Node) bool {
 		card, seen := executed[n.key]
 		if !seen {
-			if res.Executed >= opts.MaxExecuted {
+			if res.Executed >= opts.MaxExecuted || ctxDone(opts.Ctx) {
 				return false
 			}
 			if pc, ok := precomputed[n.key]; ok {
@@ -240,7 +251,7 @@ func (s *Searcher) TraverseSearchTree(q *query.Query, opts Options) Result {
 	push(root)
 	res.Generated = 1
 
-	for pq.Len() > 0 && res.Executed < opts.MaxExecuted {
+	for pq.Len() > 0 && res.Executed < opts.MaxExecuted && !ctxDone(opts.Ctx) {
 		parent := heap.Pop(pq).(*Node)
 		if parent.Depth >= opts.MaxDepth {
 			continue
@@ -548,7 +559,7 @@ func (s *Searcher) Exhaustive(q *query.Query, opts Options) Result {
 	exec := func(n *Node) bool {
 		card, seen := executed[n.key]
 		if !seen {
-			if res.Executed >= opts.MaxExecuted {
+			if res.Executed >= opts.MaxExecuted || ctxDone(opts.Ctx) {
 				return false
 			}
 			if pc, ok := precomputed[n.key]; ok {
@@ -577,7 +588,7 @@ func (s *Searcher) Exhaustive(q *query.Query, opts Options) Result {
 		return res
 	}
 	queue = append(queue, root)
-	for len(queue) > 0 && res.Executed < opts.MaxExecuted {
+	for len(queue) > 0 && res.Executed < opts.MaxExecuted && !ctxDone(opts.Ctx) {
 		cur := queue[0]
 		queue = queue[1:]
 		if cur.Depth >= opts.MaxDepth {
@@ -624,7 +635,7 @@ func (s *Searcher) RandomWalk(q *query.Query, opts Options, seed int64) Result {
 		if card, seen := executed[key]; seen {
 			return card, true
 		}
-		if res.Executed >= opts.MaxExecuted {
+		if res.Executed >= opts.MaxExecuted || ctxDone(opts.Ctx) {
 			return 0, false
 		}
 		card := s.m.CountKeyed(s.ctx, cand, key, opts.CountCap)
@@ -642,7 +653,7 @@ func (s *Searcher) RandomWalk(q *query.Query, opts Options, seed int64) Result {
 		res.Satisfied = true
 		return res
 	}
-	for res.Executed < opts.MaxExecuted {
+	for res.Executed < opts.MaxExecuted && !ctxDone(opts.Ctx) {
 		cur, curKey := q.Clone(), rootKey
 		card := rootCard
 		var ops []query.Op

@@ -10,6 +10,7 @@ package relax
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -87,6 +88,16 @@ type Options struct {
 	// speculate ahead on the priority queue's best candidates and shrink
 	// wall-clock time.
 	Workers int
+	// Ctx, when non-nil, cancels the search: Rewrite stops before the next
+	// candidate execution once Ctx is done and returns the partial Outcome.
+	// An abandoned request (HTTP client gone, deadline hit) therefore stops
+	// burning the matcher and worker pool within one candidate execution.
+	Ctx context.Context
+}
+
+// ctxDone reports whether a cancellation context was supplied and fired.
+func ctxDone(ctx context.Context) bool {
+	return ctx != nil && ctx.Err() != nil
 }
 
 func (o *Options) fill() {
@@ -300,7 +311,7 @@ func (r *Rewriter) Rewrite(q *query.Query, opts Options) Outcome {
 	var children []childCand
 	var scores []float64
 
-	for pq.Len() > 0 && out.Executed < opts.MaxExecuted && len(out.Solutions) < opts.MaxSolutions {
+	for pq.Len() > 0 && out.Executed < opts.MaxExecuted && len(out.Solutions) < opts.MaxSolutions && !ctxDone(opts.Ctx) {
 		if ex != nil {
 			ex.prefetch(pq, executed, opts.CountCap, opts.MaxExecuted-out.Executed)
 		}

@@ -1,0 +1,502 @@
+// Package server is the why-query service layer: a long-running HTTP/JSON
+// daemon over one or more loaded datasets, each wrapped in a concurrency-safe
+// core.Engine. It serves the why-query workflow of the thesis — submit a
+// failing query plus a cardinality expectation, receive ranked explanations —
+// the way provenance engines are actually consumed (PUG serves why/why-not
+// provenance over stored instances; the GQL complexity line assumes a
+// resident database answering many queries against one loaded graph).
+//
+// Endpoints:
+//
+//	POST /v1/explain   query spec + C1/C2 bounds + relaxation options →
+//	                   ranked explanation report with convergence trace
+//	POST /v1/match     count/find through the compiled-plan path
+//	GET  /v1/datasets  loaded datasets and their built-in queries
+//	GET  /v1/stats     plan-/count-/candidate-/statistics-cache hit rates,
+//	                   worker configuration, request counters
+//	GET  /healthz      liveness
+//
+// Concurrency model: requests are admitted per engine through a semaphore
+// sized off the engine's worker count, so a traffic burst queues instead of
+// oversubscribing the matcher; each admitted request runs under its own
+// context deadline, and the cancellation is threaded through core.ExplainCtx
+// into the relaxation/modification-tree/MCS searches, so an abandoned
+// request stops burning the worker pool within one candidate execution.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/match"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// StatusClientClosedRequest is the non-standard 499 status (nginx
+// convention) reported when the client abandoned the request mid-explain.
+const StatusClientClosedRequest = 499
+
+// Config tunes the daemon. The zero value picks the documented defaults.
+type Config struct {
+	// DefaultTimeout bounds a request that names no timeout (0 = 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested timeouts (0 = 120s).
+	MaxTimeout time.Duration
+	// DefaultBudget is the per-explanation candidate-execution budget when
+	// the request names none (0 = the engine default, 300).
+	DefaultBudget int
+	// MaxBudget clamps client-requested budgets (0 = 20000).
+	MaxBudget int
+	// DefaultFindLimit bounds /v1/match find-mode enumeration when the
+	// request names no limit (0 = 20).
+	DefaultFindLimit int
+	// MaxFindLimit clamps client-requested find limits (0 = 1000).
+	MaxFindLimit int
+	// MaxCountCap clamps /v1/match count-mode enumeration: a request asking
+	// for an exact count (countCap 0) or a larger cap counts at most this
+	// many results (0 = 10,000,000). Keeps a cross-product query from
+	// holding an execution slot indefinitely.
+	MaxCountCap int
+	// MaxResultSample clamps /v1/explain's resultSample (0 = 10,000): the
+	// result-distance computation enumerates up to resultSample result
+	// graphs per rewriting with no cancellation hook, so it must stay
+	// bounded for the same reason as the match caps.
+	MaxResultSample int
+}
+
+func (c *Config) fill() {
+	if c.DefaultTimeout == 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 120 * time.Second
+	}
+	if c.MaxBudget == 0 {
+		c.MaxBudget = 20000
+	}
+	if c.DefaultFindLimit == 0 {
+		c.DefaultFindLimit = 20
+	}
+	if c.MaxFindLimit == 0 {
+		c.MaxFindLimit = 1000
+	}
+	if c.MaxCountCap == 0 {
+		c.MaxCountCap = 10000000
+	}
+	if c.MaxResultSample == 0 {
+		c.MaxResultSample = 10000
+	}
+}
+
+// dataset is one loaded graph with its engine, built-in workload queries,
+// and admission state.
+type dataset struct {
+	name     string
+	eng      *core.Engine
+	builtins map[string]func() *query.Query
+	names    []string // builtin names, insertion order
+	failing  func(string) (*query.Query, error)
+
+	// sem is the admission semaphore: at most cap(sem) requests execute
+	// against the engine at once (sized off the engine's worker count);
+	// excess requests queue on it under their own deadline.
+	sem      chan struct{}
+	inFlight atomic.Int64
+}
+
+// Server is the why-query HTTP daemon state. Register datasets with
+// AddDataset before calling Handler; the handler is then safe for
+// concurrent use.
+type Server struct {
+	cfg      Config
+	start    time.Time
+	datasets map[string]*dataset
+
+	reqTotal     atomic.Int64
+	reqExplain   atomic.Int64
+	reqMatch     atomic.Int64
+	reqErrors    atomic.Int64
+	reqCancelled atomic.Int64
+}
+
+// New returns an empty server with the given configuration.
+func New(cfg Config) *Server {
+	cfg.fill()
+	return &Server{cfg: cfg, start: time.Now(), datasets: make(map[string]*dataset)}
+}
+
+// AddDataset registers a loaded engine under a name, with its built-in
+// workload queries and the failing-variant resolver (nil = no failing
+// variants). Call before Handler; not safe once serving.
+func (s *Server) AddDataset(name string, eng *core.Engine, builtins []workload.Named, failing func(string) (*query.Query, error)) {
+	cap := eng.Workers()
+	if cap < 1 {
+		cap = 1
+	}
+	ds := &dataset{
+		name:     name,
+		eng:      eng,
+		builtins: make(map[string]func() *query.Query, len(builtins)),
+		failing:  failing,
+		sem:      make(chan struct{}, cap),
+	}
+	for _, nq := range builtins {
+		ds.builtins[nq.Name] = nq.Build
+		ds.names = append(ds.names, nq.Name)
+	}
+	s.datasets[name] = ds
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	mux.HandleFunc("POST /v1/match", s.handleMatch)
+	return mux
+}
+
+// sortedNames returns the dataset names in ascending order.
+func (s *Server) sortedNames() []string {
+	names := make([]string, 0, len(s.datasets))
+	for name := range s.datasets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// writeJSON writes v as the response body with the given status.
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		code = http.StatusInternalServerError
+		blob = []byte(`{"error":"encoding failure"}`)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(blob, '\n'))
+}
+
+// fail writes an ErrorResponse and bumps the error counters.
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	s.reqErrors.Add(1)
+	if code == StatusClientClosedRequest || code == http.StatusGatewayTimeout {
+		s.reqCancelled.Add(1)
+	}
+	s.writeJSON(w, code, wire.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal.Add(1)
+	s.writeJSON(w, http.StatusOK, wire.HealthResponse{
+		Status:   "ok",
+		Datasets: len(s.datasets),
+		UptimeMs: time.Since(s.start).Milliseconds(),
+	})
+}
+
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal.Add(1)
+	infos := make([]wire.DatasetInfo, 0, len(s.datasets))
+	for _, name := range s.sortedNames() {
+		ds := s.datasets[name]
+		g := ds.eng.Graph()
+		infos = append(infos, wire.DatasetInfo{
+			Name:     name,
+			Vertices: g.NumVertices(),
+			Edges:    g.NumEdges(),
+			Workers:  ds.eng.Workers(),
+			AdmitCap: cap(ds.sem),
+			Builtins: append([]string(nil), ds.names...),
+		})
+	}
+	s.writeJSON(w, http.StatusOK, infos)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal.Add(1)
+	resp := wire.StatsResponse{
+		UptimeMs: time.Since(s.start).Milliseconds(),
+		Requests: wire.ServerCounters{
+			Total:     s.reqTotal.Load(),
+			Explain:   s.reqExplain.Load(),
+			Match:     s.reqMatch.Load(),
+			Errors:    s.reqErrors.Load(),
+			Cancelled: s.reqCancelled.Load(),
+		},
+		Datasets: make(map[string]wire.DatasetStats, len(s.datasets)),
+	}
+	for name, ds := range s.datasets {
+		m := ds.eng.Matcher()
+		st := wire.DatasetStats{
+			Workers:  ds.eng.Workers(),
+			AdmitCap: cap(ds.sem),
+			InFlight: int(ds.inFlight.Load()),
+		}
+		st.PlanCache = wire.NewCacheStats(m.PlanCacheStats())
+		st.CountCache = wire.NewCacheStats(m.CountCacheStats())
+		st.CandCache = wire.NewCacheStats(m.CandCacheStats())
+		st.StatsCache = wire.NewCacheStats(ds.eng.Stats().CacheStats())
+		resp.Datasets[name] = st
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// decodeBody strictly decodes the request body into v (unknown fields and
+// trailing garbage are errors, bodies are capped at 8 MiB). The returned
+// status is 400 for malformed bodies and 413 for oversized ones.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) (int, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, 8<<20)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return http.StatusRequestEntityTooLarge, err
+		}
+		return http.StatusBadRequest, err
+	}
+	if dec.More() {
+		return http.StatusBadRequest, errors.New("trailing data after JSON body")
+	}
+	return 0, nil
+}
+
+// resolveQuery materializes the request's query spec: exactly one of a
+// built-in workload query (optionally its failing variant) or a custom wire
+// query. The returned status is the HTTP code to report on error.
+func (s *Server) resolveQuery(ds *dataset, builtin string, failing bool, wq *wire.Query) (*query.Query, int, error) {
+	switch {
+	case builtin != "" && wq != nil:
+		return nil, http.StatusBadRequest, errors.New("builtin and query are mutually exclusive")
+	case builtin != "":
+		if failing {
+			if ds.failing == nil {
+				return nil, http.StatusBadRequest, fmt.Errorf("dataset %q has no failing variants", ds.name)
+			}
+			q, err := ds.failing(builtin)
+			if err != nil {
+				return nil, http.StatusNotFound, err
+			}
+			return q, 0, nil
+		}
+		build, ok := ds.builtins[builtin]
+		if !ok {
+			return nil, http.StatusNotFound, fmt.Errorf("unknown builtin query %q (see /v1/datasets)", builtin)
+		}
+		return build(), 0, nil
+	case wq != nil:
+		if failing {
+			return nil, http.StatusBadRequest, errors.New("failing applies to builtin queries only")
+		}
+		q, err := wq.ToQuery()
+		if err != nil {
+			return nil, http.StatusBadRequest, err
+		}
+		return q, 0, nil
+	default:
+		return nil, http.StatusBadRequest, errors.New("request needs a builtin name or a query spec")
+	}
+}
+
+// admit acquires one of the dataset's execution slots, honoring the
+// request's deadline-bounded context (so a queued request answers 504 at its
+// deadline instead of waiting for a slot indefinitely). The returned release
+// func is nil when admission failed, in which case the error status has
+// already been written.
+func (s *Server) admit(w http.ResponseWriter, ctx context.Context, ds *dataset) func() {
+	select {
+	case ds.sem <- struct{}{}:
+		ds.inFlight.Add(1)
+		return func() {
+			ds.inFlight.Add(-1)
+			<-ds.sem
+		}
+	case <-ctx.Done():
+		s.failCtx(w, ctx.Err())
+		return nil
+	}
+}
+
+// failCtx maps a context error to its HTTP status.
+func (s *Server) failCtx(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.fail(w, http.StatusGatewayTimeout, "request deadline exceeded")
+		return
+	}
+	s.fail(w, StatusClientClosedRequest, "client closed request")
+}
+
+// requestContext derives the request's processing context: the client's
+// connection context bounded by the requested (clamped) or default timeout.
+func (s *Server) requestContext(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
+	to := s.cfg.DefaultTimeout
+	if timeoutMs > 0 {
+		to = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if to > s.cfg.MaxTimeout {
+		to = s.cfg.MaxTimeout
+	}
+	return context.WithTimeout(r.Context(), to)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal.Add(1)
+	s.reqExplain.Add(1)
+	var req wire.ExplainRequest
+	if code, err := decodeBody(w, r, &req); err != nil {
+		s.fail(w, code, "bad request body: %v", err)
+		return
+	}
+	ds, ok := s.datasets[req.Dataset]
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown dataset %q (see /v1/datasets)", req.Dataset)
+		return
+	}
+	if req.Lower < 0 || req.Upper < 0 {
+		s.fail(w, http.StatusBadRequest, "cardinality bounds must be non-negative (lower=%d upper=%d)", req.Lower, req.Upper)
+		return
+	}
+	if req.Upper > 0 && req.Upper < req.Lower {
+		s.fail(w, http.StatusBadRequest, "upper bound %d below lower bound %d", req.Upper, req.Lower)
+		return
+	}
+	if req.Budget < 0 || req.ResultSample < 0 || req.MaxRewritings < 0 || req.Workers < 0 || req.TimeoutMs < 0 {
+		s.fail(w, http.StatusBadRequest, "budget, resultSample, maxRewritings, workers, and timeoutMs must be non-negative")
+		return
+	}
+	q, code, err := s.resolveQuery(ds, req.Builtin, req.Failing, req.Query)
+	if err != nil {
+		s.fail(w, code, "%v", err)
+		return
+	}
+	budget := req.Budget
+	if budget == 0 {
+		budget = s.cfg.DefaultBudget
+	}
+	if budget > s.cfg.MaxBudget {
+		budget = s.cfg.MaxBudget
+	}
+	resultSample := req.ResultSample
+	if resultSample > s.cfg.MaxResultSample {
+		resultSample = s.cfg.MaxResultSample
+	}
+	workers := req.Workers
+	if max := ds.eng.Workers(); workers > max {
+		workers = max
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	release := s.admit(w, ctx, ds)
+	if release == nil {
+		return
+	}
+	defer release()
+	rep, err := ds.eng.ExplainCtx(ctx, q, core.Options{
+		Expected:      metrics.Interval{Lower: req.Lower, Upper: req.Upper},
+		MaxRewritings: req.MaxRewritings,
+		FineGrained:   req.FineGrained,
+		AllowTopology: req.AllowTopology,
+		Budget:        budget,
+		ResultSample:  resultSample,
+		Workers:       workers,
+	})
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			s.failCtx(w, ctxErr)
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.writeJSON(w, http.StatusOK, wire.FromReport(rep))
+}
+
+func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal.Add(1)
+	s.reqMatch.Add(1)
+	var req wire.MatchRequest
+	if code, err := decodeBody(w, r, &req); err != nil {
+		s.fail(w, code, "bad request body: %v", err)
+		return
+	}
+	ds, ok := s.datasets[req.Dataset]
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown dataset %q (see /v1/datasets)", req.Dataset)
+		return
+	}
+	if req.Limit < 0 || req.CountCap < 0 || req.TimeoutMs < 0 {
+		s.fail(w, http.StatusBadRequest, "limit, countCap, and timeoutMs must be non-negative")
+		return
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = "count"
+	}
+	if mode != "count" && mode != "find" {
+		s.fail(w, http.StatusBadRequest, "unknown mode %q (want \"count\" or \"find\")", req.Mode)
+		return
+	}
+	q, code, err := s.resolveQuery(ds, req.Builtin, req.Failing, req.Query)
+	if err != nil {
+		s.fail(w, code, "%v", err)
+		return
+	}
+	countCap := req.CountCap
+	if countCap == 0 || countCap > s.cfg.MaxCountCap {
+		countCap = s.cfg.MaxCountCap
+	}
+	limit := req.Limit
+	if limit == 0 {
+		limit = s.cfg.DefaultFindLimit
+	}
+	if limit > s.cfg.MaxFindLimit {
+		limit = s.cfg.MaxFindLimit
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	release := s.admit(w, ctx, ds)
+	if release == nil {
+		return
+	}
+	// The matching engine has no in-flight cancellation hook (unlike the
+	// explanation searches), so the match runs on its own goroutine: the
+	// handler answers at the deadline, while the execution slot stays held
+	// until the (count-capped / limit-bounded) enumeration finishes — a
+	// timed-out request never lets a new one oversubscribe the matcher.
+	done := make(chan wire.MatchResponse, 1)
+	go func() {
+		defer release()
+		m := ds.eng.Matcher()
+		if mode == "count" {
+			done <- wire.MatchResponse{Count: m.Count(q, countCap)}
+			return
+		}
+		results := m.Find(q, match.Options{Limit: limit})
+		match.SortResults(results)
+		resp := wire.MatchResponse{Count: len(results)}
+		for _, res := range results {
+			resp.Results = append(resp.Results, wire.FromResult(res))
+		}
+		done <- resp
+	}()
+	select {
+	case resp := <-done:
+		s.writeJSON(w, http.StatusOK, resp)
+	case <-ctx.Done():
+		s.failCtx(w, ctx.Err())
+	}
+}

@@ -1,0 +1,134 @@
+package wire
+
+// This file defines the request/response envelopes of the whydbd HTTP API.
+// The query payload of a request is either a built-in workload query
+// (Builtin, optionally its Failing variant) or a custom Query — exactly one
+// of the two.
+
+// ExplainRequest is the body of POST /v1/explain: a query spec plus the
+// expected cardinality interval (C1/C2 bounds) and relaxation options.
+type ExplainRequest struct {
+	// Dataset names the loaded dataset to explain against.
+	Dataset string `json:"dataset"`
+	// Builtin names a built-in workload query (e.g. "LDBC QUERY 2").
+	Builtin string `json:"builtin,omitempty"`
+	// Failing selects the built-in query's failing (why-empty) variant.
+	Failing bool `json:"failing,omitempty"`
+	// Query is a custom query spec (mutually exclusive with Builtin).
+	Query *Query `json:"query,omitempty"`
+	// Lower/Upper are the expected cardinality bounds; both zero means
+	// "at least one result" (why-empty debugging). Upper 0 = unbounded.
+	Lower int `json:"lower,omitempty"`
+	Upper int `json:"upper,omitempty"`
+	// MaxRewritings caps reported modification-based explanations (0 = 3).
+	MaxRewritings int `json:"maxRewritings,omitempty"`
+	// FineGrained forces the rewriting engine: false = Chapter 5 coarse
+	// relaxation, true = Chapter 6 TRAVERSESEARCHTREE. Absent = pick by
+	// problem kind.
+	FineGrained *bool `json:"fineGrained,omitempty"`
+	// AllowTopology enables topology-changing rewritings.
+	AllowTopology bool `json:"allowTopology,omitempty"`
+	// Budget caps candidate executions per explanation engine (0 = server
+	// default; clamped to the server's maximum).
+	Budget int `json:"budget,omitempty"`
+	// ResultSample bounds result enumeration per result-distance computation.
+	ResultSample int `json:"resultSample,omitempty"`
+	// Workers overrides the search worker count (clamped to the engine's).
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMs bounds the request's processing time (0 = server default;
+	// clamped to the server's maximum).
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+}
+
+// MatchRequest is the body of POST /v1/match: count or enumerate the
+// results of a query through the compiled-plan path.
+type MatchRequest struct {
+	Dataset string `json:"dataset"`
+	Builtin string `json:"builtin,omitempty"`
+	Failing bool   `json:"failing,omitempty"`
+	Query   *Query `json:"query,omitempty"`
+	// Mode is "count" (default) or "find".
+	Mode string `json:"mode,omitempty"`
+	// Limit bounds enumerated results in find mode (0 = server default).
+	Limit int `json:"limit,omitempty"`
+	// CountCap aborts counting at the cap in count mode (0 = the server's
+	// maximum; always clamped to it).
+	CountCap int `json:"countCap,omitempty"`
+	// TimeoutMs bounds the request's processing time (0 = server default;
+	// clamped to the server's maximum).
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+}
+
+// MatchResponse answers /v1/match. Count is the result-graph count (find
+// mode: the number of enumerated results); Results is present in find mode,
+// deterministically ordered.
+type MatchResponse struct {
+	Count   int      `json:"count"`
+	Results []Result `json:"results,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// DatasetInfo describes one loaded dataset (GET /v1/datasets).
+type DatasetInfo struct {
+	Name     string   `json:"name"`
+	Vertices int      `json:"vertices"`
+	Edges    int      `json:"edges"`
+	Workers  int      `json:"workers"`
+	AdmitCap int      `json:"admitCap"`
+	Builtins []string `json:"builtins"`
+}
+
+// CacheStats reports one cache's counters (GET /v1/stats).
+type CacheStats struct {
+	Hits    int     `json:"hits"`
+	Misses  int     `json:"misses"`
+	Entries int     `json:"entries"`
+	HitRate float64 `json:"hitRate"`
+}
+
+// NewCacheStats assembles counters into CacheStats with the derived rate.
+func NewCacheStats(hits, misses, entries int) CacheStats {
+	cs := CacheStats{Hits: hits, Misses: misses, Entries: entries}
+	if total := hits + misses; total > 0 {
+		cs.HitRate = float64(hits) / float64(total)
+	}
+	return cs
+}
+
+// DatasetStats reports one engine's cache and worker state (GET /v1/stats).
+type DatasetStats struct {
+	Workers    int        `json:"workers"`
+	AdmitCap   int        `json:"admitCap"`
+	InFlight   int        `json:"inFlight"`
+	PlanCache  CacheStats `json:"planCache"`
+	CountCache CacheStats `json:"countCache"`
+	CandCache  CacheStats `json:"candCache"`
+	StatsCache CacheStats `json:"statsCache"`
+}
+
+// StatsResponse answers GET /v1/stats.
+type StatsResponse struct {
+	UptimeMs int64                   `json:"uptimeMs"`
+	Requests ServerCounters          `json:"requests"`
+	Datasets map[string]DatasetStats `json:"datasets"`
+}
+
+// ServerCounters are the daemon's request counters.
+type ServerCounters struct {
+	Total     int64 `json:"total"`
+	Explain   int64 `json:"explain"`
+	Match     int64 `json:"match"`
+	Errors    int64 `json:"errors"`
+	Cancelled int64 `json:"cancelled"`
+}
+
+// HealthResponse answers GET /healthz.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Datasets int    `json:"datasets"`
+	UptimeMs int64  `json:"uptimeMs"`
+}

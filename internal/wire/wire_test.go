@@ -1,0 +1,156 @@
+package wire
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/query"
+	"repro/internal/workload"
+)
+
+// TestQueryRoundTrip proves FromQuery → ToQuery is the identity on every
+// built-in workload query (binary canonical keys compare structural
+// equality, including directions, types, and range inclusivity).
+func TestQueryRoundTrip(t *testing.T) {
+	var all []workload.Named
+	all = append(all, workload.LDBCQueries()...)
+	all = append(all, workload.DBpediaQueries()...)
+	for _, nq := range all {
+		q := nq.Build()
+		back, err := FromQuery(q).ToQuery()
+		if err != nil {
+			t.Fatalf("%s: ToQuery: %v", nq.Name, err)
+		}
+		if !q.Equal(back) {
+			t.Fatalf("%s: round trip changed the query:\nwant %s\ngot  %s", nq.Name, q, back)
+		}
+	}
+}
+
+// TestQueryRoundTripWithGaps proves rewritten queries — identifier gaps from
+// vertex/edge deletions, flipped directions, deleted types — survive the
+// round trip.
+func TestQueryRoundTripWithGaps(t *testing.T) {
+	q := workload.LDBCQuery2()
+	if err := (query.DeleteEdge{Edge: 0}).Apply(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := (query.DeleteVertex{Vertex: 1}).Apply(q); err != nil {
+		t.Fatal(err)
+	}
+	q.Edge(2).Dirs = query.Both
+	if err := (query.DeleteType{Edge: 1}).Apply(q); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromQuery(q).ToQuery()
+	if err != nil {
+		t.Fatalf("ToQuery: %v", err)
+	}
+	if !q.Equal(back) {
+		t.Fatalf("round trip changed the query:\nwant %s\ngot  %s", q, back)
+	}
+	if back.Vertex(1) != nil || back.Edge(0) != nil {
+		t.Fatalf("filler elements leaked into the decoded query: %s", back)
+	}
+}
+
+// TestQueryJSONRoundTrip proves the round trip survives an actual JSON
+// encode/decode, including unbounded ranges (±Inf is not representable in
+// JSON and must be encoded by omission).
+func TestQueryJSONRoundTrip(t *testing.T) {
+	q := workload.LDBCQuery1() // has AtLeast ranges (Hi = +Inf)
+	blob, err := json.Marshal(FromQuery(q))
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var wq Query
+	if err := json.Unmarshal(blob, &wq); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	back, err := wq.ToQuery()
+	if err != nil {
+		t.Fatalf("ToQuery: %v", err)
+	}
+	if !q.Equal(back) {
+		t.Fatalf("JSON round trip changed the query:\nwant %s\ngot  %s", q, back)
+	}
+}
+
+// TestDeterministicEncoding proves encoding the same query twice yields
+// identical bytes — the property the server's byte-for-byte differential
+// test relies on.
+func TestDeterministicEncoding(t *testing.T) {
+	q := workload.LDBCQuery2()
+	a, err := json.Marshal(FromQuery(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(FromQuery(q.Clone()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("non-deterministic encoding:\n%s\n%s", a, b)
+	}
+}
+
+func TestToQueryErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		wq   Query
+	}{
+		{"empty", Query{}},
+		{"duplicate vertex ids", Query{Vertices: []Vertex{{ID: 0}, {ID: 0}}}},
+		{"descending vertex ids", Query{Vertices: []Vertex{{ID: 1}, {ID: 0}}}},
+		{"edge to missing vertex", Query{
+			Vertices: []Vertex{{ID: 0}},
+			Edges:    []Edge{{ID: 0, From: 0, To: 7}},
+		}},
+		{"vertex id above ceiling", Query{
+			// Gap bridging must never turn a tiny body into unbounded
+			// allocation: astronomically large ids are rejected up front.
+			Vertices: []Vertex{{ID: 0}, {ID: 2000000000}},
+		}},
+		{"huge vertex id listed first", Query{
+			Vertices: []Vertex{{ID: 2000000000}, {ID: 0}},
+		}},
+		{"edge id above ceiling", Query{
+			Vertices: []Vertex{{ID: 0}, {ID: 1}},
+			Edges:    []Edge{{ID: 2000000000, From: 0, To: 1}},
+		}},
+		{"edge to gap vertex id", Query{
+			// Vertex 1 is an identifier gap: a placeholder briefly occupies it
+			// during decoding, and an edge bound to it would be silently
+			// dropped with the placeholder — must be rejected instead.
+			Vertices: []Vertex{{ID: 0}, {ID: 2}},
+			Edges:    []Edge{{ID: 0, From: 0, To: 1}},
+		}},
+		{"bad direction", Query{
+			Vertices: []Vertex{{ID: 0}, {ID: 1}},
+			Edges:    []Edge{{ID: 0, From: 0, To: 1, Dir: "=>"}},
+		}},
+		{"bad predicate kind", Query{
+			Vertices: []Vertex{{ID: 0, Preds: map[string]Predicate{"type": {Kind: "regex"}}}},
+		}},
+		{"empty values predicate", Query{
+			Vertices: []Vertex{{ID: 0, Preds: map[string]Predicate{"type": {Kind: "values"}}}},
+		}},
+		{"bad value kind", Query{
+			Vertices: []Vertex{{ID: 0, Preds: map[string]Predicate{
+				"type": {Kind: "values", Values: []Value{{Kind: "uuid"}}},
+			}}},
+		}},
+		{"inverted range", Query{
+			Vertices: []Vertex{{ID: 0, Preds: map[string]Predicate{
+				"age": {Kind: "range", Lo: f64(9), Hi: f64(3)},
+			}}},
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.wq.ToQuery(); err == nil {
+			t.Errorf("%s: ToQuery accepted an invalid query", tc.name)
+		}
+	}
+}
+
+func f64(f float64) *float64 { return &f }
