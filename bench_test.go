@@ -19,6 +19,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/modtree"
 	"repro/internal/relax"
+	"repro/internal/search"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -207,7 +208,7 @@ func BenchmarkFig5Priority(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				st := stats.New(m) // fresh cache: measure the full cost
 				rw := relax.New(m, st)
-				out := rw.Rewrite(q, relax.Options{Priority: p, MaxSolutions: 1, Seed: 7, Workers: workers})
+				out := rw.Rewrite(q, relax.Options{Control: search.Control{Workers: workers}, Priority: p, MaxSolutions: 1, Seed: 7})
 				if len(out.Solutions) == 0 {
 					b.Fatal("no solution")
 				}
@@ -225,7 +226,7 @@ func BenchmarkFig5Convergence(b *testing.B) {
 	q, _ := workload.FailingVariant("LDBC QUERY 2")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		out := rw.Rewrite(q, relax.Options{Priority: relax.PriorityCombined, MaxSolutions: 3, MaxExecuted: 40})
+		out := rw.Rewrite(q, relax.Options{Control: search.Control{MaxExecuted: 40}, Priority: relax.PriorityCombined, MaxSolutions: 3})
 		if len(out.Trace) == 0 {
 			b.Fatal("no trace")
 		}
@@ -273,7 +274,7 @@ func BenchmarkFig6Baselines(b *testing.B) {
 	s := modtree.New(m, st)
 	q := workload.LDBCQuery1()
 	goal := metrics.Interval{Lower: workload.Threshold(20, 2)}
-	opts := modtree.Options{Goal: goal, Domain: dom, MaxExecuted: 100, Workers: benchWorkers()}
+	opts := modtree.Options{Control: search.Control{MaxExecuted: 100, Workers: benchWorkers()}, Goal: goal, Domain: dom}
 	b.Run("tst", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			_ = s.TraverseSearchTree(q, opts)
@@ -300,7 +301,7 @@ func BenchmarkFig6Topology(b *testing.B) {
 	dom := stats.BuildDomain(g, 16)
 	s := modtree.New(m, st)
 	q, _ := workload.FailingVariant("LDBC QUERY 1")
-	opts := modtree.Options{Goal: metrics.AtLeastOne, Domain: dom, MaxExecuted: 100, AllowTopology: true}
+	opts := modtree.Options{Control: search.Control{MaxExecuted: 100}, Goal: metrics.AtLeastOne, Domain: dom, AllowTopology: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = s.TraverseSearchTree(q, opts)
@@ -323,7 +324,7 @@ func BenchmarkParallelFig5(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				st := stats.New(m) // fresh cache: measure the full cost
 				rw := relax.New(m, st)
-				out := rw.Rewrite(q, relax.Options{Priority: relax.PriorityCombined, MaxSolutions: 1, Seed: 7, Workers: workers})
+				out := rw.Rewrite(q, relax.Options{Control: search.Control{Workers: workers}, Priority: relax.PriorityCombined, MaxSolutions: 1, Seed: 7})
 				if len(out.Solutions) == 0 {
 					b.Fatal("no solution")
 				}
@@ -344,7 +345,7 @@ func BenchmarkParallelFig6(b *testing.B) {
 	goal := metrics.Interval{Lower: workload.Threshold(20, 2)}
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
-			opts := modtree.Options{Goal: goal, Domain: dom, MaxExecuted: 100, Workers: workers}
+			opts := modtree.Options{Control: search.Control{MaxExecuted: 100, Workers: workers}, Goal: goal, Domain: dom}
 			for i := 0; i < b.N; i++ {
 				_ = s.TraverseSearchTree(q, opts)
 			}
@@ -365,13 +366,89 @@ func BenchmarkParallelMCS(b *testing.B) {
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				ex := mcs.DiscoverMCS(m, st, q, mcs.Options{Workers: workers})
+				ex := mcs.DiscoverMCS(m, st, q, mcs.Options{Control: search.Control{Workers: workers}})
 				if !ex.Satisfied {
 					b.Fatal("MCS must exist")
 				}
 			}
 		})
 	}
+}
+
+// BenchmarkSearchKernel measures the internal/search hot loop in isolation:
+// the machinery every explanation search now runs on. frontier is 256
+// mixed-priority push/pops on a reused frontier; executor is one run of 256
+// keyed executions plus a full dedup re-scan (Seen/Execute/Record, trivial
+// eval, so only kernel bookkeeping is on the clock); speculate is the
+// prefetch-consume cycle at two workers over precomputed keys. The CI bench
+// job gates frontier and executor ns/op against the committed BENCH_pr5.json
+// baseline.
+func BenchmarkSearchKernel(b *testing.B) {
+	g, _ := setup()
+	m := match.New(g)
+	b.Run("frontier", func(b *testing.B) {
+		f := search.NewFrontier(func(a, b int) bool { return a > b })
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.Reset()
+			for j := 0; j < 256; j++ {
+				f.Push(j * 2654435761 % 97) // mixed priorities, heavy ties
+			}
+			for f.Len() > 0 {
+				f.Pop()
+			}
+		}
+	})
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("kernel-key-%04d", i)
+	}
+	b.Run("executor", func(b *testing.B) {
+		ex := search.NewExecutor(m)
+		eval := func(*match.Ctx) int { return 1 }
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ex.Begin(search.Control{MaxExecuted: 1 << 30})
+			for _, k := range keys {
+				if ex.Seen(k) {
+					continue
+				}
+				card, ok := ex.Execute(k, eval)
+				if !ok {
+					b.Fatal("budget must not run out")
+				}
+				ex.Record(card)
+			}
+			for _, k := range keys { // steady-state dedup-hit path
+				if !ex.Seen(k) {
+					b.Fatal("executed key must be seen")
+				}
+			}
+			ex.End()
+		}
+	})
+	b.Run("speculate", func(b *testing.B) {
+		ex := search.NewExecutor(m)
+		nodes := make([]int, 256)
+		for i := range nodes {
+			nodes[i] = i
+		}
+		key := func(n int) string { return keys[n] }
+		eval := func(_ *match.Ctx, n int) int { return n }
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ex.Begin(search.Control{MaxExecuted: 1 << 30, Workers: 2})
+			for j := range nodes {
+				if j%2 == 0 {
+					search.SpeculateSlice(ex, nodes[j:], key, eval)
+				}
+				if card, ok := ex.Execute(keys[j], func(*match.Ctx) int { return nodes[j] }); !ok || card != nodes[j] {
+					b.Fatalf("consume %d = (%d, %v)", j, card, ok)
+				}
+			}
+			ex.End()
+		}
+	})
 }
 
 // BenchmarkCompile measures plan compilation alone — the per-query setup

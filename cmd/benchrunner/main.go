@@ -29,6 +29,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/query"
 	"repro/internal/relax"
+	"repro/internal/search"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -40,6 +41,27 @@ type env struct {
 	// (-workers flag; 0 resolves to GOMAXPROCS). Parallelism never changes
 	// any experiment's numbers except runtime columns.
 	workers int
+
+	// Search-kernel counter sinks, one per explanation family, accumulated
+	// across all experiments of the process and printed in report headers.
+	kRelax   search.Metrics
+	kModtree search.Metrics
+	kMCS     search.Metrics
+}
+
+// relaxCtl/modCtl/mcsCtl assemble the shared kernel-control block of a
+// search run: the -workers setting, the per-family metrics sink, and an
+// optional execution budget (0 = the search's default).
+func (e *env) relaxCtl(maxExecuted int) search.Control {
+	return search.Control{Workers: e.workers, MaxExecuted: maxExecuted, Metrics: &e.kRelax}
+}
+
+func (e *env) modCtl(maxExecuted int) search.Control {
+	return search.Control{Workers: e.workers, MaxExecuted: maxExecuted, Metrics: &e.kModtree}
+}
+
+func (e *env) mcsCtl() search.Control {
+	return search.Control{Workers: e.workers, Metrics: &e.kMCS}
 }
 
 type matchEnv struct {
@@ -60,8 +82,9 @@ func newEnv() *env {
 }
 
 // cacheStats summarizes the matcher-level cache counters of both data sets
-// for report headers: compiled-plan cache and executed-count cache hits and
-// misses accumulated so far in this process.
+// and the search-kernel counters per explanation family for report headers:
+// everything accumulated so far in this process. Kernel counters read
+// executions(x) / dedup hits(h) / speculative waste(w).
 func (e *env) cacheStats() string {
 	ph, pm := 0, 0
 	ch, cm := 0, 0
@@ -71,7 +94,12 @@ func (e *env) cacheStats() string {
 		h, m, _ = me.m.CountCacheStats()
 		ch, cm = ch+h, cm+m
 	}
-	return fmt.Sprintf("plan-cache %dh/%dm, count-cache %dh/%dm", ph, pm, ch, cm)
+	k := func(name string, m *search.Metrics) string {
+		c := m.Snapshot()
+		return fmt.Sprintf("%s %dx/%dh/%dw", name, c.Executions, c.DedupHits, c.SpecWaste)
+	}
+	return fmt.Sprintf("plan-cache %dh/%dm, count-cache %dh/%dm; kernel %s, %s, %s",
+		ph, pm, ch, cm, k("relax", &e.kRelax), k("modtree", &e.kModtree), k("mcs", &e.kMCS))
 }
 
 func main() {
@@ -244,10 +272,10 @@ func fig4Discover(e *env) {
 			label string
 			opts  mcs.Options
 		}{
-			{"naive", mcs.Options{Workers: e.workers}},
-			{"wcc", mcs.Options{UseWCC: true, Workers: e.workers}},
-			{"single-path", mcs.Options{SinglePath: true, Workers: e.workers}},
-			{"wcc+single", mcs.Options{UseWCC: true, SinglePath: true, Workers: e.workers}},
+			{"naive", mcs.Options{Control: e.mcsCtl()}},
+			{"wcc", mcs.Options{Control: e.mcsCtl(), UseWCC: true}},
+			{"single-path", mcs.Options{Control: e.mcsCtl(), SinglePath: true}},
+			{"wcc+single", mcs.Options{Control: e.mcsCtl(), UseWCC: true, SinglePath: true}},
 		}
 		for _, v := range variants {
 			start := time.Now()
@@ -277,9 +305,9 @@ func fig4Size(e *env) {
 	fmt.Printf("%8s %12s %12s %12s\n", "edges", "naive", "wcc", "single-path")
 	for size := 1; size <= 5; size++ {
 		q := chainQuery(size)
-		naive := mcs.DiscoverMCS(e.ldbc.m, e.ldbc.st, q, mcs.Options{Workers: e.workers})
-		wcc := mcs.DiscoverMCS(e.ldbc.m, e.ldbc.st, q, mcs.Options{UseWCC: true, Workers: e.workers})
-		single := mcs.DiscoverMCS(e.ldbc.m, e.ldbc.st, q, mcs.Options{SinglePath: true, Workers: e.workers})
+		naive := mcs.DiscoverMCS(e.ldbc.m, e.ldbc.st, q, mcs.Options{Control: e.mcsCtl()})
+		wcc := mcs.DiscoverMCS(e.ldbc.m, e.ldbc.st, q, mcs.Options{Control: e.mcsCtl(), UseWCC: true})
+		single := mcs.DiscoverMCS(e.ldbc.m, e.ldbc.st, q, mcs.Options{Control: e.mcsCtl(), SinglePath: true})
 		fmt.Printf("%8d %12d %12d %12d\n", size, naive.Traversals, wcc.Traversals, single.Traversals)
 	}
 }
@@ -309,7 +337,7 @@ func fig4Bounded(e *env) {
 		for _, factor := range []float64{0.2, 0.5} {
 			cthr := workload.Threshold(nq.C1, factor)
 			bounds := metrics.Interval{Lower: 1, Upper: cthr}
-			ex := mcs.BoundedMCS(e.ldbc.m, e.ldbc.st, nq.Build(), bounds, mcs.Options{UseWCC: true, Workers: e.workers})
+			ex := mcs.BoundedMCS(e.ldbc.m, e.ldbc.st, nq.Build(), bounds, mcs.Options{Control: e.mcsCtl(), UseWCC: true})
 			fmt.Printf("%-14s %8.1f %10d %12d %10d %10v\n", nq.Name, factor, cthr, ex.Traversals, ex.MCS.NumEdges(), ex.Satisfied)
 		}
 	}
@@ -324,7 +352,7 @@ func fig5Priority(e *env) {
 		rw := relax.New(me.m, me.st)
 		for _, p := range prios {
 			start := time.Now()
-			out := rw.Rewrite(q, relax.Options{Priority: p, MaxSolutions: 1, Seed: 7, Workers: e.workers})
+			out := rw.Rewrite(q, relax.Options{Control: e.relaxCtl(0), Priority: p, MaxSolutions: 1, Seed: 7})
 			fmt.Printf("%-22s %-22s %10d %10d %12s\n", name, p, out.Executed, len(out.Solutions), time.Since(start).Round(time.Microsecond))
 		}
 	}
@@ -345,7 +373,7 @@ func fig5Convergence(e *env) {
 	q, _ := workload.FailingVariant("LDBC QUERY 2")
 	rw := relax.New(e.ldbc.m, e.ldbc.st)
 	for _, p := range []relax.Priority{relax.PriorityRandom, relax.PriorityCombined} {
-		out := rw.Rewrite(q, relax.Options{Priority: p, MaxSolutions: 3, MaxExecuted: 40, Seed: 7, Workers: e.workers})
+		out := rw.Rewrite(q, relax.Options{Control: e.relaxCtl(40), Priority: p, MaxSolutions: 3, Seed: 7})
 		fmt.Printf("%-22s trace:", p)
 		best := 0
 		for _, c := range out.Trace {
@@ -366,7 +394,7 @@ func fig5Induced(e *env) {
 		q, _ := workload.FailingVariant(nq.Name)
 		rw := relax.New(e.ldbc.m, e.ldbc.st)
 		for _, p := range []relax.Priority{relax.PriorityAvgPath1, relax.PriorityCombined} {
-			out := rw.Rewrite(q, relax.Options{Priority: p, MaxSolutions: 1, Workers: e.workers})
+			out := rw.Rewrite(q, relax.Options{Control: e.relaxCtl(0), Priority: p, MaxSolutions: 1})
 			fmt.Printf("%-22s %-22s %10d %10d\n", nq.Name, p, out.Executed, out.Generated)
 		}
 	}
@@ -390,7 +418,7 @@ func fig5User(e *env) {
 			return true
 		}
 		// Without the model: walk the ranked solution list.
-		out := rw.Rewrite(q, relax.Options{MaxSolutions: 10, AllowTopology: true, Workers: e.workers})
+		out := rw.Rewrite(q, relax.Options{Control: e.relaxCtl(0), MaxSolutions: 10, AllowTopology: true})
 		noModel := -1
 		for i, s := range out.Solutions {
 			if accepts(s) {
@@ -402,7 +430,7 @@ func fig5User(e *env) {
 		pm := relax.NewPreferenceModel(1)
 		withModel := -1
 		for round := 1; round <= 10; round++ {
-			out := rw.Rewrite(q, relax.Options{MaxSolutions: 1, AllowTopology: true, Prefs: pm, Workers: e.workers})
+			out := rw.Rewrite(q, relax.Options{Control: e.relaxCtl(0), MaxSolutions: 1, AllowTopology: true, Prefs: pm})
 			if len(out.Solutions) == 0 {
 				break
 			}
@@ -439,7 +467,7 @@ func fig5Resources(e *env) {
 		q, _ := workload.FailingVariant(nq.Name)
 		me := e.ldbc
 		rw := relax.New(me.m, me.st)
-		out := rw.Rewrite(q, relax.Options{MaxSolutions: 5, MaxDepth: 3, AllowTopology: true, Workers: e.workers})
+		out := rw.Rewrite(q, relax.Options{Control: e.relaxCtl(0), MaxSolutions: 5, MaxDepth: 3, AllowTopology: true})
 		hits, _, entries := me.st.CacheStats()
 		fmt.Printf("%-22s %10d %10d %10d %12d %12d\n", nq.Name, out.Executed, out.Generated, out.CacheHits, hits, entries)
 	}
@@ -448,13 +476,16 @@ func fig5Resources(e *env) {
 // fig6Baseline — TRAVERSESEARCHTREE vs baselines (§6.4.2).
 func fig6Baseline(e *env) {
 	fmt.Printf("== FIG-6.A: fine-grained modification vs baselines (workers=%d, %s) ==\n", e.workers, e.cacheStats())
-	fmt.Printf("%-14s %8s %-12s %10s %10s %10s %12s\n", "query", "factor", "method", "executed", "bestCard", "cardΔ", "runtime")
+	// The workers column is each run's effective worker count as reported by
+	// the search itself: RandomWalk is inherently sequential and always
+	// reports 1, whatever -workers says.
+	fmt.Printf("%-14s %8s %-12s %8s %10s %10s %10s %12s\n", "query", "factor", "method", "workers", "executed", "bestCard", "cardΔ", "runtime")
 	for _, nq := range workload.LDBCQueries() {
 		for _, factor := range workload.CardinalityFactors {
 			cthr := workload.Threshold(nq.C1, factor)
 			goal := goalFor(factor, cthr)
 			s := modtree.New(e.ldbc.m, e.ldbc.st)
-			opts := modtree.Options{Goal: goal, Domain: e.ldbc.dom, MaxExecuted: 150, Workers: e.workers}
+			opts := modtree.Options{Control: e.modCtl(150), Goal: goal, Domain: e.ldbc.dom}
 			type res struct {
 				label string
 				r     modtree.Result
@@ -471,8 +502,8 @@ func fig6Baseline(e *env) {
 			rnd := s.RandomWalk(nq.Build(), opts, 7)
 			rs = append(rs, res{"random", rnd, time.Since(start)})
 			for _, x := range rs {
-				fmt.Printf("%-14s %8.1f %-12s %10d %10d %10d %12s\n",
-					nq.Name, factor, x.label, x.r.Executed, x.r.Best.Cardinality, x.r.Best.Distance, x.dt.Round(time.Microsecond))
+				fmt.Printf("%-14s %8.1f %-12s %8d %10d %10d %10d %12s\n",
+					nq.Name, factor, x.label, x.r.Workers, x.r.Executed, x.r.Best.Cardinality, x.r.Best.Distance, x.dt.Round(time.Microsecond))
 			}
 		}
 	}
@@ -496,8 +527,9 @@ func fig6Topology(e *env) {
 		s := modtree.New(e.ldbc.m, e.ldbc.st)
 		for _, topo := range []bool{false, true} {
 			r := s.TraverseSearchTree(q, modtree.Options{
-				Goal: metrics.AtLeastOne, Domain: e.ldbc.dom,
-				MaxExecuted: 150, AllowTopology: topo, Workers: e.workers,
+				Control: e.modCtl(150),
+				Goal:    metrics.AtLeastOne, Domain: e.ldbc.dom,
+				AllowTopology: topo,
 			})
 			fmt.Printf("%-22s %-12v %10d %10d %10v\n", nq.Name, topo, r.Executed, r.Best.Cardinality, r.Satisfied)
 		}

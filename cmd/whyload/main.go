@@ -53,21 +53,23 @@ type kindStats struct {
 }
 
 // summary is the machine-readable run report (-out, uploaded as a CI
-// artifact).
+// artifact). Kernel carries the daemon's post-run search-kernel counters
+// per dataset and explanation family, read from GET /v1/stats.
 type summary struct {
-	Target      string               `json:"target"`
-	Mix         string               `json:"mix"`
-	Concurrency int                  `json:"concurrency"`
-	Requests    int                  `json:"requests"`
-	Errors      int                  `json:"errors"`
-	DurationMs  float64              `json:"durationMs"`
-	RPS         float64              `json:"rps"`
-	P50Ms       float64              `json:"p50Ms"`
-	P95Ms       float64              `json:"p95Ms"`
-	P99Ms       float64              `json:"p99Ms"`
-	MaxMs       float64              `json:"maxMs"`
-	MeanMs      float64              `json:"meanMs"`
-	PerKind     map[string]kindStats `json:"perKind"`
+	Target      string                                    `json:"target"`
+	Mix         string                                    `json:"mix"`
+	Concurrency int                                       `json:"concurrency"`
+	Requests    int                                       `json:"requests"`
+	Errors      int                                       `json:"errors"`
+	DurationMs  float64                                   `json:"durationMs"`
+	RPS         float64                                   `json:"rps"`
+	P50Ms       float64                                   `json:"p50Ms"`
+	P95Ms       float64                                   `json:"p95Ms"`
+	P99Ms       float64                                   `json:"p99Ms"`
+	MaxMs       float64                                   `json:"maxMs"`
+	MeanMs      float64                                   `json:"meanMs"`
+	PerKind     map[string]kindStats                      `json:"perKind"`
+	Kernel      map[string]map[string]wire.KernelCounters `json:"kernel,omitempty"`
 }
 
 func main() {
@@ -177,6 +179,8 @@ func main() {
 		sum.PerKind[kind] = ks
 	}
 
+	sum.Kernel = fetchKernelCounters(client, *addr)
+
 	fmt.Printf("whyload: %s mix against %s, %d workers\n", sum.Mix, sum.Target, sum.Concurrency)
 	fmt.Printf("  %d requests in %.2fs → %.1f req/s, %d errors\n", sum.Requests, elapsed.Seconds(), sum.RPS, sum.Errors)
 	fmt.Printf("  latency ms: p50=%.2f p95=%.2f p99=%.2f max=%.2f mean=%.2f\n", sum.P50Ms, sum.P95Ms, sum.P99Ms, sum.MaxMs, sum.MeanMs)
@@ -184,6 +188,15 @@ func main() {
 		ks := sum.PerKind[kind]
 		fmt.Printf("  %-8s %5d requests, %d errors, p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
 			kind, ks.Requests, ks.Errors, ks.P50Ms, ks.P95Ms, ks.P99Ms, ks.MaxMs)
+	}
+	for _, ds := range sortedKernelDatasets(sum.Kernel) {
+		families := sum.Kernel[ds]
+		line := fmt.Sprintf("  kernel %-7s", ds)
+		for _, fam := range []string{"relax", "modtree", "mcs"} {
+			c := families[fam]
+			line += fmt.Sprintf(" %s %dx/%dh/%dw", fam, c.Executions, c.DedupHits, c.SpecWaste)
+		}
+		fmt.Println(line)
 	}
 	if *out != "" {
 		blob, err := json.MarshalIndent(sum, "", "  ")
@@ -198,6 +211,42 @@ func main() {
 	if sum.Errors > 0 && !*allowErrors {
 		os.Exit(1)
 	}
+}
+
+// fetchKernelCounters reads the daemon's post-run search-kernel counters
+// (GET /v1/stats) per dataset and explanation family. A stats failure never
+// fails the load run — the counters are observability, not the workload —
+// so it degrades to a warning and a nil map.
+func fetchKernelCounters(client *http.Client, addr string) map[string]map[string]wire.KernelCounters {
+	resp, err := client.Get(addr + "/v1/stats")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "whyload: reading /v1/stats: %v\n", err)
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "whyload: reading /v1/stats: %s\n", resp.Status)
+		return nil
+	}
+	var stats wire.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		fmt.Fprintf(os.Stderr, "whyload: decoding /v1/stats: %v\n", err)
+		return nil
+	}
+	kernel := make(map[string]map[string]wire.KernelCounters, len(stats.Datasets))
+	for name, ds := range stats.Datasets {
+		kernel[name] = ds.Kernel
+	}
+	return kernel
+}
+
+func sortedKernelDatasets(m map[string]map[string]wire.KernelCounters) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // buildJobs derives the request corpus from the daemon's dataset listing.

@@ -20,6 +20,7 @@ import (
 	"repro/internal/modtree"
 	"repro/internal/query"
 	"repro/internal/relax"
+	"repro/internal/search"
 	"repro/internal/stats"
 )
 
@@ -38,6 +39,13 @@ type Engine struct {
 	domain  *stats.Domain
 	states  sync.Pool // *explainState, one per in-flight Explain
 	workers int
+
+	// Search-kernel counters, one sink per explanation family. Every search
+	// run — from any pooled explainState — flushes its executions, dedup
+	// hits, and speculation counters here; GET /v1/stats reads them out.
+	kRelax   search.Metrics
+	kModtree search.Metrics
+	kMCS     search.Metrics
 }
 
 // explainState is the per-call mutable search state of Explain. The rewriter
@@ -93,6 +101,17 @@ func (e *Engine) Stats() *stats.Collector { return e.st }
 
 // Domain returns the engine's attribute-value catalog.
 func (e *Engine) Domain() *stats.Domain { return e.domain }
+
+// KernelCounters reports the search kernel's accumulated counters per
+// explanation family ("relax", "modtree", "mcs"): candidate executions,
+// dedup hits, speculative evaluations launched, and speculative waste.
+func (e *Engine) KernelCounters() map[string]search.Counters {
+	return map[string]search.Counters{
+		"relax":   e.kRelax.Snapshot(),
+		"modtree": e.kModtree.Snapshot(),
+		"mcs":     e.kMCS.Snapshot(),
+	}
+}
 
 // Options tunes Explain.
 type Options struct {
@@ -225,11 +244,14 @@ func (e *Engine) ExplainCtx(ctx context.Context, q *query.Query, opts Options) (
 		workers = e.workers
 	}
 	sub := mcs.BoundedMCS(e.m, e.st, q, opts.Expected, mcs.Options{
-		UseWCC:          true,
-		EdgeWeights:     opts.EdgeWeights,
-		TraversalBudget: opts.Budget,
-		Workers:         workers,
-		Ctx:             ctx,
+		Control: search.Control{
+			MaxExecuted: opts.Budget,
+			Workers:     workers,
+			Ctx:         ctx,
+			Metrics:     &e.kMCS,
+		},
+		UseWCC:      true,
+		EdgeWeights: opts.EdgeWeights,
 	})
 	rep.Subgraph = &sub
 	if err := ctx.Err(); err != nil {
@@ -245,12 +267,15 @@ func (e *Engine) ExplainCtx(ctx context.Context, q *query.Query, opts Options) (
 	var candidates []Rewriting
 	if fine {
 		res := st.mt.TraverseSearchTree(q, modtree.Options{
+			Control: search.Control{
+				MaxExecuted: opts.Budget,
+				Workers:     workers,
+				Ctx:         ctx,
+				Metrics:     &e.kModtree,
+			},
 			Goal:          opts.Expected,
-			MaxExecuted:   opts.Budget,
 			AllowTopology: opts.AllowTopology,
 			Domain:        e.domain,
-			Workers:       workers,
-			Ctx:           ctx,
 		})
 		if len(res.Best.Ops) > 0 {
 			candidates = append(candidates, Rewriting{
@@ -263,14 +288,17 @@ func (e *Engine) ExplainCtx(ctx context.Context, q *query.Query, opts Options) (
 		rep.Trace = append([]int(nil), res.Trace...)
 	} else {
 		out := st.rw.Rewrite(q, relax.Options{
+			Control: search.Control{
+				MaxExecuted: opts.Budget,
+				Workers:     workers,
+				Ctx:         ctx,
+				Metrics:     &e.kRelax,
+			},
 			Goal:          opts.Expected,
-			MaxExecuted:   opts.Budget,
 			MaxSolutions:  opts.MaxRewritings,
 			AllowTopology: opts.AllowTopology,
 			Prefs:         opts.Prefs,
 			Priority:      relax.PriorityCombined,
-			Workers:       workers,
-			Ctx:           ctx,
 		})
 		for _, s := range out.Solutions {
 			candidates = append(candidates, Rewriting{

@@ -17,25 +17,35 @@
 // User integration (§4.4) supplies per-edge relevance weights that steer the
 // traversal path and rank the produced explanations.
 //
-// Chapter 4's algorithmic details arrive truncated in the source text; the
-// growth-with-backtracking search and the closest-cardinality fallback are
-// reconstructed from the thesis' Chapter 1–3 descriptions (see DESIGN.md).
+// Budgeting, visited-state dedup, cancellation, and speculative frontier
+// probing run on the shared kernel of internal/search; this package
+// contributes the strategy: the growth-with-backtracking traversal and the
+// closest-cardinality fallback (reconstructed from the thesis' Chapter 1–3
+// descriptions, see DESIGN.md — Chapter 4's algorithmic details arrive
+// truncated in the source text).
 package mcs
 
 import (
-	"context"
 	"encoding/binary"
 	"sort"
 
 	"repro/internal/match"
 	"repro/internal/metrics"
-	"repro/internal/parallel"
 	"repro/internal/query"
+	"repro/internal/search"
 	"repro/internal/stats"
 )
 
-// Options configures the MCS search.
+// Options configures the MCS search. The embedded search.Control supplies
+// the kernel knobs — Workers, Ctx, MaxExecuted (the traversal budget),
+// CountCap (0 = derived from the bounds), Metrics — via field promotion.
+// With Workers > 1 the frontier's candidate extensions are probed
+// concurrently; the explanation, its path, and the Traversals count stay
+// byte-identical to the sequential search (Traversals counts logical
+// executions — speculative probes the search never consumes are prefetch
+// work and do not count).
 type Options struct {
+	search.Control
 	// UseWCC processes weakly connected query components independently
 	// (§4.3.1); without it every candidate subquery is executed against the
 	// full cross-component state, inflating intermediate results.
@@ -48,25 +58,9 @@ type Options struct {
 	// Heavier edges are traversed first, so the MCS preferentially covers
 	// what the user cares about.
 	EdgeWeights map[int]float64
-	// TraversalBudget caps the number of subquery executions (0 = 1000).
+	// TraversalBudget is the historical name of the execution budget; it is
+	// used when the promoted MaxExecuted is zero (0 = 1000).
 	TraversalBudget int
-	// Workers sets the subquery-probe worker count (0 or 1 = sequential).
-	// At every traversal step the frontier's candidate extensions are
-	// probed concurrently; the explanation, its path, and the Traversals
-	// count stay byte-identical to the sequential search (Traversals counts
-	// logical executions — speculative probes the search never consumes are
-	// prefetch work and do not count).
-	Workers int
-	// Ctx, when non-nil, cancels the search: the traversal stops before its
-	// next subquery execution once Ctx is done and the best explanation found
-	// so far is returned, so an abandoned request stops burning the matcher
-	// and worker pool within one execution.
-	Ctx context.Context
-}
-
-// ctxDone reports whether a cancellation context was supplied and fired.
-func ctxDone(ctx context.Context) bool {
-	return ctx != nil && ctx.Err() != nil
 }
 
 // DefaultTraversalBudget bounds the subquery executions per explanation.
@@ -129,18 +123,16 @@ func DiscoverMCS(m *match.Matcher, st *stats.Collector, q *query.Query, opts Opt
 // satisfies the bounds, the subquery with the smallest cardinality distance
 // is returned with Satisfied == false.
 func BoundedMCS(m *match.Matcher, st *stats.Collector, q *query.Query, bounds metrics.Interval, opts Options) Explanation {
-	r := &runner{
-		m: m, st: st, q: q, bounds: bounds, opts: opts,
-		ctx:     m.NewContext(),
-		visited: make(map[string]bool),
-		budget:  opts.TraversalBudget,
+	if opts.MaxExecuted == 0 {
+		opts.MaxExecuted = opts.TraversalBudget
 	}
-	if r.budget <= 0 {
-		r.budget = DefaultTraversalBudget
+	if opts.MaxExecuted <= 0 {
+		opts.MaxExecuted = DefaultTraversalBudget
 	}
-	if opts.Workers > 1 {
-		r.pool = parallel.NewPool(opts.Workers, m.NewContext)
-	}
+	ex := search.NewExecutor(m)
+	ex.Begin(opts.Control)
+	defer ex.End()
+	r := &runner{m: m, st: st, q: q, bounds: bounds, opts: opts, ex: ex}
 	if opts.UseWCC {
 		return r.runPerComponent()
 	}
@@ -150,22 +142,13 @@ func BoundedMCS(m *match.Matcher, st *stats.Collector, q *query.Query, bounds me
 type runner struct {
 	m      *match.Matcher
 	st     *stats.Collector
-	ctx    *match.Ctx // reused across every subquery execution of the search
 	q      *query.Query
 	bounds metrics.Interval
 	opts   Options
 
-	visited    map[string]bool
-	traversals int
-	budget     int
-
-	// pool and precomputed implement speculative parallel probing: frontier
-	// extensions are counted ahead on the pool's workers, and execute
-	// consumes the precomputed cardinalities in sequential order.
-	pool        *parallel.Pool[*match.Ctx]
-	precomputed map[string]int
-	wave        parallel.Wave
-	waveEdges   [][]int // payload per wave job: the probed edge set
+	// ex is the shared search-kernel executor: traversal budget,
+	// visited-state dedup, cancellation, and speculative frontier probes.
+	ex *search.Executor
 
 	hasBest       bool
 	bestEdges     []int
@@ -175,14 +158,12 @@ type runner struct {
 	bestDist      int
 }
 
-// stopped reports whether the traversal must halt: traversal budget exhausted
-// or the caller's cancellation context fired.
-func (r *runner) stopped() bool {
-	return r.traversals >= r.budget || ctxDone(r.opts.Ctx)
-}
-
-// countCap limits result enumeration per execution ("bounded" evaluation).
+// countCap limits result enumeration per execution ("bounded" evaluation):
+// the configured CountCap when set, otherwise derived from the bounds.
 func (r *runner) countCap() int {
+	if r.opts.CountCap > 0 {
+		return r.opts.CountCap
+	}
 	if r.bounds.Upper > 0 {
 		return r.bounds.Upper + 1
 	}
@@ -193,58 +174,19 @@ func (r *runner) countCap() int {
 }
 
 // execute counts the embeddings of the subquery induced by the given edges
-// and isolated vertices, spending one traversal. Precomputed probe results
-// are consumed by the edge-set key; cardinalities are deterministic, so a
-// consumed probe is indistinguishable from an inline execution.
+// and isolated vertices, spending one traversal. The kernel consumes
+// speculated probe results by the edge-set key; cardinalities are
+// deterministic, so a consumed probe is indistinguishable from an inline
+// execution. Baseline executions (no edges) run even when the budget is
+// already spent — the traversal loops gate on Stopped at a coarser
+// granularity — hence ExecuteAlways.
 func (r *runner) execute(edges, isolated []int) int {
-	r.traversals++
-	if r.precomputed != nil && len(edges) > 0 {
-		key := stateKey(edges)
-		if card, ok := r.precomputed[key]; ok {
-			delete(r.precomputed, key)
-			return card
-		}
+	key := ""
+	if len(edges) > 0 {
+		key = stateKey(edges)
 	}
-	sub := r.q.Subquery(edges, isolated)
-	return r.m.CountCtx(r.ctx, sub, r.countCap())
-}
-
-// speculate probes the next unvisited frontier extensions on the worker
-// pool, ahead of the sequential loop consuming them. Probes are capped at
-// one pool width — the traversal re-speculates wave by wave, so waste on an
-// early exit (SinglePath success, budget out) stays bounded — and at the
-// remaining traversal budget, so speculation never outruns what the
-// sequential search could execute.
-func (r *runner) speculate(frontier, accepted, isolated []int) {
-	if r.precomputed == nil {
-		// Lazily owned by whichever runner actually traverses: keys are edge
-		// sets under one fixed isolated-vertex set, so each (sub-)runner
-		// keeps its own map, like visited.
-		r.precomputed = make(map[string]int)
-	}
-	remaining := r.budget - r.traversals
-	if width := r.pool.Workers(); remaining > width {
-		remaining = width
-	}
-	r.wave.Reset()
-	r.waveEdges = r.waveEdges[:0]
-	for _, eid := range frontier {
-		if r.wave.Len() >= remaining {
-			break
-		}
-		next := append(append([]int(nil), accepted...), eid)
-		key := stateKey(next)
-		if r.visited[key] {
-			continue
-		}
-		if r.wave.Add(key, len(r.waveEdges), r.precomputed) {
-			r.waveEdges = append(r.waveEdges, next)
-		}
-	}
-	countCap := r.countCap()
-	parallel.RunWave(r.pool, &r.wave, r.precomputed, func(ctx *match.Ctx, i int) int {
-		sub := r.q.Subquery(r.waveEdges[i], isolated)
-		return r.m.CountCtx(ctx, sub, countCap)
+	return r.ex.ExecuteAlways(key, func(ctx *match.Ctx) int {
+		return r.m.CountCtx(ctx, r.q.Subquery(edges, isolated), r.countCap())
 	})
 }
 
@@ -312,8 +254,8 @@ func (r *runner) priority(edges []int) []int {
 }
 
 // stateKey encodes a traversal state (an edge-id set) as a compact binary
-// string: sorted ids, uvarint-encoded. It keys the visited and precomputed
-// maps of the growth search; the binary form avoids the per-probe
+// string: sorted ids, uvarint-encoded. It keys the kernel's visited-state
+// dedup and speculation maps; the binary form avoids the per-probe
 // strconv/strings.Builder garbage of the textual encoding it replaced.
 func stateKey(edges []int) string {
 	var stack [16]int
@@ -345,7 +287,8 @@ func (r *runner) runWhole() Explanation {
 }
 
 // runPerComponent applies the §4.3.1 optimization: each weakly connected
-// component is solved independently and the per-component MCSes are merged.
+// component is solved independently — with a fresh visited-state set under
+// the one shared traversal budget — and the per-component MCSes are merged.
 func (r *runner) runPerComponent() Explanation {
 	comps := r.q.WeaklyConnectedComponents()
 	var mergedEdges, mergedIsolated []int
@@ -354,15 +297,9 @@ func (r *runner) runPerComponent() Explanation {
 	for _, comp := range comps {
 		edges, iso := componentEdges(r.q, comp)
 		okIso := r.filterIsolated(iso)
-		sub := &runner{
-			m: r.m, st: r.st, q: r.q, bounds: r.bounds, opts: r.opts,
-			ctx:     r.ctx,
-			visited: make(map[string]bool),
-			budget:  r.budget - r.traversals,
-			pool:    r.pool,
-		}
+		sub := &runner{m: r.m, st: r.st, q: r.q, bounds: r.bounds, opts: r.opts, ex: r.ex}
+		r.ex.ResetDedup() // component states are disjoint; leftover probes are waste
 		sub.grow(edges, okIso)
-		r.traversals += sub.traversals
 		mergedEdges = append(mergedEdges, sub.bestEdges...)
 		mergedIsolated = append(mergedIsolated, sub.bestIsolated...)
 		if sub.bestCard == 0 {
@@ -425,28 +362,33 @@ func (r *runner) grow(candidates, isolated []int) {
 		r.record(nil, isolated, card)
 	}
 	ordered := r.priority(candidates)
+	countCap := r.countCap()
 	var dfs func(accepted []int)
 	dfs = func(accepted []int) {
-		if r.stopped() {
+		if r.ex.Stopped() {
 			return
 		}
 		frontier := r.frontier(accepted, ordered)
-		width := 0
-		if r.pool != nil {
-			width = r.pool.Workers()
+		extendWith := func(eid int) []int {
+			return append(append([]int(nil), accepted...), eid)
 		}
 		extended := false
 		for fi, eid := range frontier {
-			if width > 0 && fi%width == 0 {
-				r.speculate(frontier[fi:], accepted, isolated)
+			if r.ex.Parallel() && fi%r.ex.Width() == 0 {
+				// Probe one worker-sized wave of extensions ahead: the
+				// traversal re-speculates wave by wave, so waste on an early
+				// exit (SinglePath success, budget out) stays bounded.
+				search.SpeculateSlice(r.ex, frontier[fi:],
+					func(eid int) string { return stateKey(extendWith(eid)) },
+					func(ctx *match.Ctx, eid int) int {
+						return r.m.CountCtx(ctx, r.q.Subquery(extendWith(eid), isolated), countCap)
+					})
 			}
-			next := append(append([]int(nil), accepted...), eid)
-			key := stateKey(next)
-			if r.visited[key] {
+			next := extendWith(eid)
+			if !r.ex.Visit(stateKey(next)) {
 				continue
 			}
-			r.visited[key] = true
-			if r.stopped() {
+			if r.ex.Stopped() {
 				break
 			}
 			card := r.execute(next, isolated)
@@ -475,7 +417,7 @@ func (r *runner) grow(candidates, isolated []int) {
 		for _, eid := range candidates {
 			e := r.q.Edge(eid)
 			for _, v := range []int{e.From, e.To} {
-				if seen[v] || r.stopped() {
+				if seen[v] || r.ex.Stopped() {
 					continue
 				}
 				seen[v] = true
@@ -524,7 +466,7 @@ func (r *runner) finish() Explanation {
 		Differential: diff,
 		Cardinality:  r.bestCard,
 		Satisfied:    r.bestSatisfied,
-		Traversals:   r.traversals,
+		Traversals:   r.ex.Executions(),
 		Path:         append([]int(nil), r.bestEdges...),
 	}
 }

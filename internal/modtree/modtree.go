@@ -1,25 +1,34 @@
+// Package modtree implements the fine-grained modification tree of
+// Chapter 6: TRAVERSESEARCHTREE and its evaluation baselines. The search
+// loop — deterministic frontier, budgeted execution, executed-candidate
+// dedup, cancellation, speculation — is the shared kernel of
+// internal/search; this package contributes the strategy: the fine-grained
+// modification operators (§6.2.2), the non-contributing-change pruning
+// (§6.3.2), and the tree orderings.
 package modtree
 
 import (
-	"container/heap"
-	"context"
 	"math/rand"
 	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/match"
 	"repro/internal/metrics"
-	"repro/internal/parallel"
 	"repro/internal/query"
+	"repro/internal/search"
 	"repro/internal/stats"
 )
 
-// Options tunes TRAVERSESEARCHTREE and its baselines.
+// Options tunes TRAVERSESEARCHTREE and its baselines. The embedded
+// search.Control supplies the kernel knobs — Workers, Ctx, MaxExecuted
+// (0 = 300), CountCap (0 = derived from the goal's upper bound, at least
+// 1000), Metrics — under their historical names via field promotion.
+// RandomWalk is inherently sequential (each step depends on the previous
+// count) and ignores Workers; its Result reports Workers == 1.
 type Options struct {
+	search.Control
 	// Goal is the cardinality interval the rewriting must reach.
 	Goal metrics.Interval
-	// MaxExecuted caps candidate executions (0 = 300).
-	MaxExecuted int
 	// MaxDepth caps stacked modifications (0 = 6).
 	MaxDepth int
 	// AllowTopology enables edge/vertex level changes alongside the
@@ -30,25 +39,6 @@ type Options struct {
 	Domain *stats.Domain
 	// ValuesPerPredicate caps domain values tried per predicate (0 = 3).
 	ValuesPerPredicate int
-	// CountCap bounds result counting per execution (0 = derived from the
-	// goal's upper bound, at least 1000).
-	CountCap int
-	// Workers sets the child-evaluation worker count (0 or 1 = sequential).
-	// Each tree expansion evaluates its children's cardinalities on the
-	// worker pool; results, counters, and traces stay byte-identical to the
-	// sequential search. RandomWalk is inherently sequential (each step
-	// depends on the previous count) and ignores the knob.
-	Workers int
-	// Ctx, when non-nil, cancels the search: every search stops before its
-	// next candidate execution once Ctx is done and returns the partial
-	// Result, so an abandoned request stops burning the matcher and worker
-	// pool within one execution.
-	Ctx context.Context
-}
-
-// ctxDone reports whether a cancellation context was supplied and fired.
-func ctxDone(ctx context.Context) bool {
-	return ctx != nil && ctx.Err() != nil
 }
 
 func (o *Options) fill() {
@@ -94,9 +84,24 @@ type Node struct {
 	// key caches the query's binary canonical key (the executed-query cache
 	// key, derived incrementally from the parent's key on generation).
 	key string
-	// seq is the heap-insertion number — the total-order tie-break that
-	// keeps the expansion order independent of the heap's internal layout.
-	seq int
+}
+
+// nodeLess is the frontier's strict order: contributing before demoted,
+// then smaller cardinality distance, smaller syntactic distance, smaller
+// depth. Remaining ties fall back to the kernel's insertion-sequence
+// tie-break, so the expansion order is a total order independent of the
+// heap's internal layout.
+func nodeLess(a, b *Node) bool {
+	if a.Demoted != b.Demoted {
+		return !a.Demoted
+	}
+	if a.Distance != b.Distance {
+		return a.Distance < b.Distance
+	}
+	if a.Syntactic != b.Syntactic {
+		return a.Syntactic < b.Syntactic
+	}
+	return a.Depth < b.Depth
 }
 
 // Result reports a fine-grained modification run.
@@ -113,35 +118,32 @@ type Result struct {
 	// Pruned counts discarded non-contributing changes and branches
 	// (§6.3.2).
 	Pruned int
+	// Workers is the run's effective evaluation worker count: the
+	// configured pool width for TraverseSearchTree and Exhaustive, always 1
+	// for RandomWalk, which is sequential by construction and ignores the
+	// Workers knob.
+	Workers int
 	// Trace records the best-so-far cardinality distance after every
-	// execution (convergence series, §6.4.2).
+	// execution (convergence series, §6.4.2). The slice is owned by the
+	// Result.
 	Trace []int
 }
 
 // Searcher runs fine-grained modifications over one data graph.
-// A Searcher reuses one matching context across all candidate executions of
-// its searches, so it must not be shared between goroutines. Searches with
-// Options.Workers > 1 additionally evaluate children on an internal worker
-// pool private to the Searcher.
+// A Searcher reuses one search-kernel executor (matching context, worker
+// pool, dedup scratch) across all candidate executions of its searches, so
+// it must not be shared between goroutines; speculation results are consumed
+// on the calling goroutine only.
 type Searcher struct {
-	m    *match.Matcher
-	st   *stats.Collector
-	ctx  *match.Ctx
-	pool *parallel.Pool[*match.Ctx] // lazily built, reused across searches
-	wave parallel.Wave              // precompute scratch
+	m  *match.Matcher
+	st *stats.Collector
+	ex *search.Executor
+	pq *search.Frontier[*Node]
 }
 
 // New returns a searcher over the matcher and statistics collector.
 func New(m *match.Matcher, st *stats.Collector) *Searcher {
-	return &Searcher{m: m, st: st, ctx: m.NewContext()}
-}
-
-// getPool returns the searcher's worker pool, (re)built on width changes.
-func (s *Searcher) getPool(workers int) *parallel.Pool[*match.Ctx] {
-	if s.pool == nil || s.pool.Workers() != workers {
-		s.pool = parallel.NewPool(workers, s.m.NewContext)
-	}
-	return s.pool
+	return &Searcher{m: m, st: st, ex: search.NewExecutor(m), pq: search.NewFrontier(nodeLess)}
 }
 
 // makeChildren applies every modification of the parent, returning the
@@ -166,29 +168,22 @@ func (s *Searcher) makeChildren(parent *Node, opts Options) []*Node {
 	return children
 }
 
-// precompute evaluates the cardinalities of the next children the
-// sequential processing loop is about to execute — novel canonicals, capped
-// at one pool width and the remaining execution budget — in parallel,
-// storing them for exec to consume. Cardinalities are deterministic, so
-// consuming a precomputed value is indistinguishable from executing inline.
-func (s *Searcher) precompute(pool *parallel.Pool[*match.Ctx], children []*Node, executed, precomputed map[string]int, countCap, remaining int) {
-	width := pool.Workers()
-	if remaining > width {
-		remaining = width
+// nodeKey and nodeEval adapt tree nodes to the kernel's speculation engine.
+func nodeKey(n *Node) string { return n.key }
+
+func (s *Searcher) nodeEval(countCap int) func(*match.Ctx, *Node) int {
+	return func(ctx *match.Ctx, n *Node) int {
+		return s.m.CountKeyed(ctx, n.Query, n.key, countCap)
 	}
-	s.wave.Reset()
-	for ci, ch := range children {
-		if s.wave.Len() >= remaining {
-			break
-		}
-		if _, seen := executed[ch.key]; seen {
-			continue
-		}
-		s.wave.Add(ch.key, ci, precomputed)
-	}
-	parallel.RunWave(pool, &s.wave, precomputed, func(ctx *match.Ctx, i int) int {
-		return s.m.CountKeyed(ctx, children[i].Query, children[i].key, countCap)
-	})
+}
+
+// finish copies the kernel's run records into the result and flushes the
+// kernel counters — shared by every search variant's return paths.
+func (s *Searcher) finish(res *Result, workers int) {
+	res.Executed = s.ex.Executions()
+	res.Trace = append([]int(nil), s.ex.Trace()...)
+	res.Workers = workers
+	s.ex.End()
 }
 
 // TraverseSearchTree is the thesis' TRAVERSESEARCHTREE algorithm (§6.2.1):
@@ -197,39 +192,25 @@ func (s *Searcher) precompute(pool *parallel.Pool[*match.Ctx], children []*Node,
 // the propagation of each change through all downstream operators (§6.3.1);
 // children whose cardinality equals their parent's are non-contributing and
 // are discarded with their branches (§6.3.2).
-func (s *Searcher) TraverseSearchTree(q *query.Query, opts Options) Result {
+func (s *Searcher) TraverseSearchTree(q *query.Query, opts Options) (res Result) {
 	opts.fill()
-	res := Result{}
-	executed := map[string]int{}
-	var pool *parallel.Pool[*match.Ctx]
-	var precomputed map[string]int
-	if opts.Workers > 1 {
-		pool = s.getPool(opts.Workers)
-		precomputed = map[string]int{}
-	}
-	pq := &nodeHeap{}
-	heap.Init(pq)
-	pushes := 0
-	push := func(n *Node) {
-		n.seq = pushes
-		pushes++
-		heap.Push(pq, n)
-	}
+	ex := s.ex
+	ex.Begin(opts.Control)
+	defer func() { s.finish(&res, ex.Width()) }()
+	pq := s.pq
+	pq.Reset()
+	eval := s.nodeEval(opts.CountCap)
 
 	exec := func(n *Node) bool {
-		card, seen := executed[n.key]
+		card, seen := ex.Cached(n.key)
 		if !seen {
-			if res.Executed >= opts.MaxExecuted || ctxDone(opts.Ctx) {
+			var ok bool
+			card, ok = ex.Execute(n.key, func(ctx *match.Ctx) int {
+				return s.m.CountKeyed(ctx, n.Query, n.key, opts.CountCap)
+			})
+			if !ok {
 				return false
 			}
-			if pc, ok := precomputed[n.key]; ok {
-				card = pc
-				delete(precomputed, n.key)
-			} else {
-				card = s.m.CountKeyed(s.ctx, n.Query, n.key, opts.CountCap)
-			}
-			executed[n.key] = card
-			res.Executed++
 		}
 		n.Cardinality = card
 		n.Distance = opts.Goal.Distance(card)
@@ -244,27 +225,27 @@ func (s *Searcher) TraverseSearchTree(q *query.Query, opts Options) Result {
 	root.Syntactic = 0
 	res.Best = *root
 	res.Satisfied = opts.Goal.Contains(root.Cardinality)
-	res.Trace = append(res.Trace, res.Best.Distance)
+	ex.Record(res.Best.Distance)
 	if res.Satisfied {
 		return res
 	}
-	push(root)
+	pq.Push(root)
 	res.Generated = 1
 
-	for pq.Len() > 0 && res.Executed < opts.MaxExecuted && !ctxDone(opts.Ctx) {
-		parent := heap.Pop(pq).(*Node)
+	for pq.Len() > 0 && !ex.Stopped() {
+		parent, _ := pq.Pop()
 		if parent.Depth >= opts.MaxDepth {
 			continue
 		}
 		children := s.makeChildren(parent, opts)
 		for ci, child := range children {
-			if pool != nil && ci%pool.Workers() == 0 {
-				// Precompute one worker-sized wave ahead: waste on an early
+			if ex.Parallel() && ci%ex.Width() == 0 {
+				// Speculate one worker-sized wave ahead: waste on an early
 				// exit (goal reached, budget out) stays bounded by the pool
 				// width instead of the whole expansion.
-				s.precompute(pool, children[ci:], executed, precomputed, opts.CountCap, opts.MaxExecuted-res.Executed)
+				search.SpeculateSlice(ex, children[ci:], nodeKey, eval)
 			}
-			if _, seen := executed[child.key]; seen {
+			if ex.Seen(child.key) {
 				continue
 			}
 			child.Ops = append(append([]query.Op(nil), parent.Ops...), child.op)
@@ -283,19 +264,19 @@ func (s *Searcher) TraverseSearchTree(q *query.Query, opts Options) Result {
 				// dead changes lead the search.
 				res.Pruned++
 				child.Demoted = true
-				res.Trace = append(res.Trace, res.Best.Distance)
-				push(child)
+				ex.Record(res.Best.Distance)
+				pq.Push(child)
 				continue
 			}
 			if better(child, &res.Best) {
 				res.Best = *child
 			}
-			res.Trace = append(res.Trace, res.Best.Distance)
+			ex.Record(res.Best.Distance)
 			if opts.Goal.Contains(child.Cardinality) {
 				res.Satisfied = true
 				return res
 			}
-			push(child)
+			pq.Push(child)
 		}
 	}
 	res.Satisfied = opts.Goal.Contains(res.Best.Cardinality)
@@ -510,66 +491,26 @@ func (s *Searcher) concretizeOps(q *query.Query, opts Options) []query.Op {
 	return ops
 }
 
-// nodeHeap is a min-heap on (cardinality distance, syntactic distance,
-// depth): the most promising modification-tree branch expands first. The
-// final insertion-number tie-break makes the pop sequence a total order, so
-// expansion order never depends on the heap's internal array layout.
-type nodeHeap []*Node
-
-func (h nodeHeap) Len() int { return len(h) }
-func (h nodeHeap) Less(i, j int) bool {
-	if h[i].Demoted != h[j].Demoted {
-		return !h[i].Demoted
-	}
-	if h[i].Distance != h[j].Distance {
-		return h[i].Distance < h[j].Distance
-	}
-	if h[i].Syntactic != h[j].Syntactic {
-		return h[i].Syntactic < h[j].Syntactic
-	}
-	if h[i].Depth != h[j].Depth {
-		return h[i].Depth < h[j].Depth
-	}
-	return h[i].seq < h[j].seq
-}
-func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*Node)) }
-func (h *nodeHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
-}
-
 // Exhaustive is the §6.4.1 enumeration baseline: breadth-first expansion of
 // the same operator space without pruning or prioritization.
-func (s *Searcher) Exhaustive(q *query.Query, opts Options) Result {
+func (s *Searcher) Exhaustive(q *query.Query, opts Options) (res Result) {
 	opts.fill()
-	res := Result{}
-	executed := map[string]int{}
-	var pool *parallel.Pool[*match.Ctx]
-	var precomputed map[string]int
-	if opts.Workers > 1 {
-		pool = s.getPool(opts.Workers)
-		precomputed = map[string]int{}
-	}
+	ex := s.ex
+	ex.Begin(opts.Control)
+	defer func() { s.finish(&res, ex.Width()) }()
+	eval := s.nodeEval(opts.CountCap)
 	var queue []*Node
 
 	exec := func(n *Node) bool {
-		card, seen := executed[n.key]
+		card, seen := ex.Cached(n.key)
 		if !seen {
-			if res.Executed >= opts.MaxExecuted || ctxDone(opts.Ctx) {
+			var ok bool
+			card, ok = ex.Execute(n.key, func(ctx *match.Ctx) int {
+				return s.m.CountKeyed(ctx, n.Query, n.key, opts.CountCap)
+			})
+			if !ok {
 				return false
 			}
-			if pc, ok := precomputed[n.key]; ok {
-				card = pc
-				delete(precomputed, n.key)
-			} else {
-				card = s.m.CountKeyed(s.ctx, n.Query, n.key, opts.CountCap)
-			}
-			executed[n.key] = card
-			res.Executed++
 		}
 		n.Cardinality = card
 		n.Distance = opts.Goal.Distance(card)
@@ -582,13 +523,13 @@ func (s *Searcher) Exhaustive(q *query.Query, opts Options) Result {
 	}
 	res.Best = *root
 	res.Generated = 1
-	res.Trace = append(res.Trace, res.Best.Distance)
+	ex.Record(res.Best.Distance)
 	if opts.Goal.Contains(root.Cardinality) {
 		res.Satisfied = true
 		return res
 	}
 	queue = append(queue, root)
-	for len(queue) > 0 && res.Executed < opts.MaxExecuted && !ctxDone(opts.Ctx) {
+	for len(queue) > 0 && !ex.Stopped() {
 		cur := queue[0]
 		queue = queue[1:]
 		if cur.Depth >= opts.MaxDepth {
@@ -596,10 +537,10 @@ func (s *Searcher) Exhaustive(q *query.Query, opts Options) Result {
 		}
 		children := s.makeChildren(cur, opts)
 		for ci, child := range children {
-			if pool != nil && ci%pool.Workers() == 0 {
-				s.precompute(pool, children[ci:], executed, precomputed, opts.CountCap, opts.MaxExecuted-res.Executed)
+			if ex.Parallel() && ci%ex.Width() == 0 {
+				search.SpeculateSlice(ex, children[ci:], nodeKey, eval)
 			}
-			if _, seen := executed[child.key]; seen {
+			if ex.Seen(child.key) {
 				continue
 			}
 			child.Ops = append(append([]query.Op(nil), cur.Ops...), child.op)
@@ -611,7 +552,7 @@ func (s *Searcher) Exhaustive(q *query.Query, opts Options) Result {
 			if better(child, &res.Best) {
 				res.Best = *child
 			}
-			res.Trace = append(res.Trace, res.Best.Distance)
+			ex.Record(res.Best.Distance)
 			if opts.Goal.Contains(child.Cardinality) {
 				res.Satisfied = true
 				return res
@@ -624,40 +565,41 @@ func (s *Searcher) Exhaustive(q *query.Query, opts Options) Result {
 }
 
 // RandomWalk is the §6.4.1 random baseline: chains of randomly chosen
-// applicable modifications, restarted from the original query.
-func (s *Searcher) RandomWalk(q *query.Query, opts Options, seed int64) Result {
+// applicable modifications, restarted from the original query. The walk is
+// sequential by construction — each step's modification set depends on the
+// previous count — so Options.Workers is ignored and the Result reports
+// Workers == 1.
+func (s *Searcher) RandomWalk(q *query.Query, opts Options, seed int64) (res Result) {
 	opts.fill()
+	opts.Workers = 1 // inherently sequential: the knob is a documented no-op
 	rng := rand.New(rand.NewSource(seed))
-	res := Result{}
-	executed := map[string]int{}
+	ex := s.ex
+	ex.Begin(opts.Control)
+	defer func() { s.finish(&res, 1) }()
 
 	count := func(cand *query.Query, key string) (int, bool) {
-		if card, seen := executed[key]; seen {
+		if card, seen := ex.Cached(key); seen {
 			return card, true
 		}
-		if res.Executed >= opts.MaxExecuted || ctxDone(opts.Ctx) {
-			return 0, false
-		}
-		card := s.m.CountKeyed(s.ctx, cand, key, opts.CountCap)
-		executed[key] = card
-		res.Executed++
-		return card, true
+		return ex.Execute(key, func(ctx *match.Ctx) int {
+			return s.m.CountKeyed(ctx, cand, key, opts.CountCap)
+		})
 	}
 
 	rootKey := q.Key()
 	rootCard, _ := count(q, rootKey)
 	res.Best = Node{Query: q.Clone(), Cardinality: rootCard, Distance: opts.Goal.Distance(rootCard)}
 	res.Generated = 1
-	res.Trace = append(res.Trace, res.Best.Distance)
+	ex.Record(res.Best.Distance)
 	if opts.Goal.Contains(rootCard) {
 		res.Satisfied = true
 		return res
 	}
-	for res.Executed < opts.MaxExecuted && !ctxDone(opts.Ctx) {
+	for !ex.Stopped() {
 		cur, curKey := q.Clone(), rootKey
 		card := rootCard
 		var ops []query.Op
-		for depth := 0; depth < opts.MaxDepth && res.Executed < opts.MaxExecuted; depth++ {
+		for depth := 0; depth < opts.MaxDepth && ex.Remaining() > 0; depth++ {
 			avail := s.Modifications(cur, card, opts)
 			if len(avail) == 0 {
 				break
@@ -682,7 +624,7 @@ func (s *Searcher) RandomWalk(q *query.Query, opts Options, seed int64) Result {
 			if better(&node, &res.Best) {
 				res.Best = node
 			}
-			res.Trace = append(res.Trace, res.Best.Distance)
+			ex.Record(res.Best.Distance)
 			if opts.Goal.Contains(card) {
 				res.Satisfied = true
 				return res

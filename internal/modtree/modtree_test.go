@@ -7,6 +7,7 @@ import (
 	"repro/internal/match"
 	"repro/internal/metrics"
 	"repro/internal/query"
+	"repro/internal/search"
 	"repro/internal/stats"
 )
 
@@ -100,7 +101,7 @@ func TestNonContributingChangesArePruned(t *testing.T) {
 	// and must be pruned.
 	q := query.New()
 	q.AddVertex(map[string]query.Predicate{"type": query.EqS("person"), "age": query.Between(10, 20)})
-	res := s.TraverseSearchTree(q, Options{Goal: metrics.AtLeastOne, Domain: dom, MaxExecuted: 60})
+	res := s.TraverseSearchTree(q, Options{Control: search.Control{MaxExecuted: 60}, Goal: metrics.AtLeastOne, Domain: dom})
 	if res.Pruned == 0 {
 		t.Fatalf("expected pruned non-contributing changes, got 0 (executed %d)", res.Executed)
 	}
@@ -115,8 +116,8 @@ func TestTSTBeatsExhaustiveOnExecutions(t *testing.T) {
 	u := q.AddVertex(map[string]query.Predicate{"type": query.EqS("university")})
 	q.AddEdge(p, u, []string{"worksAt"}, map[string]query.Predicate{"sinceYear": query.EqN(2003)})
 	goal := metrics.Interval{Lower: 2}
-	tst := s.TraverseSearchTree(q, Options{Goal: goal, Domain: dom, MaxExecuted: 800})
-	ex := s.Exhaustive(q, Options{Goal: goal, Domain: dom, MaxExecuted: 800})
+	tst := s.TraverseSearchTree(q, Options{Control: search.Control{MaxExecuted: 800}, Goal: goal, Domain: dom})
+	ex := s.Exhaustive(q, Options{Control: search.Control{MaxExecuted: 800}, Goal: goal, Domain: dom})
 	if !tst.Satisfied {
 		t.Fatalf("TST failed: best %d after %d executions", tst.Best.Cardinality, tst.Executed)
 	}
@@ -129,7 +130,7 @@ func TestRandomWalkBaseline(t *testing.T) {
 	s, dom := newSearcher()
 	q := query.New()
 	q.AddVertex(map[string]query.Predicate{"type": query.EqS("person"), "name": query.EqS("Anna")})
-	res := s.RandomWalk(q, Options{Goal: metrics.Interval{Lower: 2}, Domain: dom, MaxExecuted: 100}, 1)
+	res := s.RandomWalk(q, Options{Control: search.Control{MaxExecuted: 100}, Goal: metrics.Interval{Lower: 2}, Domain: dom}, 1)
 	if res.Executed == 0 || res.Generated == 0 {
 		t.Fatal("random walk did nothing")
 	}
@@ -150,8 +151,8 @@ func TestTopologyConsiderationHelps(t *testing.T) {
 	q.AddEdge(p, u, []string{"studyAt"}, nil)
 	q.AddEdge(u, c, []string{"locatedIn"}, nil)
 	goal := metrics.AtLeastOne
-	noTopo := s.TraverseSearchTree(q, Options{Goal: goal, Domain: dom, MaxExecuted: 150})
-	topo := s.TraverseSearchTree(q, Options{Goal: goal, Domain: dom, MaxExecuted: 150, AllowTopology: true})
+	noTopo := s.TraverseSearchTree(q, Options{Control: search.Control{MaxExecuted: 150}, Goal: goal, Domain: dom})
+	topo := s.TraverseSearchTree(q, Options{Control: search.Control{MaxExecuted: 150}, Goal: goal, Domain: dom, AllowTopology: true})
 	if !topo.Satisfied {
 		t.Fatalf("topology-enabled search should fix the query, best=%d", topo.Best.Cardinality)
 	}
@@ -167,14 +168,14 @@ func TestModificationsDirection(t *testing.T) {
 	q := query.New()
 	q.AddVertex(map[string]query.Predicate{"type": query.In(graph.S("person"), graph.S("city"))})
 	// Below the goal → relaxations only (extend/widen/delete predicates).
-	relax := s.Modifications(q, 0, Options{Goal: metrics.Interval{Lower: 100}, Domain: dom, ValuesPerPredicate: 3, MaxExecuted: 1, MaxDepth: 1, CountCap: 1})
+	relax := s.Modifications(q, 0, Options{Control: search.Control{MaxExecuted: 1, CountCap: 1}, Goal: metrics.Interval{Lower: 100}, Domain: dom, ValuesPerPredicate: 3, MaxDepth: 1})
 	for _, op := range relax {
 		if !op.Relaxation() {
 			t.Fatalf("expected only relaxations below goal, got %v", op)
 		}
 	}
 	// Above the goal → concretizations only.
-	conc := s.Modifications(q, 100, Options{Goal: metrics.Interval{Lower: 1, Upper: 10}, Domain: dom, ValuesPerPredicate: 3, MaxExecuted: 1, MaxDepth: 1, CountCap: 1})
+	conc := s.Modifications(q, 100, Options{Control: search.Control{MaxExecuted: 1, CountCap: 1}, Goal: metrics.Interval{Lower: 1, Upper: 10}, Domain: dom, ValuesPerPredicate: 3, MaxDepth: 1})
 	if len(conc) == 0 {
 		t.Fatal("no concretizations offered")
 	}
@@ -255,11 +256,11 @@ func TestExecutionBudget(t *testing.T) {
 	s, dom := newSearcher()
 	q := query.New()
 	q.AddVertex(map[string]query.Predicate{"type": query.EqS("person"), "name": query.EqS("Nobody")})
-	res := s.TraverseSearchTree(q, Options{Goal: metrics.Interval{Lower: 50}, Domain: dom, MaxExecuted: 5})
+	res := s.TraverseSearchTree(q, Options{Control: search.Control{MaxExecuted: 5}, Goal: metrics.Interval{Lower: 50}, Domain: dom})
 	if res.Executed > 5 {
 		t.Fatalf("budget exceeded: %d", res.Executed)
 	}
-	ex := s.Exhaustive(q, Options{Goal: metrics.Interval{Lower: 50}, Domain: dom, MaxExecuted: 5})
+	ex := s.Exhaustive(q, Options{Control: search.Control{MaxExecuted: 5}, Goal: metrics.Interval{Lower: 50}, Domain: dom})
 	if ex.Executed > 5 {
 		t.Fatalf("exhaustive budget exceeded: %d", ex.Executed)
 	}

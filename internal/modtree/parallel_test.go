@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/query"
+	"repro/internal/search"
 )
 
 // fingerprint renders every observable field of a Result so sequential and
@@ -46,7 +47,7 @@ func TestParallelSearchMatchesSequential(t *testing.T) {
 	}
 	for _, tc := range cases {
 		for _, topo := range []bool{false, true} {
-			opts := Options{Goal: tc.goal, Domain: dom, MaxExecuted: 120, AllowTopology: topo}
+			opts := Options{Control: search.Control{MaxExecuted: 120}, Goal: tc.goal, Domain: dom, AllowTopology: topo}
 			wantTST := fingerprint(s.TraverseSearchTree(tc.q, opts))
 			wantEx := fingerprint(s.Exhaustive(tc.q, opts))
 			for _, workers := range []int{2, 4} {

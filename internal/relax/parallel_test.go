@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/query"
+	"repro/internal/search"
 )
 
 // fingerprint renders every observable field of an Outcome so sequential
@@ -60,7 +61,7 @@ func TestParallelRewriterReuse(t *testing.T) {
 	q := emptyQuery()
 	want := fingerprint(r.Rewrite(q, Options{MaxSolutions: 2}))
 	for _, workers := range []int{4, 1, 2, 4, 4} {
-		got := fingerprint(r.Rewrite(q, Options{MaxSolutions: 2, Workers: workers}))
+		got := fingerprint(r.Rewrite(q, Options{Control: search.Control{Workers: workers}, MaxSolutions: 2}))
 		if got != want {
 			t.Fatalf("workers=%d diverged on reused rewriter:\n%s\nvs\n%s", workers, got, want)
 		}

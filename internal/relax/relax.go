@@ -6,19 +6,22 @@
 // query-dependent statistics of internal/stats (§5.2–5.3), already executed
 // candidates are cached and re-used (§5.5.2, App. B.2), and a non-intrusive
 // user-preference model learned from ratings adapts the rewriting (§5.4).
+//
+// The search loop itself — deterministic frontier, budgeted execution,
+// executed-candidate dedup, cancellation, speculation — is the shared
+// kernel of internal/search; this package contributes the strategy:
+// relaxation enumeration (§5.1.2) and the priority functions (§5.3).
 package relax
 
 import (
-	"container/heap"
-	"context"
 	"math"
 	"math/rand"
 	"sort"
 
 	"repro/internal/match"
 	"repro/internal/metrics"
-	"repro/internal/parallel"
 	"repro/internal/query"
+	"repro/internal/search"
 	"repro/internal/stats"
 )
 
@@ -58,22 +61,21 @@ func (p Priority) String() string {
 	}
 }
 
-// Options tunes the rewriting search.
+// Options tunes the rewriting search. The embedded search.Control supplies
+// the kernel knobs — Workers, Ctx, MaxExecuted (0 = 200), CountCap
+// (0 = 1000), Metrics — under their historical names via field promotion.
 type Options struct {
+	search.Control
 	// Priority selects the candidate-selection function.
 	Priority Priority
 	// Goal is the cardinality interval a rewriting must reach; the zero
 	// value means "at least one result" (why-empty).
 	Goal metrics.Interval
-	// MaxExecuted caps executed candidates (0 = 200).
-	MaxExecuted int
 	// MaxSolutions stops the search after this many rewritings reached the
 	// goal (0 = 5).
 	MaxSolutions int
 	// MaxDepth bounds the number of stacked relaxations (0 = 3).
 	MaxDepth int
-	// CountCap bounds result counting per execution (0 = 1000).
-	CountCap int
 	// Seed drives the random priority (and tie-breaking jitter).
 	Seed int64
 	// Prefs, when set, penalizes candidates that modify query elements the
@@ -82,22 +84,6 @@ type Options struct {
 	// AllowTopology enables edge/vertex discarding in addition to
 	// predicate-level relaxations (§5.1.2 considers both).
 	AllowTopology bool
-	// Workers sets the candidate-evaluation worker count (0 or 1 =
-	// sequential). Results, ranks, and counts are byte-identical to the
-	// sequential search for every priority function; extra workers only
-	// speculate ahead on the priority queue's best candidates and shrink
-	// wall-clock time.
-	Workers int
-	// Ctx, when non-nil, cancels the search: Rewrite stops before the next
-	// candidate execution once Ctx is done and returns the partial Outcome.
-	// An abandoned request (HTTP client gone, deadline hit) therefore stops
-	// burning the matcher and worker pool within one candidate execution.
-	Ctx context.Context
-}
-
-// ctxDone reports whether a cancellation context was supplied and fired.
-func ctxDone(ctx context.Context) bool {
-	return ctx != nil && ctx.Err() != nil
 }
 
 func (o *Options) fill() {
@@ -134,11 +120,6 @@ type Candidate struct {
 	// ckey caches the binary canonical key (the executed-query cache key,
 	// also the matcher's plan-cache key).
 	ckey string
-	// seq is the generation number, the heap's total-order tie-break: it
-	// makes the pop sequence independent of the heap's internal layout, so
-	// the parallel search's pop/evaluate/push-back speculation cannot
-	// reorder equal-score candidates relative to the sequential search.
-	seq int
 }
 
 // key returns the candidate's binary canonical key, computed once. Children
@@ -150,6 +131,11 @@ func (c *Candidate) key() string {
 	}
 	return c.ckey
 }
+
+// moreUrgent is the frontier's strict order: larger scores pop first; equal
+// scores fall back to the kernel's insertion-sequence tie-break, so the pop
+// sequence is a total order and speculation cannot reorder it.
+func moreUrgent(a, b *Candidate) bool { return a.Score > b.Score }
 
 // Outcome reports a rewriting run.
 type Outcome struct {
@@ -171,89 +157,20 @@ type Outcome struct {
 }
 
 // Rewriter generates coarse-grained modification-based explanations.
-// A Rewriter reuses one matching context across all candidate executions of
-// its rewriting runs, so it must not be shared between goroutines. Runs with
-// Options.Workers > 1 additionally fan candidate evaluations out over an
-// internal worker pool; the pool is private to the Rewriter and its results
-// are consumed on the calling goroutine only.
+// A Rewriter reuses one search-kernel executor (matching context, worker
+// pool, dedup and trace scratch) across its rewriting runs, so it must not
+// be shared between goroutines; speculation results are consumed on the
+// calling goroutine only.
 type Rewriter struct {
-	m   *match.Matcher
-	st  *stats.Collector
-	ctx *match.Ctx
-	ex  *executor // lazily built speculation pool, reused across runs
-
-	// Run-scoped scratch retained across Rewrite calls: the executed-query
-	// map is cleared (not reallocated) per run, and the trace slice's
-	// backing array is reused — every run of a steady workload otherwise
-	// rebuilt both from nothing.
-	executed map[string]int
-	trace    []int
+	m  *match.Matcher
+	st *stats.Collector
+	ex *search.Executor
+	pq *search.Frontier[*Candidate]
 }
 
 // New returns a rewriter over the matcher and its statistics collector.
 func New(m *match.Matcher, st *stats.Collector) *Rewriter {
-	return &Rewriter{m: m, st: st, ctx: m.NewContext()}
-}
-
-// executor speculatively evaluates the priority queue's best candidates on a
-// worker pool, ahead of the sequential search consuming them. done maps a
-// candidate's canonical form to its precomputed cardinality; because counts
-// are deterministic, consuming a precomputed value is indistinguishable from
-// executing inline — only wall-clock time changes.
-type executor struct {
-	m    *match.Matcher
-	pool *parallel.Pool[*match.Ctx]
-	done map[string]int
-
-	batch []*Candidate  // prefetch scratch: popped heap prefix
-	wave  parallel.Wave // prefetch scratch: deduplicated novel jobs
-}
-
-func newExecutor(m *match.Matcher, workers int) *executor {
-	return &executor{
-		m:    m,
-		pool: parallel.NewPool(workers, m.NewContext),
-		done: make(map[string]int),
-	}
-}
-
-func (e *executor) reset() { clear(e.done) }
-
-// take consumes the precomputed cardinality of a canonical key, if any.
-func (e *executor) take(key string) (int, bool) {
-	card, ok := e.done[key]
-	if ok {
-		delete(e.done, key)
-	}
-	return card, ok
-}
-
-// prefetch pops up to one batch of top candidates, evaluates the ones no one
-// executed or precomputed yet in parallel (at most budget of them), and
-// pushes the batch back. The heap's total order makes pop/push-back
-// invisible to the sequential search.
-func (e *executor) prefetch(pq *candidateHeap, executed map[string]int, countCap, budget int) {
-	width := e.pool.Workers()
-	e.batch = e.batch[:0]
-	e.wave.Reset()
-	for len(e.batch) < width && pq.Len() > 0 {
-		c := heap.Pop(pq).(*Candidate)
-		e.batch = append(e.batch, c)
-		key := c.key()
-		if e.wave.Len() >= budget {
-			continue
-		}
-		if _, seen := executed[key]; seen {
-			continue
-		}
-		e.wave.Add(key, len(e.batch)-1, e.done)
-	}
-	parallel.RunWave(e.pool, &e.wave, e.done, func(ctx *match.Ctx, i int) int {
-		return e.m.CountKeyed(ctx, e.batch[i].Query, e.batch[i].key(), countCap)
-	})
-	for _, c := range e.batch {
-		heap.Push(pq, c)
-	}
+	return &Rewriter{m: m, st: st, ex: search.NewExecutor(m), pq: search.NewFrontier(moreUrgent)}
 }
 
 // deterministicScore reports whether the priority function is rng-free, so
@@ -272,32 +189,18 @@ func (r *Rewriter) Rewrite(q *query.Query, opts Options) Outcome {
 	opts.fill()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	var out Outcome
-	if r.executed == nil {
-		r.executed = make(map[string]int)
-	} else {
-		clear(r.executed)
-	}
-	executed := r.executed // binary canonical key → cardinality
-	r.trace = r.trace[:0]
-	pq := &candidateHeap{}
-	heap.Init(pq)
+	ex, pq := r.ex, r.pq
+	ex.Begin(opts.Control)
+	defer ex.End()
+	pq.Reset()
 
-	var ex *executor
-	if opts.Workers > 1 {
-		if r.ex == nil || r.ex.pool.Workers() != opts.Workers {
-			r.ex = newExecutor(r.m, opts.Workers)
-		}
-		ex = r.ex
-		ex.reset()
+	countCap := opts.CountCap
+	specEval := func(ctx *match.Ctx, c *Candidate) int {
+		return r.m.CountKeyed(ctx, c.Query, c.key(), countCap)
 	}
 
-	push := func(c *Candidate) {
-		c.seq = out.Generated
-		out.Generated++
-		heap.Push(pq, c)
-	}
 	root := &Candidate{Query: q.Clone(), Cardinality: -1, Score: math.Inf(1)}
-	push(root)
+	pq.Push(root)
 
 	// Child-expansion scratch, reused across iterations. key carries the
 	// binary canonical key already computed by the delta encoder for the
@@ -311,26 +214,21 @@ func (r *Rewriter) Rewrite(q *query.Query, opts Options) Outcome {
 	var children []childCand
 	var scores []float64
 
-	for pq.Len() > 0 && out.Executed < opts.MaxExecuted && len(out.Solutions) < opts.MaxSolutions && !ctxDone(opts.Ctx) {
-		if ex != nil {
-			ex.prefetch(pq, executed, opts.CountCap, opts.MaxExecuted-out.Executed)
-		}
-		c := heap.Pop(pq).(*Candidate)
+	for pq.Len() > 0 && !ex.Stopped() && len(out.Solutions) < opts.MaxSolutions {
+		search.SpeculateTop(ex, pq, (*Candidate).key, specEval)
+		c, _ := pq.Pop()
 		key := c.key()
-		if _, seen := executed[key]; seen {
+		if ex.Seen(key) {
 			out.CacheHits++
 			continue
 		}
-		card, precomputed := 0, false
-		if ex != nil {
-			card, precomputed = ex.take(key)
+		card, ok := ex.Execute(key, func(ctx *match.Ctx) int {
+			return r.m.CountKeyed(ctx, c.Query, key, countCap)
+		})
+		if !ok {
+			break
 		}
-		if !precomputed {
-			card = r.m.CountKeyed(r.ctx, c.Query, key, opts.CountCap)
-		}
-		executed[key] = card
-		out.Executed++
-		r.trace = append(r.trace, card)
+		ex.Record(card)
 		c.Cardinality = card
 		c.Syntactic = metrics.SyntacticDistance(q, c.Query)
 		if opts.Goal.Contains(card) && len(c.Ops) > 0 {
@@ -350,7 +248,7 @@ func (r *Rewriter) Rewrite(q *query.Query, opts Options) Outcome {
 			if err != nil {
 				continue
 			}
-			if _, seen := executed[childKey]; seen {
+			if ex.Seen(childKey) {
 				out.CacheHits++
 				continue
 			}
@@ -360,8 +258,8 @@ func (r *Rewriter) Rewrite(q *query.Query, opts Options) Outcome {
 			scores = make([]float64, len(children))
 		}
 		scores = scores[:len(children)]
-		if ex != nil && len(children) >= 2 && deterministicScore(opts.Priority) {
-			ex.pool.Each(len(children), func(_ *match.Ctx, i int) {
+		if ex.Parallel() && len(children) >= 2 && deterministicScore(opts.Priority) {
+			ex.Scatter(len(children), func(_ *match.Ctx, i int) {
 				scores[i] = r.score(q, c.Query, children[i].query, children[i].op, opts, nil)
 			})
 		} else {
@@ -375,10 +273,12 @@ func (r *Rewriter) Rewrite(q *query.Query, opts Options) Outcome {
 			if opts.Prefs != nil {
 				score *= 1 - opts.Prefs.Penalty(ops)
 			}
-			push(&Candidate{Query: children[i].query, Ops: ops, Cardinality: -1, Score: score, ckey: children[i].key})
+			pq.Push(&Candidate{Query: children[i].query, Ops: ops, Cardinality: -1, Score: score, ckey: children[i].key})
 		}
 	}
-	out.Trace = r.trace
+	out.Executed = ex.Executions()
+	out.Generated = pq.Pushed()
+	out.Trace = ex.Trace()
 	rankSolutions(out.Solutions)
 	return out
 }
@@ -476,28 +376,4 @@ func rankSolutions(sols []Candidate) {
 		}
 		return sols[i].Query.Canonical() < sols[j].Query.Canonical()
 	})
-}
-
-// candidateHeap is a max-heap over candidate scores with a generation-number
-// tie-break. The tie-break makes the pop sequence a total order — equal
-// scores pop in generation order regardless of the heap's internal array
-// layout — which the parallel search relies on: speculatively popping a
-// batch and pushing it back must not change which candidate pops next.
-type candidateHeap []*Candidate
-
-func (h candidateHeap) Len() int { return len(h) }
-func (h candidateHeap) Less(i, j int) bool {
-	if h[i].Score != h[j].Score {
-		return h[i].Score > h[j].Score
-	}
-	return h[i].seq < h[j].seq
-}
-func (h candidateHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *candidateHeap) Push(x interface{}) { *h = append(*h, x.(*Candidate)) }
-func (h *candidateHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
 }

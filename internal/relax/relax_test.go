@@ -7,6 +7,7 @@ import (
 	"repro/internal/match"
 	"repro/internal/metrics"
 	"repro/internal/query"
+	"repro/internal/search"
 	"repro/internal/stats"
 )
 
@@ -115,7 +116,7 @@ func TestRewriteCachesRepeatedCandidates(t *testing.T) {
 	r := newRewriter()
 	q := emptyQuery()
 	// Depth 3 revisits many op permutations: the canonical cache must kick in.
-	out := r.Rewrite(q, Options{MaxExecuted: 100, MaxSolutions: 50, MaxDepth: 3, AllowTopology: true})
+	out := r.Rewrite(q, Options{Control: search.Control{MaxExecuted: 100}, MaxSolutions: 50, MaxDepth: 3, AllowTopology: true})
 	if out.CacheHits == 0 {
 		t.Fatalf("expected cache hits, got 0 (generated %d, executed %d)", out.Generated, out.Executed)
 	}
@@ -124,7 +125,7 @@ func TestRewriteCachesRepeatedCandidates(t *testing.T) {
 func TestRewriteRespectsBudget(t *testing.T) {
 	r := newRewriter()
 	q := emptyQuery()
-	out := r.Rewrite(q, Options{MaxExecuted: 3, MaxSolutions: 100})
+	out := r.Rewrite(q, Options{Control: search.Control{MaxExecuted: 3}, MaxSolutions: 100})
 	if out.Executed > 3 {
 		t.Fatalf("executed %d > budget 3", out.Executed)
 	}

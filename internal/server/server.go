@@ -13,7 +13,9 @@
 //	POST /v1/match     count/find through the compiled-plan path
 //	GET  /v1/datasets  loaded datasets and their built-in queries
 //	GET  /v1/stats     plan-/count-/candidate-/statistics-cache hit rates,
-//	                   worker configuration, request counters
+//	                   search-kernel counters (executions / dedup hits /
+//	                   speculation) per explanation family, worker
+//	                   configuration, request counters
 //	GET  /healthz      liveness
 //
 // Concurrency model: requests are admitted per engine through a semaphore
@@ -250,6 +252,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st.CountCache = wire.NewCacheStats(m.CountCacheStats())
 		st.CandCache = wire.NewCacheStats(m.CandCacheStats())
 		st.StatsCache = wire.NewCacheStats(ds.eng.Stats().CacheStats())
+		kernel := ds.eng.KernelCounters()
+		st.Kernel = make(map[string]wire.KernelCounters, len(kernel))
+		for family, c := range kernel {
+			st.Kernel[family] = wire.KernelCounters{
+				Executions: c.Executions,
+				DedupHits:  c.DedupHits,
+				Speculated: c.Speculated,
+				SpecWaste:  c.SpecWaste,
+			}
+		}
 		resp.Datasets[name] = st
 	}
 	s.writeJSON(w, http.StatusOK, resp)

@@ -506,6 +506,23 @@ func TestStatsEndpoint(t *testing.T) {
 			t.Fatalf("%s cache hit rate out of range: %+v", name, cs)
 		}
 	}
+	// Search-kernel counters: the why-empty explain ran the coarse
+	// relaxation and the MCS traversal, so those families must report
+	// executions (the shared test engine may carry modtree counters from
+	// other tests' fine-grained explains), and speculative waste can never
+	// exceed what was speculated.
+	for _, family := range []string{"relax", "modtree", "mcs"} {
+		kc, ok := ld.Kernel[family]
+		if !ok {
+			t.Fatalf("missing kernel counters for %s: %+v", family, ld.Kernel)
+		}
+		if kc.SpecWaste > kc.Speculated {
+			t.Fatalf("%s kernel waste exceeds speculation: %+v", family, kc)
+		}
+	}
+	if ld.Kernel["relax"].Executions == 0 || ld.Kernel["mcs"].Executions == 0 {
+		t.Fatalf("why-empty explain must move relax and mcs kernel counters: %+v", ld.Kernel)
+	}
 }
 
 // TestExplainResultSampleClamped proves a client-supplied resultSample is

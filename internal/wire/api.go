@@ -99,15 +99,29 @@ func NewCacheStats(hits, misses, entries int) CacheStats {
 	return cs
 }
 
-// DatasetStats reports one engine's cache and worker state (GET /v1/stats).
+// KernelCounters reports one explanation family's accumulated search-kernel
+// counters (GET /v1/stats): candidate executions, executed-key dedup hits,
+// speculative evaluations launched on the worker pool, and the speculative
+// evaluations the sequential search never consumed (waste).
+type KernelCounters struct {
+	Executions int64 `json:"executions"`
+	DedupHits  int64 `json:"dedupHits"`
+	Speculated int64 `json:"speculated"`
+	SpecWaste  int64 `json:"specWaste"`
+}
+
+// DatasetStats reports one engine's cache, worker, and search-kernel state
+// (GET /v1/stats). Kernel is keyed by explanation family: "relax",
+// "modtree", "mcs".
 type DatasetStats struct {
-	Workers    int        `json:"workers"`
-	AdmitCap   int        `json:"admitCap"`
-	InFlight   int        `json:"inFlight"`
-	PlanCache  CacheStats `json:"planCache"`
-	CountCache CacheStats `json:"countCache"`
-	CandCache  CacheStats `json:"candCache"`
-	StatsCache CacheStats `json:"statsCache"`
+	Workers    int                       `json:"workers"`
+	AdmitCap   int                       `json:"admitCap"`
+	InFlight   int                       `json:"inFlight"`
+	PlanCache  CacheStats                `json:"planCache"`
+	CountCache CacheStats                `json:"countCache"`
+	CandCache  CacheStats                `json:"candCache"`
+	StatsCache CacheStats                `json:"statsCache"`
+	Kernel     map[string]KernelCounters `json:"kernel"`
 }
 
 // StatsResponse answers GET /v1/stats.

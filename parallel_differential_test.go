@@ -17,6 +17,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/modtree"
 	"repro/internal/relax"
+	"repro/internal/search"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -79,7 +80,7 @@ func runRelaxDifferential(t *testing.T, g *repro.Graph, dataset string, base []w
 	for _, nq := range base {
 		q := failingVariantFor(t, dataset, nq.Name)
 		for _, p := range prios {
-			opts := relax.Options{Priority: p, MaxSolutions: 3, MaxExecuted: 60, Seed: 7}
+			opts := relax.Options{Control: search.Control{MaxExecuted: 60}, Priority: p, MaxSolutions: 3, Seed: 7}
 			want := relaxFingerprint(relax.New(m, st).Rewrite(q, opts))
 			opts.Workers = diffWorkers
 			got := relaxFingerprint(relax.New(m, st).Rewrite(q, opts))
@@ -105,7 +106,7 @@ func runModtreeDifferential(t *testing.T, g *repro.Graph, base []workload.Named)
 			{Lower: 1, Upper: workload.Threshold(c1, 1)}, // too many-ish boundary
 		}
 		for gi, goal := range goals {
-			opts := modtree.Options{Goal: goal, Domain: dom, MaxExecuted: 80}
+			opts := modtree.Options{Control: search.Control{MaxExecuted: 80}, Goal: goal, Domain: dom}
 			wantTST := modtreeFingerprint(s.TraverseSearchTree(q, opts))
 			wantEx := modtreeFingerprint(s.Exhaustive(q, opts))
 			opts.Workers = diffWorkers

@@ -18,6 +18,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/modtree"
 	"repro/internal/relax"
+	"repro/internal/search"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -44,7 +45,7 @@ func TestPlanCacheDifferentialRelax(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, p := range prios {
-			opts := relax.Options{Priority: p, MaxSolutions: 3, MaxExecuted: 60, Seed: 7}
+			opts := relax.Options{Control: search.Control{MaxExecuted: 60}, Priority: p, MaxSolutions: 3, Seed: 7}
 			got := relaxFingerprint(relax.New(on, stOn).Rewrite(q, opts))
 			want := relaxFingerprint(relax.New(off, stOff).Rewrite(q, opts))
 			if got != want {
@@ -71,7 +72,7 @@ func TestPlanCacheDifferentialModtree(t *testing.T) {
 			{Lower: 1, Upper: workload.Threshold(c1, 1)},
 		}
 		for gi, goal := range goals {
-			opts := modtree.Options{Goal: goal, Domain: dom, MaxExecuted: 80}
+			opts := modtree.Options{Control: search.Control{MaxExecuted: 80}, Goal: goal, Domain: dom}
 			if got, want := modtreeFingerprint(sOn.TraverseSearchTree(q, opts)), modtreeFingerprint(sOff.TraverseSearchTree(q, opts)); got != want {
 				t.Errorf("%s goal %d: plan cache changed TST:\n--- cache off\n%s\n--- cache on\n%s", nq.Name, gi, want, got)
 			}
