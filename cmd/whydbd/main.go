@@ -6,12 +6,23 @@
 //
 //	whydbd -addr :8080 -datasets ldbc,dbpedia
 //	whydbd -addr 127.0.0.1:8091 -datasets ldbc -scale 0.5 -workers 4
+//	whydbd -addr :8080 -inject 'seed=42,latency=0.1:5ms,error=0.05'   # chaos drills
 //
 // Endpoints: POST /v1/explain, POST /v1/match, GET /v1/datasets,
-// GET /v1/stats, GET /healthz. See the README's HTTP API section for request
-// bodies and curl examples. SIGINT/SIGTERM trigger a graceful shutdown:
-// in-flight requests get -shutdown-grace to finish (their contexts are
-// cancelled at the deadline, which stops the explanation searches).
+// GET /v1/stats, GET /healthz, GET /readyz. See the README's HTTP API and
+// "Operations & resilience" sections for request bodies, brownout states,
+// and fault-injection flags.
+//
+// The listener opens before dataset generation starts: /healthz answers
+// immediately (the process is alive) while /readyz answers 503 until every
+// dataset is loaded — load balancers route on readiness.
+//
+// SIGINT/SIGTERM trigger a graceful drain: /readyz flips to 503, -drain-delay
+// gives load balancers time to stop routing, then in-flight requests get
+// -shutdown-grace to finish; halfway through the grace their contexts are
+// cancelled (which stops the explanation searches within one candidate
+// execution and answers 503 + Retry-After), and at the deadline remaining
+// connections are closed.
 package main
 
 import (
@@ -29,6 +40,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/faultinject"
+	"repro/internal/resilience"
 	"repro/internal/server"
 	"repro/internal/workload"
 )
@@ -43,45 +56,64 @@ func main() {
 	budget := flag.Int("budget", 0, "default explanation candidate budget (0 = engine default, 300)")
 	maxBudget := flag.Int("max-budget", 20000, "upper clamp for client-requested budgets")
 	grace := flag.Duration("shutdown-grace", 10*time.Second, "graceful-shutdown deadline for in-flight requests")
+	drainDelay := flag.Duration("drain-delay", 0, "pause between flipping /readyz and starting shutdown (LB de-routing time)")
+	queueCap := flag.Int("queue-cap", 0, "admission queue bound per dataset (0 = 4x the dataset's execution slots)")
+	maxQueueWait := flag.Duration("max-queue-wait", 5*time.Second, "max time a request may wait for an execution slot before 504")
+	degradeAt := flag.Float64("degrade-at", 0.5, "pressure at which the brownout controller degrades explains")
+	shedAt := flag.Float64("shed-at", 0.9, "pressure at which the brownout controller sheds requests (429)")
+	latencyBudget := flag.Duration("latency-budget", 500*time.Millisecond, "latency EWMA mapping to pressure 1.0")
+	enterHold := flag.Duration("brownout-enter-hold", 250*time.Millisecond, "how long pressure must hold above a threshold before stepping up")
+	exitHold := flag.Duration("brownout-exit-hold", 2*time.Second, "how long pressure must hold below a threshold before stepping down")
+	inject := flag.String("inject", "", "fault-injection spec, e.g. 'seed=42,latency=0.1:5ms,error=0.05,cancel=0.03:4,starve=0.02:20ms' (off by default)")
 	flag.Parse()
 
-	srv := server.New(server.Config{
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		DefaultBudget:  *budget,
-		MaxBudget:      *maxBudget,
-	})
-	loaded := 0
+	// Validate dataset names before opening the listener: a typo should be
+	// an immediate exit 2, not a daemon that never becomes ready.
+	var names []string
 	for _, name := range strings.Split(*datasets, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			continue
 		}
-		start := time.Now()
-		switch name {
-		case "ldbc":
-			eng := core.NewEngine(datagen.LDBC(datagen.DefaultLDBC().Scaled(*scale)))
-			eng.SetWorkers(*workers)
-			srv.AddDataset(name, eng, workload.LDBCQueries(), workload.FailingVariant)
-			logLoaded(name, eng, start)
-		case "dbpedia":
-			cfg := datagen.DefaultDBpedia()
-			cfg.Entities = scaleCount(cfg.Entities, *scale)
-			eng := core.NewEngine(datagen.DBpedia(cfg))
-			eng.SetWorkers(*workers)
-			srv.AddDataset(name, eng, workload.DBpediaQueries(), workload.DBpediaFailingVariant)
-			logLoaded(name, eng, start)
-		default:
+		if name != "ldbc" && name != "dbpedia" {
 			fmt.Fprintf(os.Stderr, "unknown dataset %q (want ldbc or dbpedia)\n", name)
 			os.Exit(2)
 		}
-		loaded++
+		names = append(names, name)
 	}
-	if loaded == 0 {
+	if len(names) == 0 {
 		fmt.Fprintln(os.Stderr, "no datasets loaded")
 		os.Exit(2)
 	}
 
+	cfg := server.Config{
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		DefaultBudget:  *budget,
+		MaxBudget:      *maxBudget,
+		QueueCap:       *queueCap,
+		MaxQueueWait:   *maxQueueWait,
+		Resilience: resilience.Config{
+			DegradeAt:     *degradeAt,
+			ShedAt:        *shedAt,
+			LatencyBudget: *latencyBudget,
+			EnterHold:     *enterHold,
+			ExitHold:      *exitHold,
+		},
+	}
+	if *inject != "" {
+		icfg, err := faultinject.ParseSpec(*inject)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		cfg.Injector = faultinject.New(icfg)
+		log.Printf("fault injection armed: %+v", icfg)
+	}
+	srv := server.New(cfg)
+
+	// Serve while loading: the listener opens first so liveness and
+	// readiness are observable during dataset generation.
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -91,16 +123,50 @@ func main() {
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("whydbd listening on %s", *addr)
+		log.Printf("whydbd listening on %s (not ready: loading %s)", *addr, strings.Join(names, ","))
 		errCh <- httpSrv.ListenAndServe()
 	}()
+
+	loadDone := make(chan struct{})
+	go func() {
+		defer close(loadDone)
+		for _, name := range names {
+			start := time.Now()
+			switch name {
+			case "ldbc":
+				eng := core.NewEngine(datagen.LDBC(datagen.DefaultLDBC().Scaled(*scale)))
+				eng.SetWorkers(*workers)
+				srv.AddDataset(name, eng, workload.LDBCQueries(), workload.FailingVariant)
+				logLoaded(name, eng, start)
+			case "dbpedia":
+				cfg := datagen.DefaultDBpedia()
+				cfg.Entities = scaleCount(cfg.Entities, *scale)
+				eng := core.NewEngine(datagen.DBpedia(cfg))
+				eng.SetWorkers(*workers)
+				srv.AddDataset(name, eng, workload.DBpediaQueries(), workload.DBpediaFailingVariant)
+				logLoaded(name, eng, start)
+			}
+		}
+		srv.SetReady()
+		log.Printf("whydbd ready: %d datasets", len(names))
+	}()
+
 	select {
 	case err := <-errCh:
 		log.Fatalf("serve: %v", err)
 	case <-ctx.Done():
-		log.Printf("shutdown signal received, draining for up to %v", *grace)
+		// Drain sequence: stop routing (readyz 503), wait for the LB, then
+		// shut down with the grace period — cancelling in-flight searches at
+		// the halfway mark so they answer 503 instead of being cut off.
+		srv.BeginDrain()
+		log.Printf("shutdown signal received: draining (delay %v, grace %v)", *drainDelay, *grace)
+		if *drainDelay > 0 {
+			time.Sleep(*drainDelay)
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
+		halfway := time.AfterFunc(*grace/2, srv.CancelInFlight)
+		defer halfway.Stop()
 		err := httpSrv.Shutdown(shutdownCtx)
 		if errors.Is(err, context.DeadlineExceeded) {
 			// Stragglers past the grace period: closing the connections

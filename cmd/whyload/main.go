@@ -7,14 +7,27 @@
 //
 //	whyload -addr http://127.0.0.1:8080 -mix mixed -concurrency 8 -duration 10s
 //	whyload -addr http://127.0.0.1:8091 -mix explain -requests 200 -out summary.json
+//	whyload -addr http://127.0.0.1:8092 -mix chaos -concurrency 16 -duration 60s
 //
 // The request corpus is derived from GET /v1/datasets: per dataset, every
 // built-in query yields a why-empty explain (its failing variant), a
 // bounded explain (why-so-many against a tight interval), a count match,
-// and a find match. -mix selects explain ops, match ops, or both.
+// and a find match. -mix selects explain ops, match ops, or both; "chaos"
+// replays the mixed corpus as an overload rehearsal — a saturating burst for
+// 60% of the run, then a single-worker trickle that lets the daemon's
+// brownout controller recover — and tolerates the daemon's documented
+// overload answers (shedding, expiry, injected faults) while still failing
+// on anything unexplained.
 //
-// whyload exits non-zero if any request failed (non-2xx or transport
-// error), so a CI smoke run fails loudly; -allow-errors downgrades that to
+// Overload answers are retried: 429 and 503 back off exponentially with
+// jitter (honoring Retry-After) up to -retries attempts; exhausted retries
+// are counted (shedExhausted / injectedExhausted), not treated as transport
+// failures. Degraded explains (`degraded: true`) are counted and must carry
+// their quality bound.
+//
+// whyload exits non-zero if any request failed hard (transport error,
+// malformed JSON, unexplained non-2xx, or a degraded explain missing its
+// bound), so a CI smoke run fails loudly; -allow-errors downgrades that to
 // a report line.
 package main
 
@@ -25,9 +38,11 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +53,39 @@ import (
 type job struct {
 	kind string // "explain" | "match"
 	body []byte
+}
+
+// class is one request's final classification after retries.
+type class int
+
+const (
+	clsOK class = iota
+	// clsInjected is a fault-injected hard error (marked `injected` by the
+	// daemon): explained, counted, not a service defect.
+	clsInjected
+	// clsExpired is a 504 — the request ran out of time queued or running.
+	// Chaos runs treat expiry as an explained overload answer; other mixes
+	// count it as an error.
+	clsExpired
+	// clsShedExhausted gave up after -retries 429s: the server kept
+	// shedding, which is correct overload behavior.
+	clsShedExhausted
+	// clsInjectedExhausted gave up after -retries injected 503s.
+	clsInjectedExhausted
+	// clsError is a hard failure: transport error, malformed JSON,
+	// unexplained non-2xx, or a degraded explain without its bound.
+	clsError
+)
+
+// sample is one job's outcome.
+type sample struct {
+	kind         string
+	lat          time.Duration
+	class        class
+	status       int
+	retries      int
+	degraded     bool
+	missingBound bool
 }
 
 // kindStats aggregates one request kind's outcomes.
@@ -54,37 +102,83 @@ type kindStats struct {
 
 // summary is the machine-readable run report (-out, uploaded as a CI
 // artifact). Kernel carries the daemon's post-run search-kernel counters
-// per dataset and explanation family, read from GET /v1/stats.
+// per dataset and explanation family, and Resilience the daemon's brownout
+// state and overload counters, both read from GET /v1/stats.
 type summary struct {
-	Target      string                                    `json:"target"`
-	Mix         string                                    `json:"mix"`
-	Concurrency int                                       `json:"concurrency"`
-	Requests    int                                       `json:"requests"`
-	Errors      int                                       `json:"errors"`
-	DurationMs  float64                                   `json:"durationMs"`
-	RPS         float64                                   `json:"rps"`
-	P50Ms       float64                                   `json:"p50Ms"`
-	P95Ms       float64                                   `json:"p95Ms"`
-	P99Ms       float64                                   `json:"p99Ms"`
-	MaxMs       float64                                   `json:"maxMs"`
-	MeanMs      float64                                   `json:"meanMs"`
-	PerKind     map[string]kindStats                      `json:"perKind"`
-	Kernel      map[string]map[string]wire.KernelCounters `json:"kernel,omitempty"`
+	Target      string               `json:"target"`
+	Mix         string               `json:"mix"`
+	Concurrency int                  `json:"concurrency"`
+	Requests    int                  `json:"requests"`
+	Errors      int                  `json:"errors"`
+	DurationMs  float64              `json:"durationMs"`
+	RPS         float64              `json:"rps"`
+	P50Ms       float64              `json:"p50Ms"`
+	P95Ms       float64              `json:"p95Ms"`
+	P99Ms       float64              `json:"p99Ms"`
+	MaxMs       float64              `json:"maxMs"`
+	MeanMs      float64              `json:"meanMs"`
+	PerKind     map[string]kindStats `json:"perKind"`
+
+	// Overload and fault accounting (see the class comments).
+	Retries              int `json:"retries"`
+	Shed                 int `json:"shed"`
+	ShedExhausted        int `json:"shedExhausted"`
+	Injected             int `json:"injected"`
+	InjectedExhausted    int `json:"injectedExhausted"`
+	Expired              int `json:"expired"`
+	Degraded             int `json:"degraded"`
+	DegradedMissingBound int `json:"degradedMissingBound"`
+	Unexplained5xx       int `json:"unexplained5xx"`
+	CorpusSkipped        int `json:"corpusSkipped"`
+
+	Kernel     map[string]map[string]wire.KernelCounters `json:"kernel,omitempty"`
+	Resilience *wire.ResilienceStats                     `json:"resilience,omitempty"`
+}
+
+// retryPolicy is the jittered exponential backoff applied to 429/503.
+type retryPolicy struct {
+	max     int
+	base    time.Duration
+	cap     time.Duration
+	rng     *rand.Rand
+	retries *atomic.Int64
+}
+
+// sleep backs off before retry attempt (0-based), honoring a Retry-After
+// hint when the server sent one: the wait is at least the hint, plus jitter
+// so a shed fleet doesn't return in lockstep.
+func (p *retryPolicy) sleep(attempt int, retryAfter time.Duration) {
+	d := p.base << attempt
+	if d > p.cap {
+		d = p.cap
+	}
+	// Full jitter on the backoff half: [d/2, d).
+	d = d/2 + time.Duration(p.rng.Int63n(int64(d/2)+1))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	p.retries.Add(1)
+	time.Sleep(d)
 }
 
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "whydbd base URL")
-	mix := flag.String("mix", "mixed", "request mix: explain, match, or mixed")
+	mix := flag.String("mix", "mixed", "request mix: explain, match, mixed, or chaos")
 	concurrency := flag.Int("concurrency", 8, "concurrent request workers")
 	requests := flag.Int("requests", 0, "total requests to send (0 = run for -duration)")
 	duration := flag.Duration("duration", 10*time.Second, "run length when -requests is 0")
 	budget := flag.Int("budget", 150, "explanation candidate budget per explain request")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+	retries := flag.Int("retries", 3, "max retries per request on 429/503")
+	retryBase := flag.Duration("retry-base", 100*time.Millisecond, "initial retry backoff")
+	retryMax := flag.Duration("retry-max", 2*time.Second, "retry backoff cap")
+	seed := flag.Int64("seed", 1, "backoff-jitter seed")
 	out := flag.String("out", "", "write the JSON summary to this file")
 	allowErrors := flag.Bool("allow-errors", false, "exit 0 even when requests failed")
 	flag.Parse()
-	if *mix != "explain" && *mix != "match" && *mix != "mixed" {
-		fmt.Fprintf(os.Stderr, "unknown mix %q (want explain, match, or mixed)\n", *mix)
+	chaos := *mix == "chaos"
+	if *mix != "explain" && *mix != "match" && *mix != "mixed" && !chaos {
+		fmt.Fprintf(os.Stderr, "unknown mix %q (want explain, match, mixed, or chaos)\n", *mix)
 		os.Exit(2)
 	}
 	if *concurrency < 1 {
@@ -92,7 +186,11 @@ func main() {
 	}
 
 	client := &http.Client{Timeout: *timeout}
-	jobs, err := buildJobs(client, *addr, *mix, *budget)
+	corpusMix := *mix
+	if chaos {
+		corpusMix = "mixed"
+	}
+	jobs, skipped, err := buildJobs(client, *addr, corpusMix, *budget)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "whyload: %v\n", err)
 		os.Exit(1)
@@ -102,14 +200,16 @@ func main() {
 		os.Exit(1)
 	}
 
-	type sample struct {
-		kind string
-		lat  time.Duration
-		err  bool
-	}
 	perWorker := make([][]sample, *concurrency)
-	var next atomic.Int64
+	var next, totalRetries atomic.Int64
 	deadline := time.Now().Add(*duration)
+	// Chaos: saturate for 60% of the run, then trickle from one worker so
+	// the brownout controller's recovery is observable before the run ends.
+	burstDeadline := time.Now().Add(*duration * 6 / 10)
+	// The trickle is dense enough (150ms) that the controller's step-down
+	// windows — shedding → degraded → healthy, each gated by its exit
+	// hold — see several admission and completion samples.
+	const trickleGap = 150 * time.Millisecond
 	useCount := *requests > 0
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -117,6 +217,13 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			policy := &retryPolicy{
+				max:     *retries,
+				base:    *retryBase,
+				cap:     *retryMax,
+				rng:     rand.New(rand.NewSource(*seed + int64(w))),
+				retries: &totalRetries,
+			}
 			for {
 				i := next.Add(1) - 1
 				if useCount {
@@ -126,10 +233,14 @@ func main() {
 				} else if time.Now().After(deadline) {
 					return
 				}
+				if chaos && time.Now().After(burstDeadline) {
+					if w != 0 {
+						return
+					}
+					time.Sleep(trickleGap)
+				}
 				j := jobs[int(i)%len(jobs)]
-				t0 := time.Now()
-				ok := post(client, *addr+"/v1/"+j.kind, j.body)
-				perWorker[w] = append(perWorker[w], sample{kind: j.kind, lat: time.Since(t0), err: !ok})
+				perWorker[w] = append(perWorker[w], doJob(client, *addr, j, policy))
 			}
 		}(w)
 	}
@@ -137,11 +248,13 @@ func main() {
 	elapsed := time.Since(start)
 
 	sum := summary{
-		Target:      *addr,
-		Mix:         *mix,
-		Concurrency: *concurrency,
-		DurationMs:  float64(elapsed.Nanoseconds()) / 1e6,
-		PerKind:     map[string]kindStats{},
+		Target:        *addr,
+		Mix:           *mix,
+		Concurrency:   *concurrency,
+		DurationMs:    float64(elapsed.Nanoseconds()) / 1e6,
+		PerKind:       map[string]kindStats{},
+		CorpusSkipped: skipped,
+		Retries:       int(totalRetries.Load()),
 	}
 	var all []time.Duration
 	var mean time.Duration
@@ -150,9 +263,30 @@ func main() {
 			sum.Requests++
 			ks := sum.PerKind[s.kind]
 			ks.Requests++
-			if s.err {
+			if s.degraded {
+				sum.Degraded++
+			}
+			if s.missingBound {
+				sum.DegradedMissingBound++
+			}
+			s.class = normalize(s.class, chaos)
+			switch s.class {
+			case clsInjected:
+				sum.Injected++
+			case clsExpired:
+				sum.Expired++
+			case clsShedExhausted:
+				sum.Shed += s.retries
+				sum.ShedExhausted++
+			case clsInjectedExhausted:
+				sum.InjectedExhausted++
+			}
+			if s.class == clsError {
 				sum.Errors++
 				ks.Errors++
+				if s.status >= 500 && s.status != http.StatusGatewayTimeout {
+					sum.Unexplained5xx++
+				}
 			} else {
 				all = append(all, s.lat)
 				mean += s.lat
@@ -179,7 +313,13 @@ func main() {
 		sum.PerKind[kind] = ks
 	}
 
-	sum.Kernel = fetchKernelCounters(client, *addr)
+	if stats := fetchStats(client, *addr); stats != nil {
+		sum.Kernel = make(map[string]map[string]wire.KernelCounters, len(stats.Datasets))
+		for name, ds := range stats.Datasets {
+			sum.Kernel[name] = ds.Kernel
+		}
+		sum.Resilience = stats.Resilience
+	}
 
 	fmt.Printf("whyload: %s mix against %s, %d workers\n", sum.Mix, sum.Target, sum.Concurrency)
 	fmt.Printf("  %d requests in %.2fs → %.1f req/s, %d errors\n", sum.Requests, elapsed.Seconds(), sum.RPS, sum.Errors)
@@ -188,6 +328,14 @@ func main() {
 		ks := sum.PerKind[kind]
 		fmt.Printf("  %-8s %5d requests, %d errors, p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
 			kind, ks.Requests, ks.Errors, ks.P50Ms, ks.P95Ms, ks.P99Ms, ks.MaxMs)
+	}
+	if sum.Retries+sum.Degraded+sum.Injected+sum.Expired+sum.ShedExhausted+sum.InjectedExhausted+sum.CorpusSkipped > 0 {
+		fmt.Printf("  overload: %d retries, %d degraded (%d missing bound), %d injected (%d exhausted), %d expired, %d shed-exhausted, %d corpus-skipped\n",
+			sum.Retries, sum.Degraded, sum.DegradedMissingBound, sum.Injected, sum.InjectedExhausted, sum.Expired, sum.ShedExhausted, sum.CorpusSkipped)
+	}
+	if rs := sum.Resilience; rs != nil {
+		fmt.Printf("  resilience: state=%s shed=%d queueFull=%d expired=%d/%d degradedServed=%d panics=%d transitions=%v\n",
+			rs.State, rs.Shed, rs.QueueFull, rs.ExpiredQueued, rs.ExpiredRunning, rs.DegradedServed, rs.Panics, rs.Transitions)
 	}
 	for _, ds := range sortedKernelDatasets(sum.Kernel) {
 		families := sum.Kernel[ds]
@@ -208,16 +356,131 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if sum.Errors > 0 && !*allowErrors {
+	if (sum.Errors > 0 || sum.DegradedMissingBound > 0) && !*allowErrors {
 		os.Exit(1)
 	}
 }
 
-// fetchKernelCounters reads the daemon's post-run search-kernel counters
-// (GET /v1/stats) per dataset and explanation family. A stats failure never
-// fails the load run — the counters are observability, not the workload —
-// so it degrades to a warning and a nil map.
-func fetchKernelCounters(client *http.Client, addr string) map[string]map[string]wire.KernelCounters {
+// normalize maps overload classes to hard errors outside chaos runs: a
+// plain smoke run has no business expiring or exhausting retries, so those
+// outcomes must fail it; a chaos run expects them.
+func normalize(c class, chaos bool) class {
+	if chaos {
+		return c
+	}
+	switch c {
+	case clsExpired, clsShedExhausted, clsInjectedExhausted:
+		return clsError
+	default:
+		return c
+	}
+}
+
+// result is one HTTP attempt's parsed outcome.
+type result struct {
+	status       int
+	transport    bool // transport or read failure
+	badJSON      bool
+	injected     bool
+	degraded     bool
+	missingBound bool
+	retryAfter   time.Duration
+}
+
+// doJob runs one job to completion, retrying overload answers under the
+// policy. The sample's latency spans all attempts — the client-observed
+// time to an answer.
+func doJob(client *http.Client, addr string, j job, policy *retryPolicy) sample {
+	t0 := time.Now()
+	s := sample{kind: j.kind}
+	for attempt := 0; ; attempt++ {
+		res := send(client, addr+"/v1/"+j.kind, j.body)
+		s.lat = time.Since(t0)
+		s.status = res.status
+		s.degraded = s.degraded || res.degraded
+		s.missingBound = s.missingBound || res.missingBound
+		switch {
+		case res.transport || res.badJSON:
+			s.class = clsError
+			return s
+		case res.status >= 200 && res.status < 300:
+			s.class = clsOK
+			if res.missingBound {
+				// A degraded explain without its quality bound is a contract
+				// violation, not an overload answer.
+				s.class = clsError
+			}
+			return s
+		case res.status == http.StatusTooManyRequests,
+			res.status == http.StatusServiceUnavailable:
+			if attempt >= policy.max {
+				if res.injected {
+					s.class = clsInjectedExhausted
+				} else {
+					s.class = clsShedExhausted
+				}
+				s.retries = attempt
+				return s
+			}
+			policy.sleep(attempt, res.retryAfter)
+		case res.status == http.StatusGatewayTimeout:
+			s.class = clsExpired
+			return s
+		case res.injected:
+			s.class = clsInjected
+			return s
+		default:
+			s.class = clsError
+			return s
+		}
+	}
+}
+
+// send posts one request and parses the pieces the classifier needs.
+func send(client *http.Client, url string, body []byte) result {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return result{transport: true}
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return result{transport: true}
+	}
+	res := result{status: resp.StatusCode}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			res.retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	if !json.Valid(blob) {
+		res.badJSON = true
+		return res
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		// Only explains carry degradation markers; a match body simply
+		// decodes with both fields absent.
+		var rep struct {
+			Degraded     bool               `json:"degraded"`
+			QualityBound *wire.QualityBound `json:"qualityBound"`
+		}
+		if json.Unmarshal(blob, &rep) == nil && rep.Degraded {
+			res.degraded = true
+			res.missingBound = rep.QualityBound == nil
+		}
+		return res
+	}
+	var er wire.ErrorResponse
+	if json.Unmarshal(blob, &er) == nil {
+		res.injected = er.Injected
+	}
+	return res
+}
+
+// fetchStats reads the daemon's post-run stats. A stats failure never fails
+// the load run — the counters are observability, not the workload — so it
+// degrades to a warning and a nil response.
+func fetchStats(client *http.Client, addr string) *wire.StatsResponse {
 	resp, err := client.Get(addr + "/v1/stats")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "whyload: reading /v1/stats: %v\n", err)
@@ -233,11 +496,7 @@ func fetchKernelCounters(client *http.Client, addr string) map[string]map[string
 		fmt.Fprintf(os.Stderr, "whyload: decoding /v1/stats: %v\n", err)
 		return nil
 	}
-	kernel := make(map[string]map[string]wire.KernelCounters, len(stats.Datasets))
-	for name, ds := range stats.Datasets {
-		kernel[name] = ds.Kernel
-	}
-	return kernel
+	return &stats
 }
 
 func sortedKernelDatasets(m map[string]map[string]wire.KernelCounters) []string {
@@ -250,24 +509,29 @@ func sortedKernelDatasets(m map[string]map[string]wire.KernelCounters) []string 
 }
 
 // buildJobs derives the request corpus from the daemon's dataset listing.
-func buildJobs(client *http.Client, addr, mix string, budget int) ([]job, error) {
+// A request that fails to marshal is counted and skipped, never fatal: one
+// bad record must not kill a load run.
+func buildJobs(client *http.Client, addr, mix string, budget int) ([]job, int, error) {
 	resp, err := client.Get(addr + "/v1/datasets")
 	if err != nil {
-		return nil, fmt.Errorf("discovering datasets: %w", err)
+		return nil, 0, fmt.Errorf("discovering datasets: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("discovering datasets: %s", resp.Status)
+		return nil, 0, fmt.Errorf("discovering datasets: %s", resp.Status)
 	}
 	var infos []wire.DatasetInfo
 	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
-		return nil, fmt.Errorf("decoding dataset listing: %w", err)
+		return nil, 0, fmt.Errorf("decoding dataset listing: %w", err)
 	}
 	var jobs []job
+	skipped := 0
 	add := func(kind string, body any) {
 		blob, err := json.Marshal(body)
 		if err != nil {
-			panic(err) // request types always marshal
+			skipped++
+			fmt.Fprintf(os.Stderr, "whyload: skipping unmarshalable %s request: %v\n", kind, err)
+			return
 		}
 		jobs = append(jobs, job{kind: kind, body: blob})
 	}
@@ -291,22 +555,7 @@ func buildJobs(client *http.Client, addr, mix string, budget int) ([]job, error)
 			}
 		}
 	}
-	return jobs, nil
-}
-
-// post sends one request and reports whether it got a 2xx answer with a
-// well-formed JSON body.
-func post(client *http.Client, url string, body []byte) bool {
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return false
-	}
-	defer resp.Body.Close()
-	blob, err := io.ReadAll(resp.Body)
-	if err != nil || resp.StatusCode < 200 || resp.StatusCode >= 300 {
-		return false
-	}
-	return json.Valid(blob)
+	return jobs, skipped, nil
 }
 
 // percentiles returns p50/p95/p99/max in milliseconds.

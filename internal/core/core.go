@@ -141,6 +141,17 @@ type Options struct {
 	// Workers overrides the engine's worker count for this explanation
 	// (0 = use the engine's setting).
 	Workers int
+	// Epsilon, when > 0, arms the ε-optimal early stop on the fine-grained
+	// search: the modification tree may stop as soon as its best-so-far
+	// cardinality distance is ≤ Epsilon, instead of exhausting the budget.
+	// The predicate reads only deterministic search state, so a speculating
+	// run stops byte-identically to the sequential run. This is whydbd's
+	// degraded (brownout) mode.
+	Epsilon int
+	// Probe, when non-nil, is forwarded to every search kernel as
+	// Control.Probe: it runs before each candidate execution with the
+	// execution count — whydbd's fault-injection hook.
+	Probe func(executions int)
 }
 
 func (o *Options) fill() {
@@ -249,6 +260,7 @@ func (e *Engine) ExplainCtx(ctx context.Context, q *query.Query, opts Options) (
 			Workers:     workers,
 			Ctx:         ctx,
 			Metrics:     &e.kMCS,
+			Probe:       opts.Probe,
 		},
 		UseWCC:      true,
 		EdgeWeights: opts.EdgeWeights,
@@ -266,12 +278,23 @@ func (e *Engine) ExplainCtx(ctx context.Context, q *query.Query, opts Options) (
 	rep.FineGrained = fine
 	var candidates []Rewriting
 	if fine {
+		// The modification tree records its best-so-far cardinality distance
+		// after every execution, so an ε-optimal stop is a pure predicate on
+		// the last recorded value.
+		var stop func(search.Progress) bool
+		if eps := opts.Epsilon; eps > 0 {
+			stop = func(p search.Progress) bool {
+				return p.Recorded > 0 && p.Last <= eps
+			}
+		}
 		res := st.mt.TraverseSearchTree(q, modtree.Options{
 			Control: search.Control{
 				MaxExecuted: opts.Budget,
 				Workers:     workers,
 				Ctx:         ctx,
 				Metrics:     &e.kModtree,
+				Stop:        stop,
+				Probe:       opts.Probe,
 			},
 			Goal:          opts.Expected,
 			AllowTopology: opts.AllowTopology,
@@ -293,6 +316,7 @@ func (e *Engine) ExplainCtx(ctx context.Context, q *query.Query, opts Options) (
 				Workers:     workers,
 				Ctx:         ctx,
 				Metrics:     &e.kRelax,
+				Probe:       opts.Probe,
 			},
 			Goal:          opts.Expected,
 			MaxSolutions:  opts.MaxRewritings,

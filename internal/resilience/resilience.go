@@ -1,0 +1,318 @@
+// Package resilience is whydbd's overload-protection layer: a pressure
+// monitor and a three-state brownout controller.
+//
+// The monitor ingests two signals the service layer already has on every
+// request: admission occupancy (queued + in-flight requests over the bounded
+// queue and execution capacity) and an exponentially weighted moving average
+// of per-endpoint latency. The controller maps the combined pressure to one
+// of three serving states:
+//
+//	healthy   serve everything at full quality
+//	degraded  explains run with a reduced execution budget and an ε-optimal
+//	          early stop (kernel-level Stop predicate); responses are marked
+//	          degraded and carry the achieved quality bound
+//	shedding  new requests answer 429 with Retry-After before touching a slot
+//
+// This is the anytime-answer posture of the provenance literature (PUG, Lee
+// et al. 2018): a bounded-quality explanation delivered now beats an optimal
+// one delivered after the queue collapses. Transitions upward (toward
+// shedding) require the pressure to hold above the threshold for EnterHold —
+// a queue blip does not brown the fleet out — and transitions downward
+// require it to hold below for ExitHold, so the controller never flaps
+// around a threshold.
+//
+// The controller is deterministic given its observation sequence and clock
+// (Config.Now is injectable), which is what makes the brownout tests exact
+// rather than sleep-and-hope.
+package resilience
+
+import (
+	"sync"
+	"time"
+)
+
+// State is the brownout controller's serving state.
+type State int32
+
+const (
+	// Healthy serves every request at full quality.
+	Healthy State = iota
+	// Degraded serves explains under a reduced budget with an ε-optimal
+	// early stop, marking responses as degraded.
+	Degraded
+	// Shedding answers new requests with 429 + Retry-After.
+	Shedding
+)
+
+// String names the state for stats and logs.
+func (s State) String() string {
+	switch s {
+	case Degraded:
+		return "degraded"
+	case Shedding:
+		return "shedding"
+	default:
+		return "healthy"
+	}
+}
+
+// Config tunes the controller. The zero value picks the documented defaults.
+type Config struct {
+	// DegradeAt is the pressure at or above which the controller degrades
+	// (0 = 0.5). Pressure is max(admission occupancy, latency fraction).
+	DegradeAt float64
+	// ShedAt is the pressure at or above which the controller sheds
+	// (0 = 0.9).
+	ShedAt float64
+	// LatencyBudget maps the latency EWMA to a pressure fraction: an EWMA at
+	// the budget contributes pressure 1.0 (0 = 500ms).
+	LatencyBudget time.Duration
+	// EnterHold is how long pressure must hold at or above a threshold
+	// before the controller steps up into that state (0 = 250ms).
+	EnterHold time.Duration
+	// ExitHold is how long pressure must hold below a threshold before the
+	// controller steps back down one state (0 = 2s).
+	ExitHold time.Duration
+	// Alpha is the EWMA weight of a new latency sample (0 = 0.2).
+	Alpha float64
+	// DegradedBudgetFrac scales the explain execution budget in degraded
+	// mode (0 = 0.25; the result is clamped to at least one execution).
+	DegradedBudgetFrac float64
+	// DegradedMaxRewritings caps reported rewritings in degraded mode
+	// (0 = 1).
+	DegradedMaxRewritings int
+	// Epsilon is the ε-optimal early-stop threshold degraded fine-grained
+	// searches run under: the search may stop once its best-so-far
+	// cardinality distance is ≤ Epsilon (0 = 2).
+	Epsilon int
+	// Now is the controller's clock (nil = time.Now); injectable for
+	// deterministic tests.
+	Now func() time.Time
+}
+
+func (c *Config) fill() {
+	if c.DegradeAt == 0 {
+		c.DegradeAt = 0.5
+	}
+	if c.ShedAt == 0 {
+		c.ShedAt = 0.9
+	}
+	if c.LatencyBudget == 0 {
+		c.LatencyBudget = 500 * time.Millisecond
+	}
+	if c.EnterHold == 0 {
+		c.EnterHold = 250 * time.Millisecond
+	}
+	if c.ExitHold == 0 {
+		c.ExitHold = 2 * time.Second
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 0.2
+	}
+	if c.DegradedBudgetFrac == 0 {
+		c.DegradedBudgetFrac = 0.25
+	}
+	if c.DegradedMaxRewritings == 0 {
+		c.DegradedMaxRewritings = 1
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 2
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// DegradedParams are the quality clamps a degraded explain runs under.
+type DegradedParams struct {
+	BudgetFrac    float64
+	MaxRewritings int
+	Epsilon       int
+}
+
+// Snapshot is the controller's observable state for /v1/stats.
+type Snapshot struct {
+	// State is the current serving state.
+	State State
+	// Pressure is the last combined pressure sample.
+	Pressure float64
+	// Latency is the per-endpoint latency EWMA in milliseconds.
+	Latency map[string]float64
+	// Transitions counts entries into each state (the initial healthy state
+	// is not an entry). Keys are the State strings.
+	Transitions map[string]int64
+}
+
+// Controller is the brownout state machine. All methods are safe for
+// concurrent use.
+type Controller struct {
+	cfg Config
+
+	mu          sync.Mutex
+	state       State
+	forced      bool               // ForceState pinned the state (tests, ops drills)
+	pressure    float64            // last combined pressure
+	lastOcc     float64            // last admission-occupancy sample
+	aboveShed   time.Time          // since when pressure has held ≥ ShedAt (zero = not)
+	aboveDeg    time.Time          // since when pressure has held ≥ DegradeAt
+	belowShed   time.Time          // since when pressure has held < ShedAt
+	belowDeg    time.Time          // since when pressure has held < DegradeAt
+	ewma        map[string]float64 // per-endpoint latency EWMA, milliseconds
+	transitions [3]int64
+}
+
+// NewController returns a controller in the healthy state.
+func NewController(cfg Config) *Controller {
+	cfg.fill()
+	return &Controller{cfg: cfg, ewma: make(map[string]float64)}
+}
+
+// State returns the current serving state.
+func (c *Controller) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// Degraded returns the quality clamps for degraded explains.
+func (c *Controller) Degraded() DegradedParams {
+	return DegradedParams{
+		BudgetFrac:    c.cfg.DegradedBudgetFrac,
+		MaxRewritings: c.cfg.DegradedMaxRewritings,
+		Epsilon:       c.cfg.Epsilon,
+	}
+}
+
+// ForceState pins the controller to a state, disabling automatic
+// transitions — a hook for tests and operator drills.
+func (c *Controller) ForceState(s State) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.setState(s)
+	c.forced = true
+}
+
+// ObserveAdmission records one admission-time occupancy sample: queued and
+// in-flight requests against the bounded queue and execution capacity. It
+// returns the serving state the request must be handled under.
+func (c *Controller) ObserveAdmission(queued, queueCap, inFlight, execCap int) State {
+	occ := 0.0
+	if total := queueCap + execCap; total > 0 {
+		occ = float64(queued+inFlight) / float64(total)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lastOcc = occ
+	c.note(occ)
+	return c.state
+}
+
+// ObserveLatency records one completed request's latency for an endpoint,
+// folding it into the endpoint's EWMA and re-evaluating the state.
+func (c *Controller) ObserveLatency(endpoint string, d time.Duration) {
+	ms := float64(d.Nanoseconds()) / 1e6
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev, ok := c.ewma[endpoint]
+	if !ok {
+		c.ewma[endpoint] = ms
+	} else {
+		c.ewma[endpoint] = c.cfg.Alpha*ms + (1-c.cfg.Alpha)*prev
+	}
+	// A completion re-evaluates under the last admission occupancy rather
+	// than clearing it: a full queue keeps its pressure hold alive between
+	// admission samples (the next admission refreshes the occupancy).
+	c.note(c.lastOcc)
+}
+
+// pressureLocked recomputes pressure from the stored signals: the worst
+// endpoint EWMA over the latency budget. Admission occupancy arrives through
+// note's argument instead, so this is the latency floor.
+func (c *Controller) pressureLocked() float64 {
+	worst := 0.0
+	budget := float64(c.cfg.LatencyBudget.Nanoseconds()) / 1e6
+	for _, ms := range c.ewma {
+		if f := ms / budget; f > worst {
+			worst = f
+		}
+	}
+	return worst
+}
+
+// note folds one pressure sample into the state machine. Callers hold mu.
+func (c *Controller) note(p float64) {
+	// The latency floor applies to every sample: a queue that drained while
+	// the EWMA is still far past budget keeps the controller cautious.
+	if lp := c.pressureLocked(); lp > p {
+		p = lp
+	}
+	c.pressure = p
+	now := c.cfg.Now()
+	track := func(above bool, since *time.Time) {
+		if above {
+			if since.IsZero() {
+				*since = now
+			}
+		} else {
+			*since = time.Time{}
+		}
+	}
+	track(p >= c.cfg.ShedAt, &c.aboveShed)
+	track(p >= c.cfg.DegradeAt, &c.aboveDeg)
+	track(p < c.cfg.ShedAt, &c.belowShed)
+	track(p < c.cfg.DegradeAt, &c.belowDeg)
+	if c.forced {
+		return
+	}
+	held := func(since time.Time, hold time.Duration) bool {
+		return !since.IsZero() && now.Sub(since) >= hold
+	}
+	switch c.state {
+	case Healthy:
+		if held(c.aboveShed, c.cfg.EnterHold) {
+			c.setState(Shedding)
+		} else if held(c.aboveDeg, c.cfg.EnterHold) {
+			c.setState(Degraded)
+		}
+	case Degraded:
+		if held(c.aboveShed, c.cfg.EnterHold) {
+			c.setState(Shedding)
+		} else if held(c.belowDeg, c.cfg.ExitHold) {
+			c.setState(Healthy)
+		}
+	case Shedding:
+		if held(c.belowShed, c.cfg.ExitHold) {
+			// Step down one level at a time; the degraded state re-checks its
+			// own exit hold before reaching healthy.
+			c.setState(Degraded)
+		}
+	}
+}
+
+// setState transitions and counts the entry. Callers hold mu.
+func (c *Controller) setState(s State) {
+	if c.state == s {
+		return
+	}
+	c.state = s
+	c.transitions[s]++
+}
+
+// Snapshot returns the controller's observable state.
+func (c *Controller) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := Snapshot{
+		State:       c.state,
+		Pressure:    c.pressure,
+		Latency:     make(map[string]float64, len(c.ewma)),
+		Transitions: make(map[string]int64, 3),
+	}
+	for ep, ms := range c.ewma {
+		snap.Latency[ep] = ms
+	}
+	for s, n := range c.transitions {
+		snap.Transitions[State(s).String()] = n
+	}
+	return snap
+}

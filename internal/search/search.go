@@ -58,6 +58,33 @@ type Control struct {
 	// Metrics, when non-nil, accumulates the run's kernel counters
 	// (executions, dedup hits, speculation) at the end of the search.
 	Metrics *Metrics
+	// Stop, when non-nil, is the kernel-level early-stop predicate: it is
+	// consulted by Stopped() alongside the budget and cancellation checks —
+	// before the next candidate execution — with the run's Progress. It must
+	// be cheap and idempotent (strategies poll Stopped in loop conditions).
+	// The whydbd brownout controller uses it to end a degraded search once
+	// the recorded best-so-far value is within ε of the goal, trading bounded
+	// explanation quality for tail latency.
+	Stop func(Progress) bool
+	// Probe, when non-nil, runs on the search goroutine immediately before
+	// every candidate execution with the number of executions completed so
+	// far — the kernel's fault-injection and instrumentation hook point. A
+	// probe that cancels Ctx stops the search before the next execution,
+	// exactly like a client cancellation.
+	Probe func(executions int)
+}
+
+// Progress is the run-state snapshot handed to Control.Stop: how many
+// candidate executions were spent, how many trace values were recorded, and
+// the latest recorded value (meaningful only when Recorded > 0 — best-so-far
+// cardinality distance for the modification tree, executed cardinality for
+// the coarse relaxation). It carries only deterministic search state, so a
+// predicate over it stops a speculating run at exactly the point it stops
+// the sequential run.
+type Progress struct {
+	Executions int
+	Recorded   int
+	Last       int
 }
 
 // Done reports whether a cancellation context was supplied and fired — the
@@ -135,6 +162,7 @@ type Executor struct {
 
 	executed map[string]int // executed-key dedup: key → cardinality
 	trace    []int          // per-run trace, storage reused across runs
+	last     int            // latest recorded trace value (Progress.Last)
 	ctrl     Control
 
 	executions int
@@ -157,6 +185,7 @@ func (e *Executor) Begin(ctrl Control) {
 	e.ctrl = ctrl
 	clear(e.executed)
 	e.trace = e.trace[:0]
+	e.last = 0
 	e.executions, e.dedupHits, e.speculated, e.consumed = 0, 0, 0, 0
 	e.parallel = ctrl.Workers > 1
 	if e.parallel {
@@ -201,11 +230,19 @@ func (e *Executor) Width() int {
 	return 1
 }
 
-// Stopped reports whether the run must stop: execution budget exhausted or
-// the cancellation context fired. This is the kernel's single
-// stop-before-the-next-execution check.
+// Stopped reports whether the run must stop: execution budget exhausted, the
+// cancellation context fired, or the early-stop predicate holds. This is the
+// kernel's single stop-before-the-next-execution check.
 func (e *Executor) Stopped() bool {
-	return e.executions >= e.ctrl.MaxExecuted || e.ctrl.Done()
+	if e.executions >= e.ctrl.MaxExecuted || e.ctrl.Done() {
+		return true
+	}
+	return e.ctrl.Stop != nil && e.ctrl.Stop(e.Progress())
+}
+
+// Progress returns the run-state snapshot the Stop predicate sees.
+func (e *Executor) Progress() Progress {
+	return Progress{Executions: e.executions, Recorded: len(e.trace), Last: e.last}
 }
 
 // Remaining returns the remaining execution budget.
@@ -270,6 +307,9 @@ func (e *Executor) ExecuteAlways(key string, eval Eval) int {
 }
 
 func (e *Executor) execute(key string, eval Eval) int {
+	if e.ctrl.Probe != nil {
+		e.ctrl.Probe(e.executions)
+	}
 	card, done := 0, false
 	if key != "" && e.parallel {
 		if card, done = e.spec[key]; done {
@@ -289,8 +329,12 @@ func (e *Executor) execute(key string, eval Eval) int {
 
 // Record appends one value to the run's trace (executed cardinalities for
 // relax, best-so-far distances for modtree — the convergence series feeding
-// core.Report.Trace).
-func (e *Executor) Record(v int) { e.trace = append(e.trace, v) }
+// core.Report.Trace). The latest value is also exposed to the early-stop
+// predicate as Progress.Last.
+func (e *Executor) Record(v int) {
+	e.trace = append(e.trace, v)
+	e.last = v
+}
 
 // Trace returns the run's trace. The slice is owned by the executor's
 // reusable scratch: it stays valid until the next Begin.

@@ -299,3 +299,128 @@ func TestConcurrentExecutorsSharedMatcher(t *testing.T) {
 		t.Fatalf("accumulated executions = %d, want %d", c.Executions, goroutines*25*len(queries))
 	}
 }
+
+// TestStopPredicate proves Control.Stop ends the search before the next
+// candidate execution, exactly like budget exhaustion: Stopped flips as soon
+// as the predicate holds, and the progress it sees is the deterministic
+// (executions, recorded, last) triple.
+func TestStopPredicate(t *testing.T) {
+	ex := NewExecutor(match.New(testGraph()))
+	var seen []Progress
+	ex.Begin(Control{
+		MaxExecuted: 100,
+		Stop: func(p Progress) bool {
+			seen = append(seen, p)
+			return p.Recorded > 0 && p.Last <= 2
+		},
+	})
+	// No trace yet: the predicate must not fire on Last's zero value.
+	if ex.Stopped() {
+		t.Fatal("stopped before anything was recorded")
+	}
+	ex.Execute("a", constEval(9))
+	ex.Record(9)
+	if ex.Stopped() {
+		t.Fatal("stopped with best-so-far 9 > ε")
+	}
+	ex.Execute("b", constEval(2))
+	ex.Record(2)
+	if !ex.Stopped() {
+		t.Fatal("not stopped with best-so-far 2 ≤ ε")
+	}
+	last := seen[len(seen)-1]
+	want := Progress{Executions: 2, Recorded: 2, Last: 2}
+	if last != want {
+		t.Fatalf("predicate saw %+v, want %+v", last, want)
+	}
+	ex.End()
+
+	// Begin resets Last so a new run cannot inherit the old stop state.
+	ex.Begin(Control{MaxExecuted: 100, Stop: func(p Progress) bool {
+		return p.Recorded > 0 && p.Last <= 2
+	}})
+	if ex.Stopped() {
+		t.Fatal("new run inherited previous run's recorded state")
+	}
+	ex.End()
+}
+
+// TestStopPredicateParityWithSpeculation proves the stop predicate fires at
+// the same sequential point whether or not the run speculates: the trace up
+// to the stop is byte-identical.
+func TestStopPredicateParityWithSpeculation(t *testing.T) {
+	g := testGraph()
+	run := func(workers int) []int {
+		ex := NewExecutor(match.New(g))
+		ex.Begin(Control{
+			Workers:     workers,
+			MaxExecuted: 50,
+			Stop: func(p Progress) bool {
+				return p.Recorded > 0 && p.Last <= 3
+			},
+		})
+		// Descending values 10, 9, 8, ... recorded until the predicate stops
+		// the loop — with speculation prefetching ahead of consumption.
+		nodes := make([]int, 20)
+		for i := range nodes {
+			nodes[i] = i
+		}
+		key := func(n int) string { return fmt.Sprintf("k%02d", n) }
+		for i := 0; !ex.Stopped() && i < len(nodes); i++ {
+			v := 10 - i
+			if ex.Parallel() {
+				SpeculateSlice(ex, nodes[i:], key, func(_ *match.Ctx, n int) int { return 10 - n })
+			}
+			ex.Execute(key(nodes[i]), constEval(v))
+			ex.Record(v)
+		}
+		tr := append([]int(nil), ex.Trace()...)
+		ex.End()
+		return tr
+	}
+	seq := run(1)
+	par := run(4)
+	if fmt.Sprint(seq) != fmt.Sprint(par) {
+		t.Fatalf("trace diverged: sequential %v, speculative %v", seq, par)
+	}
+	if want := []int{10, 9, 8, 7, 6, 5, 4, 3}; fmt.Sprint(seq) != fmt.Sprint(want) {
+		t.Fatalf("trace = %v, want stop right after recording 3", seq)
+	}
+}
+
+// TestProbeHook proves Control.Probe runs before every candidate execution
+// with the pre-execution count, and that a probe cancelling Ctx stops the
+// search before the next execution — the kernel's fault-injection contract.
+func TestProbeHook(t *testing.T) {
+	ex := NewExecutor(match.New(testGraph()))
+	var calls []int
+	ex.Begin(Control{MaxExecuted: 3, Probe: func(n int) { calls = append(calls, n) }})
+	ex.Execute("a", constEval(1))
+	ex.Execute("b", constEval(2))
+	ex.ExecuteAlways("", constEval(3))
+	ex.Execute("c", constEval(4)) // budget spent: refused before the probe
+	if fmt.Sprint(calls) != fmt.Sprint([]int{0, 1, 2}) {
+		t.Fatalf("probe calls = %v, want [0 1 2]", calls)
+	}
+	ex.End()
+
+	// A probe that cancels the context behaves exactly like a client
+	// cancellation: the search stops before the next execution.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ex.Begin(Control{MaxExecuted: 10, Ctx: ctx, Probe: func(n int) {
+		if n == 2 {
+			cancel()
+		}
+	}})
+	ran := 0
+	for i := 0; !ex.Stopped() && i < 10; i++ {
+		if _, ok := ex.Execute(fmt.Sprintf("c%d", i), constEval(i)); ok {
+			ran++
+		}
+	}
+	if ran != 3 || ex.Executions() != 3 {
+		t.Fatalf("executions after mid-search cancel = %d (ran %d), want 3", ex.Executions(), ran)
+	}
+	ex.End()
+}

@@ -15,15 +15,26 @@
 //	GET  /v1/stats     plan-/count-/candidate-/statistics-cache hit rates,
 //	                   search-kernel counters (executions / dedup hits /
 //	                   speculation) per explanation family, worker
-//	                   configuration, request counters
+//	                   configuration, request counters, resilience counters
 //	GET  /healthz      liveness
+//	GET  /readyz       readiness: 503 while datasets load and during drain
 //
 // Concurrency model: requests are admitted per engine through a semaphore
 // sized off the engine's worker count, so a traffic burst queues instead of
-// oversubscribing the matcher; each admitted request runs under its own
-// context deadline, and the cancellation is threaded through core.ExplainCtx
-// into the relaxation/modification-tree/MCS searches, so an abandoned
-// request stops burning the worker pool within one candidate execution.
+// oversubscribing the matcher; the queue itself is bounded (429 + Retry-After
+// when full, 504 when a request waits out the max queue time), and each
+// admitted request runs under its own context deadline threaded through
+// core.ExplainCtx into the searches, so an abandoned request stops burning
+// the worker pool within one candidate execution.
+//
+// Overload model: a resilience.Controller folds admission occupancy and
+// per-endpoint latency EWMAs into a three-state brownout. Degraded explains
+// run under a reduced budget with an ε-optimal kernel-level early stop and
+// carry `degraded: true` plus the achieved quality bound; shedding answers
+// 429 + Retry-After before touching a slot. A handler panic is recovered to
+// a 500 with a request id, counted and stack-logged. An optional seeded
+// fault injector (whydbd -inject) exercises every one of these paths
+// deterministically.
 package server
 
 import (
@@ -31,15 +42,21 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"sort"
+	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/match"
 	"repro/internal/metrics"
 	"repro/internal/query"
+	"repro/internal/resilience"
 	"repro/internal/wire"
 	"repro/internal/workload"
 )
@@ -74,6 +91,17 @@ type Config struct {
 	// graphs per rewriting with no cancellation hook, so it must stay
 	// bounded for the same reason as the match caps.
 	MaxResultSample int
+	// QueueCap bounds each dataset's admission queue (0 = 4× the dataset's
+	// admission capacity). A request arriving at a full queue answers 429
+	// with Retry-After instead of waiting.
+	QueueCap int
+	// MaxQueueWait bounds how long an admitted-to-queue request may wait for
+	// an execution slot before answering 504 (0 = 5s).
+	MaxQueueWait time.Duration
+	// Resilience tunes the brownout controller.
+	Resilience resilience.Config
+	// Injector, when non-nil, injects deterministic faults (whydbd -inject).
+	Injector *faultinject.Injector
 }
 
 func (c *Config) fill() {
@@ -98,6 +126,9 @@ func (c *Config) fill() {
 	if c.MaxResultSample == 0 {
 		c.MaxResultSample = 10000
 	}
+	if c.MaxQueueWait == 0 {
+		c.MaxQueueWait = 5 * time.Second
+	}
 }
 
 // dataset is one loaded graph with its engine, built-in workload queries,
@@ -111,66 +142,171 @@ type dataset struct {
 
 	// sem is the admission semaphore: at most cap(sem) requests execute
 	// against the engine at once (sized off the engine's worker count);
-	// excess requests queue on it under their own deadline.
+	// excess requests queue on it, bounded by queueCap and the max queue
+	// wait.
 	sem      chan struct{}
+	queueCap int
+	queued   atomic.Int64
 	inFlight atomic.Int64
 }
 
 // Server is the why-query HTTP daemon state. Register datasets with
-// AddDataset before calling Handler; the handler is then safe for
-// concurrent use.
+// AddDataset (safe while serving: whydbd registers datasets as they finish
+// generating, behind /readyz); the handler is safe for concurrent use.
 type Server struct {
-	cfg      Config
-	start    time.Time
+	cfg   Config
+	start time.Time
+	res   *resilience.Controller
+
+	mu       sync.RWMutex
 	datasets map[string]*dataset
+
+	notReady atomic.Value // string: why /readyz answers 503 ("" = ready)
+	draining atomic.Bool
+
+	drainCtx    context.Context // cancelled by CancelInFlight
+	cancelDrain context.CancelFunc
 
 	reqTotal     atomic.Int64
 	reqExplain   atomic.Int64
 	reqMatch     atomic.Int64
 	reqErrors    atomic.Int64
 	reqCancelled atomic.Int64
+
+	shed           atomic.Int64
+	queueFull      atomic.Int64
+	expiredQueued  atomic.Int64
+	expiredRunning atomic.Int64
+	degradedServed atomic.Int64
+	panics         atomic.Int64
+	injected       atomic.Int64
+
+	reqSeq     atomic.Uint64 // request ids
+	explainSeq atomic.Uint64 // fault-injection draw sequence per site
+	matchSeq   atomic.Uint64
 }
 
-// New returns an empty server with the given configuration.
+// New returns an empty server with the given configuration. The server
+// starts not-ready ("loading"); call SetReady once datasets are registered.
 func New(cfg Config) *Server {
 	cfg.fill()
-	return &Server{cfg: cfg, start: time.Now(), datasets: make(map[string]*dataset)}
+	drainCtx, cancelDrain := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:         cfg,
+		start:       time.Now(),
+		res:         resilience.NewController(cfg.Resilience),
+		datasets:    make(map[string]*dataset),
+		drainCtx:    drainCtx,
+		cancelDrain: cancelDrain,
+	}
+	s.notReady.Store("loading")
+	return s
 }
+
+// Resilience returns the server's brownout controller (whydbd flags and
+// tests reach through it; ForceState pins the state for drills).
+func (s *Server) Resilience() *resilience.Controller { return s.res }
+
+// SetReady marks the server ready: /readyz answers 200.
+func (s *Server) SetReady() { s.notReady.Store("") }
+
+// SetNotReady marks the server not ready for the given reason.
+func (s *Server) SetNotReady(reason string) { s.notReady.Store(reason) }
+
+// BeginDrain starts a graceful shutdown: /readyz answers 503 ("draining")
+// so load balancers stop routing, while in-flight and newly arriving
+// requests keep being served.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	s.SetNotReady("draining")
+}
+
+// CancelInFlight cancels every in-flight request context: each request stops
+// within one candidate execution and answers 503 + Retry-After. Call after
+// BeginDrain when the drain deadline is near.
+func (s *Server) CancelInFlight() { s.cancelDrain() }
 
 // AddDataset registers a loaded engine under a name, with its built-in
 // workload queries and the failing-variant resolver (nil = no failing
-// variants). Call before Handler; not safe once serving.
+// variants). Safe to call while serving.
 func (s *Server) AddDataset(name string, eng *core.Engine, builtins []workload.Named, failing func(string) (*query.Query, error)) {
-	cap := eng.Workers()
-	if cap < 1 {
-		cap = 1
+	admitCap := eng.Workers()
+	if admitCap < 1 {
+		admitCap = 1
+	}
+	queueCap := s.cfg.QueueCap
+	if queueCap == 0 {
+		queueCap = 4 * admitCap
 	}
 	ds := &dataset{
 		name:     name,
 		eng:      eng,
 		builtins: make(map[string]func() *query.Query, len(builtins)),
 		failing:  failing,
-		sem:      make(chan struct{}, cap),
+		sem:      make(chan struct{}, admitCap),
+		queueCap: queueCap,
 	}
 	for _, nq := range builtins {
 		ds.builtins[nq.Name] = nq.Build
 		ds.names = append(ds.names, nq.Name)
 	}
+	s.mu.Lock()
 	s.datasets[name] = ds
+	s.mu.Unlock()
+}
+
+// lookup returns the named dataset under the read lock.
+func (s *Server) lookup(name string) (*dataset, bool) {
+	s.mu.RLock()
+	ds, ok := s.datasets[name]
+	s.mu.RUnlock()
+	return ds, ok
 }
 
 // Handler returns the daemon's HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	mux.HandleFunc("POST /v1/match", s.handleMatch)
-	return mux
+	return s.recoverer(mux)
 }
 
-// sortedNames returns the dataset names in ascending order.
+// recoverer tags every request with an X-Request-Id and converts a handler
+// panic into a 500 carrying that id, with the stack logged and the panic
+// counted — one bad request must not take the daemon down. The net/http
+// sentinel http.ErrAbortHandler passes through (it is the documented way to
+// abort a response).
+func (s *Server) recoverer(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := fmt.Sprintf("%08x", s.reqSeq.Add(1))
+		w.Header().Set("X-Request-Id", id)
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.panics.Add(1)
+			s.reqErrors.Add(1)
+			log.Printf("server: panic in %s %s (request %s): %v\n%s", r.Method, r.URL.Path, id, rec, debug.Stack())
+			// Best effort: if the handler already wrote, the write fails.
+			s.writeJSON(w, http.StatusInternalServerError, wire.ErrorResponse{
+				Error:     fmt.Sprintf("internal error (request %s)", id),
+				RequestID: id,
+			})
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// sortedNames returns the dataset names in ascending order. Callers hold at
+// least the read lock.
 func (s *Server) sortedNames() []string {
 	names := make([]string, 0, len(s.datasets))
 	for name := range s.datasets {
@@ -201,17 +337,49 @@ func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...an
 	s.writeJSON(w, code, wire.ErrorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// failRetry is fail with a Retry-After header — overload answers (429, the
+// drain 503) tell clients when to come back.
+func (s *Server) failRetry(w http.ResponseWriter, code int, retryAfter time.Duration, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(int((retryAfter+time.Second-1)/time.Second)))
+	s.fail(w, code, format, args...)
+}
+
+// failInjected writes a fault-injected failure, marked so load generators
+// count it as explained rather than as a service defect.
+func (s *Server) failInjected(w http.ResponseWriter, code int, msg string) {
+	s.injected.Add(1)
+	s.reqErrors.Add(1)
+	if code == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	s.writeJSON(w, code, wire.ErrorResponse{Error: msg, Injected: true})
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.reqTotal.Add(1)
+	s.mu.RLock()
+	n := len(s.datasets)
+	s.mu.RUnlock()
 	s.writeJSON(w, http.StatusOK, wire.HealthResponse{
 		Status:   "ok",
-		Datasets: len(s.datasets),
+		Datasets: n,
 		UptimeMs: time.Since(s.start).Milliseconds(),
 	})
 }
 
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal.Add(1)
+	if reason, _ := s.notReady.Load().(string); reason != "" {
+		s.writeJSON(w, http.StatusServiceUnavailable, wire.ReadyResponse{Ready: false, Reason: reason})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, wire.ReadyResponse{Ready: true})
+}
+
 func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	s.reqTotal.Add(1)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	infos := make([]wire.DatasetInfo, 0, len(s.datasets))
 	for _, name := range s.sortedNames() {
 		ds := s.datasets[name]
@@ -230,6 +398,8 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.reqTotal.Add(1)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	resp := wire.StatsResponse{
 		UptimeMs: time.Since(s.start).Milliseconds(),
 		Requests: wire.ServerCounters{
@@ -239,7 +409,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Errors:    s.reqErrors.Load(),
 			Cancelled: s.reqCancelled.Load(),
 		},
-		Datasets: make(map[string]wire.DatasetStats, len(s.datasets)),
+		Datasets:   make(map[string]wire.DatasetStats, len(s.datasets)),
+		Resilience: s.resilienceStats(),
 	}
 	for name, ds := range s.datasets {
 		m := ds.eng.Matcher()
@@ -265,6 +436,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Datasets[name] = st
 	}
 	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// resilienceStats assembles the brownout and overload counters. Callers
+// hold at least the read lock (it sums per-dataset queue state).
+func (s *Server) resilienceStats() *wire.ResilienceStats {
+	snap := s.res.Snapshot()
+	rs := &wire.ResilienceStats{
+		State:          snap.State.String(),
+		Pressure:       snap.Pressure,
+		LatencyEWMAMs:  snap.Latency,
+		Transitions:    snap.Transitions,
+		Shed:           s.shed.Load(),
+		QueueFull:      s.queueFull.Load(),
+		ExpiredQueued:  s.expiredQueued.Load(),
+		ExpiredRunning: s.expiredRunning.Load(),
+		DegradedServed: s.degradedServed.Load(),
+		Panics:         s.panics.Load(),
+		Injected:       s.injected.Load(),
+	}
+	for _, ds := range s.datasets {
+		rs.QueueDepth += int(ds.queued.Load())
+		rs.QueueCap += ds.queueCap
+	}
+	return rs
 }
 
 // decodeBody strictly decodes the request body into v (unknown fields and
@@ -324,36 +519,75 @@ func (s *Server) resolveQuery(ds *dataset, builtin string, failing bool, wq *wir
 	}
 }
 
-// admit acquires one of the dataset's execution slots, honoring the
-// request's deadline-bounded context (so a queued request answers 504 at its
-// deadline instead of waiting for a slot indefinitely). The returned release
-// func is nil when admission failed, in which case the error status has
-// already been written.
-func (s *Server) admit(w http.ResponseWriter, ctx context.Context, ds *dataset) func() {
+// admit runs the overload-aware admission sequence for one request:
+//
+//  1. Consult the brownout controller with the current occupancy; in the
+//     shedding state the request answers 429 + Retry-After immediately.
+//  2. Claim a bounded queue slot; a full queue answers 429 + Retry-After
+//     (not 504 — the client did nothing slow, the server is full).
+//  3. Wait for an execution slot under the request deadline AND the max
+//     queue wait; waiting out the latter answers 504 (expired-queued,
+//     distinguished from expired-running in stats).
+//
+// The returned release func is nil when admission failed (the error has
+// been written); otherwise the returned state is the brownout state the
+// request must be served under.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, ctx context.Context, ds *dataset) (func(), resilience.State) {
+	state := s.res.ObserveAdmission(int(ds.queued.Load()), ds.queueCap, int(ds.inFlight.Load()), cap(ds.sem))
+	if state == resilience.Shedding {
+		s.shed.Add(1)
+		s.failRetry(w, http.StatusTooManyRequests, time.Second, "server shedding load, retry later")
+		return nil, state
+	}
+	if int(ds.queued.Add(1)) > ds.queueCap {
+		ds.queued.Add(-1)
+		s.queueFull.Add(1)
+		s.failRetry(w, http.StatusTooManyRequests, time.Second, "admission queue full (%d queued), retry later", ds.queueCap)
+		return nil, state
+	}
+	defer ds.queued.Add(-1)
+	maxWait := time.NewTimer(s.cfg.MaxQueueWait)
+	defer maxWait.Stop()
 	select {
 	case ds.sem <- struct{}{}:
 		ds.inFlight.Add(1)
 		return func() {
 			ds.inFlight.Add(-1)
 			<-ds.sem
-		}
+		}, state
+	case <-maxWait.C:
+		s.expiredQueued.Add(1)
+		s.fail(w, http.StatusGatewayTimeout, "no execution slot within %s", s.cfg.MaxQueueWait)
+		return nil, state
 	case <-ctx.Done():
-		s.failCtx(w, ctx.Err())
-		return nil
+		s.failCtx(w, r, ctx.Err(), true)
+		return nil, state
 	}
 }
 
-// failCtx maps a context error to its HTTP status.
-func (s *Server) failCtx(w http.ResponseWriter, err error) {
-	if errors.Is(err, context.DeadlineExceeded) {
+// failCtx maps a context error to its HTTP status: 504 for an expired
+// deadline (counted as expired-queued or expired-running), 503 + Retry-After
+// when the drain cancelled the request (the client did nothing wrong — it
+// should retry against another instance), 499 when the client went away.
+func (s *Server) failCtx(w http.ResponseWriter, r *http.Request, err error, queued bool) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		if queued {
+			s.expiredQueued.Add(1)
+		} else {
+			s.expiredRunning.Add(1)
+		}
 		s.fail(w, http.StatusGatewayTimeout, "request deadline exceeded")
-		return
+	case s.drainCtx.Err() != nil && r.Context().Err() == nil:
+		s.failRetry(w, http.StatusServiceUnavailable, time.Second, "server draining, retry against another instance")
+	default:
+		s.fail(w, StatusClientClosedRequest, "client closed request")
 	}
-	s.fail(w, StatusClientClosedRequest, "client closed request")
 }
 
 // requestContext derives the request's processing context: the client's
-// connection context bounded by the requested (clamped) or default timeout.
+// connection context bounded by the requested (clamped) or default timeout,
+// and additionally cancelled when CancelInFlight fires during drain.
 func (s *Server) requestContext(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
 	to := s.cfg.DefaultTimeout
 	if timeoutMs > 0 {
@@ -362,18 +596,64 @@ func (s *Server) requestContext(r *http.Request, timeoutMs int) (context.Context
 	if to > s.cfg.MaxTimeout {
 		to = s.cfg.MaxTimeout
 	}
-	return context.WithTimeout(r.Context(), to)
+	ctx, cancel := context.WithTimeout(r.Context(), to)
+	stop := context.AfterFunc(s.drainCtx, cancel)
+	return ctx, func() {
+		stop()
+		cancel()
+	}
+}
+
+// degradeExplain applies the brownout quality clamps to resolved explain
+// options and returns the (budget, ε) pair the response's quality bound
+// reports. The clamped run is an ordinary explain: re-running ExplainCtx
+// with these options sequentially reproduces the degraded answer byte for
+// byte.
+func degradeExplain(opts *core.Options, p resilience.DegradedParams) (int, int) {
+	budget := int(float64(opts.Budget) * p.BudgetFrac)
+	if budget < 1 {
+		budget = 1
+	}
+	opts.Budget = budget
+	if opts.MaxRewritings == 0 || opts.MaxRewritings > p.MaxRewritings {
+		opts.MaxRewritings = p.MaxRewritings
+	}
+	opts.Epsilon = p.Epsilon
+	return budget, p.Epsilon
+}
+
+// qualityBound states what a degraded answer is worth: the clamped budget
+// and ε it ran under, the executions spent, and the best cardinality
+// distance reached (the minimum over scored rewritings, falling back to the
+// fine-grained trace's best-so-far; -1 when nothing was found).
+func qualityBound(rep *core.Report, budget, eps int) *wire.QualityBound {
+	best := -1
+	for i := range rep.Rewritings {
+		if d := rep.Rewritings[i].CardinalityDistance; best < 0 || d < best {
+			best = d
+		}
+	}
+	if best < 0 && rep.FineGrained && len(rep.Trace) > 0 {
+		best = rep.Trace[len(rep.Trace)-1]
+	}
+	return &wire.QualityBound{Budget: budget, Epsilon: eps, Executed: rep.Executed, BestDistance: best}
 }
 
 func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	s.reqTotal.Add(1)
 	s.reqExplain.Add(1)
+	started := time.Now()
+	defer func() { s.res.ObserveLatency("explain", time.Since(started)) }()
+	inject := s.cfg.Injector.Decide("explain", s.explainSeq.Add(1)-1)
+	if inject.Kind == faultinject.Latency {
+		time.Sleep(inject.Latency)
+	}
 	var req wire.ExplainRequest
 	if code, err := decodeBody(w, r, &req); err != nil {
 		s.fail(w, code, "bad request body: %v", err)
 		return
 	}
-	ds, ok := s.datasets[req.Dataset]
+	ds, ok := s.lookup(req.Dataset)
 	if !ok {
 		s.fail(w, http.StatusNotFound, "unknown dataset %q (see /v1/datasets)", req.Dataset)
 		return
@@ -395,6 +675,10 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, code, "%v", err)
 		return
 	}
+	if inject.Kind == faultinject.Error {
+		s.failInjected(w, http.StatusInternalServerError, "injected fault: error")
+		return
+	}
 	budget := req.Budget
 	if budget == 0 {
 		budget = s.cfg.DefaultBudget
@@ -412,12 +696,23 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
-	release := s.admit(w, ctx, ds)
+	release, state := s.admit(w, r, ctx, ds)
 	if release == nil {
 		return
 	}
+	if inject.Kind == faultinject.Starve {
+		// Hold the admission slot past the response: the slot-leak fault.
+		inner := release
+		hold := inject.Starve
+		release = func() {
+			go func() {
+				time.Sleep(hold)
+				inner()
+			}()
+		}
+	}
 	defer release()
-	rep, err := ds.eng.ExplainCtx(ctx, q, core.Options{
+	opts := core.Options{
 		Expected:      metrics.Interval{Lower: req.Lower, Upper: req.Upper},
 		MaxRewritings: req.MaxRewritings,
 		FineGrained:   req.FineGrained,
@@ -425,27 +720,59 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		Budget:        budget,
 		ResultSample:  resultSample,
 		Workers:       workers,
-	})
+	}
+	degraded := state == resilience.Degraded
+	var qbBudget, qbEps int
+	if degraded {
+		qbBudget, qbEps = degradeExplain(&opts, s.res.Degraded())
+	}
+	if inject.Kind == faultinject.Cancel {
+		// The kernel-layer fault: cancel the request context from inside the
+		// search, via the executor's pre-execution probe.
+		after := inject.CancelAfter
+		opts.Probe = func(executions int) {
+			if executions >= after {
+				cancel()
+			}
+		}
+	}
+	rep, err := ds.eng.ExplainCtx(ctx, q, opts)
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
-			s.failCtx(w, ctxErr)
+			if inject.Kind == faultinject.Cancel && r.Context().Err() == nil && s.drainCtx.Err() == nil {
+				s.failInjected(w, http.StatusServiceUnavailable, "injected fault: mid-search cancellation")
+				return
+			}
+			s.failCtx(w, r, ctxErr, false)
 			return
 		}
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	s.writeJSON(w, http.StatusOK, wire.FromReport(rep))
+	resp := wire.FromReport(rep)
+	if degraded {
+		s.degradedServed.Add(1)
+		resp.Degraded = true
+		resp.QualityBound = qualityBound(rep, qbBudget, qbEps)
+	}
+	s.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	s.reqTotal.Add(1)
 	s.reqMatch.Add(1)
+	started := time.Now()
+	defer func() { s.res.ObserveLatency("match", time.Since(started)) }()
+	inject := s.cfg.Injector.Decide("match", s.matchSeq.Add(1)-1)
+	if inject.Kind == faultinject.Latency {
+		time.Sleep(inject.Latency)
+	}
 	var req wire.MatchRequest
 	if code, err := decodeBody(w, r, &req); err != nil {
 		s.fail(w, code, "bad request body: %v", err)
 		return
 	}
-	ds, ok := s.datasets[req.Dataset]
+	ds, ok := s.lookup(req.Dataset)
 	if !ok {
 		s.fail(w, http.StatusNotFound, "unknown dataset %q (see /v1/datasets)", req.Dataset)
 		return
@@ -467,6 +794,10 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, code, "%v", err)
 		return
 	}
+	if inject.Kind == faultinject.Error {
+		s.failInjected(w, http.StatusInternalServerError, "injected fault: error")
+		return
+	}
 	countCap := req.CountCap
 	if countCap == 0 || countCap > s.cfg.MaxCountCap {
 		countCap = s.cfg.MaxCountCap
@@ -480,9 +811,19 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
-	release := s.admit(w, ctx, ds)
+	release, _ := s.admit(w, r, ctx, ds)
 	if release == nil {
 		return
+	}
+	if inject.Kind == faultinject.Starve {
+		inner := release
+		hold := inject.Starve
+		release = func() {
+			go func() {
+				time.Sleep(hold)
+				inner()
+			}()
+		}
 	}
 	// The matching engine has no in-flight cancellation hook (unlike the
 	// explanation searches), so the match runs on its own goroutine: the
@@ -509,6 +850,6 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	case resp := <-done:
 		s.writeJSON(w, http.StatusOK, resp)
 	case <-ctx.Done():
-		s.failCtx(w, ctx.Err())
+		s.failCtx(w, r, ctx.Err(), false)
 	}
 }

@@ -70,6 +70,12 @@ type MatchResponse struct {
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`
+	// Injected marks a fault-injected failure (whydbd -inject): load
+	// generators count it as explained rather than as a service defect.
+	Injected bool `json:"injected,omitempty"`
+	// RequestID echoes the X-Request-Id header for log correlation; set on
+	// recovered-panic responses.
+	RequestID string `json:"requestId,omitempty"`
 }
 
 // DatasetInfo describes one loaded dataset (GET /v1/datasets).
@@ -126,9 +132,51 @@ type DatasetStats struct {
 
 // StatsResponse answers GET /v1/stats.
 type StatsResponse struct {
-	UptimeMs int64                   `json:"uptimeMs"`
-	Requests ServerCounters          `json:"requests"`
-	Datasets map[string]DatasetStats `json:"datasets"`
+	UptimeMs   int64                   `json:"uptimeMs"`
+	Requests   ServerCounters          `json:"requests"`
+	Datasets   map[string]DatasetStats `json:"datasets"`
+	Resilience *ResilienceStats        `json:"resilience,omitempty"`
+}
+
+// ResilienceStats reports the brownout controller and overload counters
+// (GET /v1/stats, mirrored into the whyload summary).
+type ResilienceStats struct {
+	// State is the brownout state: "healthy", "degraded", or "shedding".
+	State string `json:"state"`
+	// Pressure is the last combined pressure sample (occupancy vs latency).
+	Pressure float64 `json:"pressure"`
+	// LatencyEWMAMs is the per-endpoint latency EWMA in milliseconds.
+	LatencyEWMAMs map[string]float64 `json:"latencyEwmaMs,omitempty"`
+	// Transitions counts entries into each brownout state.
+	Transitions map[string]int64 `json:"transitions,omitempty"`
+	// Shed counts requests answered 429 because the controller was shedding.
+	Shed int64 `json:"shed"`
+	// QueueFull counts requests answered 429 because the admission queue was
+	// at capacity.
+	QueueFull int64 `json:"queueFull"`
+	// ExpiredQueued counts requests answered 504 after waiting out the max
+	// queue time without getting a slot.
+	ExpiredQueued int64 `json:"expiredQueued"`
+	// ExpiredRunning counts requests answered 504 after their deadline fired
+	// while executing.
+	ExpiredRunning int64 `json:"expiredRunning"`
+	// DegradedServed counts explains answered in degraded (brownout) mode.
+	DegradedServed int64 `json:"degradedServed"`
+	// Panics counts handler panics recovered by the middleware.
+	Panics int64 `json:"panics"`
+	// Injected counts fault-injected failures (whydbd -inject).
+	Injected int64 `json:"injected"`
+	// QueueDepth and QueueCap describe the bounded admission queue.
+	QueueDepth int `json:"queueDepth"`
+	QueueCap   int `json:"queueCap"`
+}
+
+// ReadyResponse answers GET /readyz. Ready is false while datasets generate
+// at startup and during SIGTERM drain; load balancers should route on this,
+// not on /healthz (which answers as soon as the process serves).
+type ReadyResponse struct {
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
 }
 
 // ServerCounters are the daemon's request counters.

@@ -372,6 +372,25 @@ type Report struct {
 	Subgraph    *Subgraph   `json:"subgraph,omitempty"`
 	Rewritings  []Rewriting `json:"rewritings,omitempty"`
 	Trace       []int       `json:"trace,omitempty"`
+	// Degraded marks a brownout answer: the explain ran under a reduced
+	// budget with an ε-optimal early stop. Set by the serving layer, never by
+	// FromReport, so non-degraded responses are byte-identical with or
+	// without the resilience layer.
+	Degraded bool `json:"degraded,omitempty"`
+	// QualityBound is the achieved quality bound of a degraded answer.
+	QualityBound *QualityBound `json:"qualityBound,omitempty"`
+}
+
+// QualityBound states what a degraded explanation is still worth: the budget
+// it ran under, the ε it was allowed to stop at, the executions it actually
+// spent, and the best cardinality distance it reached (-1 when the search
+// recorded no candidate). A reader holding the bound knows the full-quality
+// answer is at most ε closer than BestDistance.
+type QualityBound struct {
+	Budget       int `json:"budget"`
+	Epsilon      int `json:"epsilon"`
+	Executed     int `json:"executed"`
+	BestDistance int `json:"bestDistance"`
 }
 
 // FromReport encodes an explanation report.
