@@ -8,10 +8,13 @@
 //	whydbd -addr 127.0.0.1:8091 -datasets ldbc -scale 0.5 -workers 4
 //	whydbd -addr :8080 -inject 'seed=42,latency=0.1:5ms,error=0.05'   # chaos drills
 //
-// Endpoints: POST /v1/explain, POST /v1/match, GET /v1/datasets,
-// GET /v1/stats, GET /healthz, GET /readyz. See the README's HTTP API and
-// "Operations & resilience" sections for request bodies, brownout states,
-// and fault-injection flags.
+// Endpoints: POST /v1/explain, POST /v1/explain/stream (SSE),
+// POST /v1/match, GET /v1/datasets, GET /v1/stats, GET /healthz,
+// GET /readyz. Every v1 response is the unified {requestId, data|error}
+// envelope; -compat-v0 restores the deprecated pre-envelope shapes for one
+// release. See the README's "API v1 reference" and "Operations & resilience"
+// sections for request bodies, error codes, brownout states, and
+// fault-injection flags.
 //
 // The listener opens before dataset generation starts: /healthz answers
 // immediately (the process is alive) while /readyz answers 503 until every
@@ -65,6 +68,7 @@ func main() {
 	enterHold := flag.Duration("brownout-enter-hold", 250*time.Millisecond, "how long pressure must hold above a threshold before stepping up")
 	exitHold := flag.Duration("brownout-exit-hold", 2*time.Second, "how long pressure must hold below a threshold before stepping down")
 	inject := flag.String("inject", "", "fault-injection spec, e.g. 'seed=42,latency=0.1:5ms,error=0.05,cancel=0.03:4,starve=0.02:20ms' (off by default)")
+	compatV0 := flag.Bool("compat-v0", false, "serve the deprecated pre-envelope response shapes alongside/instead of the v1 envelope (one deprecation release)")
 	flag.Parse()
 
 	// Validate dataset names before opening the listener: a typo should be
@@ -93,6 +97,7 @@ func main() {
 		MaxBudget:      *maxBudget,
 		QueueCap:       *queueCap,
 		MaxQueueWait:   *maxQueueWait,
+		CompatV0:       *compatV0,
 		Resilience: resilience.Config{
 			DegradeAt:     *degradeAt,
 			ShedAt:        *shedAt,

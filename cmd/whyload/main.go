@@ -7,23 +7,30 @@
 //
 //	whyload -addr http://127.0.0.1:8080 -mix mixed -concurrency 8 -duration 10s
 //	whyload -addr http://127.0.0.1:8091 -mix explain -requests 200 -out summary.json
+//	whyload -addr http://127.0.0.1:8091 -mix stream -requests 200 -out stream.json
 //	whyload -addr http://127.0.0.1:8092 -mix chaos -concurrency 16 -duration 60s
 //
 // The request corpus is derived from GET /v1/datasets: per dataset, every
 // built-in query yields a why-empty explain (its failing variant), a
 // bounded explain (why-so-many against a tight interval), a count match,
-// and a find match. -mix selects explain ops, match ops, or both; "chaos"
+// and a find match. -mix selects explain ops, match ops, or both; "stream"
+// replays the explain corpus through POST /v1/explain/stream (SSE) and
+// additionally reports anytime latency — time to first explanation (ttfeMs:
+// first `improvement` event) and time to converged (ttconvergedMs: the
+// `done` event) — the numbers that justify the streaming transport; "chaos"
 // replays the mixed corpus as an overload rehearsal — a saturating burst for
 // 60% of the run, then a single-worker trickle that lets the daemon's
 // brownout controller recover — and tolerates the daemon's documented
 // overload answers (shedding, expiry, injected faults) while still failing
 // on anything unexplained.
 //
-// Overload answers are retried: 429 and 503 back off exponentially with
-// jitter (honoring Retry-After) up to -retries attempts; exhausted retries
-// are counted (shedExhausted / injectedExhausted), not treated as transport
-// failures. Degraded explains (`degraded: true`) are counted and must carry
-// their quality bound.
+// Outcomes are classified by the v1 envelope's error code (shed, injected,
+// deadline_*, ...), falling back to HTTP status against pre-envelope
+// servers. Overload answers are retried: shed/draining (429/503) back off
+// exponentially with jitter (honoring Retry-After) up to -retries attempts;
+// exhausted retries are counted (shedExhausted / injectedExhausted), not
+// treated as transport failures. Degraded explains (`degraded: true`) are
+// counted and must carry their quality bound.
 //
 // whyload exits non-zero if any request failed hard (transport error,
 // malformed JSON, unexplained non-2xx, or a degraded explain missing its
@@ -32,6 +39,7 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -43,6 +51,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,8 +60,17 @@ import (
 )
 
 type job struct {
-	kind string // "explain" | "match"
+	kind string // "explain" | "match" | "stream"
 	body []byte
+}
+
+// path maps the job kind to its endpoint (the stream kind is an explain
+// body answered over SSE).
+func (j job) path() string {
+	if j.kind == "stream" {
+		return "/v1/explain/stream"
+	}
+	return "/v1/" + j.kind
 }
 
 // class is one request's final classification after retries.
@@ -77,7 +95,8 @@ const (
 	clsError
 )
 
-// sample is one job's outcome.
+// sample is one job's outcome. ttfe and ttconverged are stream-only anytime
+// latencies (zero when the stream produced no improvement / did not finish).
 type sample struct {
 	kind         string
 	lat          time.Duration
@@ -86,6 +105,8 @@ type sample struct {
 	retries      int
 	degraded     bool
 	missingBound bool
+	ttfe         time.Duration
+	ttconverged  time.Duration
 }
 
 // kindStats aggregates one request kind's outcomes.
@@ -98,6 +119,24 @@ type kindStats struct {
 	MaxMs     float64 `json:"maxMs"`
 	MeanMs    float64 `json:"meanMs"`
 	latencies []time.Duration
+}
+
+// latQuantiles summarizes one anytime-latency distribution (stream mix).
+type latQuantiles struct {
+	P50Ms float64 `json:"p50Ms"`
+	P95Ms float64 `json:"p95Ms"`
+	P99Ms float64 `json:"p99Ms"`
+	MaxMs float64 `json:"maxMs"`
+	Count int     `json:"count"`
+}
+
+func quantiles(lats []time.Duration) *latQuantiles {
+	if len(lats) == 0 {
+		return nil
+	}
+	q := &latQuantiles{Count: len(lats)}
+	q.P50Ms, q.P95Ms, q.P99Ms, q.MaxMs = percentiles(lats)
+	return q
 }
 
 // summary is the machine-readable run report (-out, uploaded as a CI
@@ -131,6 +170,11 @@ type summary struct {
 	Unexplained5xx       int `json:"unexplained5xx"`
 	CorpusSkipped        int `json:"corpusSkipped"`
 
+	// Anytime latency of the stream mix: time from request start to the
+	// first improvement event (TTFE) and to the done event (converged).
+	TTFEMs        *latQuantiles `json:"ttfeMs,omitempty"`
+	TTConvergedMs *latQuantiles `json:"ttconvergedMs,omitempty"`
+
 	Kernel     map[string]map[string]wire.KernelCounters `json:"kernel,omitempty"`
 	Resilience *wire.ResilienceStats                     `json:"resilience,omitempty"`
 }
@@ -163,7 +207,7 @@ func (p *retryPolicy) sleep(attempt int, retryAfter time.Duration) {
 
 func main() {
 	addr := flag.String("addr", "http://127.0.0.1:8080", "whydbd base URL")
-	mix := flag.String("mix", "mixed", "request mix: explain, match, mixed, or chaos")
+	mix := flag.String("mix", "mixed", "request mix: explain, match, mixed, stream, or chaos")
 	concurrency := flag.Int("concurrency", 8, "concurrent request workers")
 	requests := flag.Int("requests", 0, "total requests to send (0 = run for -duration)")
 	duration := flag.Duration("duration", 10*time.Second, "run length when -requests is 0")
@@ -177,8 +221,10 @@ func main() {
 	allowErrors := flag.Bool("allow-errors", false, "exit 0 even when requests failed")
 	flag.Parse()
 	chaos := *mix == "chaos"
-	if *mix != "explain" && *mix != "match" && *mix != "mixed" && !chaos {
-		fmt.Fprintf(os.Stderr, "unknown mix %q (want explain, match, mixed, or chaos)\n", *mix)
+	switch *mix {
+	case "explain", "match", "mixed", "stream", "chaos":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mix %q (want explain, match, mixed, stream, or chaos)\n", *mix)
 		os.Exit(2)
 	}
 	if *concurrency < 1 {
@@ -256,7 +302,7 @@ func main() {
 		CorpusSkipped: skipped,
 		Retries:       int(totalRetries.Load()),
 	}
-	var all []time.Duration
+	var all, ttfes, ttconvs []time.Duration
 	var mean time.Duration
 	for _, ws := range perWorker {
 		for _, s := range ws {
@@ -291,10 +337,17 @@ func main() {
 				all = append(all, s.lat)
 				mean += s.lat
 				ks.latencies = append(ks.latencies, s.lat)
+				if s.ttfe > 0 {
+					ttfes = append(ttfes, s.ttfe)
+				}
+				if s.ttconverged > 0 {
+					ttconvs = append(ttconvs, s.ttconverged)
+				}
 			}
 			sum.PerKind[s.kind] = ks
 		}
 	}
+	sum.TTFEMs, sum.TTConvergedMs = quantiles(ttfes), quantiles(ttconvs)
 	sum.RPS = float64(sum.Requests) / elapsed.Seconds()
 	sum.P50Ms, sum.P95Ms, sum.P99Ms, sum.MaxMs = percentiles(all)
 	if len(all) > 0 {
@@ -328,6 +381,13 @@ func main() {
 		ks := sum.PerKind[kind]
 		fmt.Printf("  %-8s %5d requests, %d errors, p50=%.2f p95=%.2f p99=%.2f max=%.2f\n",
 			kind, ks.Requests, ks.Errors, ks.P50Ms, ks.P95Ms, ks.P99Ms, ks.MaxMs)
+	}
+	if q := sum.TTFEMs; q != nil {
+		fmt.Printf("  anytime ms: ttfe p50=%.2f p99=%.2f max=%.2f (%d streams)", q.P50Ms, q.P99Ms, q.MaxMs, q.Count)
+		if c := sum.TTConvergedMs; c != nil {
+			fmt.Printf(", converged p50=%.2f p99=%.2f", c.P50Ms, c.P99Ms)
+		}
+		fmt.Println()
 	}
 	if sum.Retries+sum.Degraded+sum.Injected+sum.Expired+sum.ShedExhausted+sum.InjectedExhausted+sum.CorpusSkipped > 0 {
 		fmt.Printf("  overload: %d retries, %d degraded (%d missing bound), %d injected (%d exhausted), %d expired, %d shed-exhausted, %d corpus-skipped\n",
@@ -376,15 +436,50 @@ func normalize(c class, chaos bool) class {
 	}
 }
 
-// result is one HTTP attempt's parsed outcome.
+// result is one HTTP attempt's parsed outcome. code is the envelope's
+// structured error code when the server sent one; empty against pre-envelope
+// servers, where the classifier falls back to the HTTP status.
 type result struct {
 	status       int
+	code         wire.ErrorCode
 	transport    bool // transport or read failure
 	badJSON      bool
 	injected     bool
+	streamDead   bool // SSE error event or truncated stream: don't retry
 	degraded     bool
 	missingBound bool
 	retryAfter   time.Duration
+	ttfe         time.Duration
+	ttconverged  time.Duration
+}
+
+// retriable reports whether this attempt is a documented overload answer the
+// policy should back off and retry: by code shed/draining (and injected
+// faults surfacing as 503), by status 429/503 against pre-envelope servers.
+func (res result) retriable() bool {
+	if res.streamDead {
+		return false
+	}
+	switch res.code {
+	case wire.CodeShed, wire.CodeDraining:
+		return true
+	case wire.CodeInjected:
+		return res.status == http.StatusServiceUnavailable
+	case "":
+		return res.status == http.StatusTooManyRequests || res.status == http.StatusServiceUnavailable
+	}
+	return false
+}
+
+// expired reports a request that ran out of time queued or running.
+func (res result) expired() bool {
+	switch res.code {
+	case wire.CodeDeadlineQueued, wire.CodeDeadlineRunning:
+		return true
+	case "":
+		return res.status == http.StatusGatewayTimeout
+	}
+	return false
 }
 
 // doJob runs one job to completion, retrying overload answers under the
@@ -394,7 +489,12 @@ func doJob(client *http.Client, addr string, j job, policy *retryPolicy) sample 
 	t0 := time.Now()
 	s := sample{kind: j.kind}
 	for attempt := 0; ; attempt++ {
-		res := send(client, addr+"/v1/"+j.kind, j.body)
+		var res result
+		if j.kind == "stream" {
+			res = sendStream(client, addr+j.path(), j.body)
+		} else {
+			res = send(client, addr+j.path(), j.body)
+		}
 		s.lat = time.Since(t0)
 		s.status = res.status
 		s.degraded = s.degraded || res.degraded
@@ -403,16 +503,16 @@ func doJob(client *http.Client, addr string, j job, policy *retryPolicy) sample 
 		case res.transport || res.badJSON:
 			s.class = clsError
 			return s
-		case res.status >= 200 && res.status < 300:
+		case res.status >= 200 && res.status < 300 && !res.streamDead:
 			s.class = clsOK
+			s.ttfe, s.ttconverged = res.ttfe, res.ttconverged
 			if res.missingBound {
 				// A degraded explain without its quality bound is a contract
 				// violation, not an overload answer.
 				s.class = clsError
 			}
 			return s
-		case res.status == http.StatusTooManyRequests,
-			res.status == http.StatusServiceUnavailable:
+		case res.retriable():
 			if attempt >= policy.max {
 				if res.injected {
 					s.class = clsInjectedExhausted
@@ -423,7 +523,7 @@ func doJob(client *http.Client, addr string, j job, policy *retryPolicy) sample 
 				return s
 			}
 			policy.sleep(attempt, res.retryAfter)
-		case res.status == http.StatusGatewayTimeout:
+		case res.expired():
 			s.class = clsExpired
 			return s
 		case res.injected:
@@ -433,6 +533,40 @@ func doJob(client *http.Client, addr string, j job, policy *retryPolicy) sample 
 			s.class = clsError
 			return s
 		}
+	}
+}
+
+// parseError extracts the classifier's fields from a non-2xx (or SSE error
+// event) body: the v1 envelope's structured error first, the legacy
+// top-level shape as the fallback for pre-envelope servers.
+func (res *result) parseError(blob []byte) {
+	var env wire.Envelope
+	if json.Unmarshal(blob, &env) == nil && env.Error != nil {
+		res.code = env.Error.Code
+		res.injected = env.Error.Injected
+		if res.retryAfter == 0 && env.Error.RetryAfterMs > 0 {
+			res.retryAfter = time.Duration(env.Error.RetryAfterMs) * time.Millisecond
+		}
+		return
+	}
+	var er wire.ErrorResponse
+	if json.Unmarshal(blob, &er) == nil {
+		res.injected = er.Injected
+	}
+}
+
+// parseReport checks a 2xx explain/match body for degradation markers. The
+// body may be enveloped ({data: {...}}), spliced (-compat-v0), or bare
+// (pre-envelope server, stream done event) — decodeBody handles all three;
+// a match body simply decodes with both fields absent.
+func (res *result) parseReport(blob []byte) {
+	var rep struct {
+		Degraded     bool               `json:"degraded"`
+		QualityBound *wire.QualityBound `json:"qualityBound"`
+	}
+	if decodeBody(blob, &rep) == nil && rep.Degraded {
+		res.degraded = true
+		res.missingBound = rep.QualityBound == nil
 	}
 }
 
@@ -448,33 +582,108 @@ func send(client *http.Client, url string, body []byte) result {
 		return result{transport: true}
 	}
 	res := result{status: resp.StatusCode}
-	if ra := resp.Header.Get("Retry-After"); ra != "" {
-		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
-			res.retryAfter = time.Duration(secs) * time.Second
-		}
-	}
+	res.readRetryAfter(resp)
 	if !json.Valid(blob) {
 		res.badJSON = true
 		return res
 	}
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
-		// Only explains carry degradation markers; a match body simply
-		// decodes with both fields absent.
-		var rep struct {
-			Degraded     bool               `json:"degraded"`
-			QualityBound *wire.QualityBound `json:"qualityBound"`
+		res.parseReport(blob)
+		return res
+	}
+	res.parseError(blob)
+	return res
+}
+
+func (res *result) readRetryAfter(resp *http.Response) {
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+			res.retryAfter = time.Duration(secs) * time.Second
 		}
-		if json.Unmarshal(blob, &rep) == nil && rep.Degraded {
-			res.degraded = true
-			res.missingBound = rep.QualityBound == nil
+	}
+}
+
+// sendStream posts one explain to /v1/explain/stream and consumes the SSE
+// stream, recording the anytime latencies: ttfe at the first `improvement`
+// event, ttconverged at the `done` event. A pre-stream refusal (shedding,
+// bad spec, queued-out deadline) answers plain JSON and is classified like
+// any explain attempt; a mid-stream `error` event carries the envelope's
+// error shape and is terminal — the stream already consumed the budget, so
+// it is never retried.
+func sendStream(client *http.Client, url string, body []byte) result {
+	t0 := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return result{transport: true}
+	}
+	defer resp.Body.Close()
+	res := result{status: resp.StatusCode}
+	res.readRetryAfter(resp)
+	if !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		// Refused before the stream opened: a plain JSON answer.
+		blob, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return result{transport: true}
+		}
+		if !json.Valid(blob) {
+			res.badJSON = true
+			return res
+		}
+		if res.status >= 200 && res.status < 300 {
+			res.parseReport(blob)
+		} else {
+			res.parseError(blob)
 		}
 		return res
 	}
-	var er wire.ErrorResponse
-	if json.Unmarshal(blob, &er) == nil {
-		res.injected = er.Injected
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	event := ""
+	done := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := []byte(strings.TrimPrefix(line, "data: "))
+			switch event {
+			case "improvement":
+				if res.ttfe == 0 {
+					res.ttfe = time.Since(t0)
+				}
+				if !json.Valid(data) {
+					res.badJSON = true
+				}
+			case "done":
+				res.ttconverged = time.Since(t0)
+				done = true
+				res.parseReport(data)
+			case "error":
+				res.streamDead = true
+				res.parseError(data)
+			}
+		}
+	}
+	if sc.Err() != nil {
+		return result{transport: true}
+	}
+	if !done && !res.streamDead {
+		// The stream ended without a done or error event: truncated.
+		res.transport = true
 	}
 	return res
+}
+
+// decodeBody unwraps a v1 envelope's data field into v, falling back to
+// decoding the body as the bare legacy shape — so whyload works against
+// enveloped, -compat-v0 (spliced), and pre-envelope servers alike.
+func decodeBody(blob []byte, v any) error {
+	var env wire.Envelope
+	if json.Unmarshal(blob, &env) == nil && len(env.Data) > 0 {
+		return json.Unmarshal(env.Data, v)
+	}
+	return json.Unmarshal(blob, v)
 }
 
 // fetchStats reads the daemon's post-run stats. A stats failure never fails
@@ -491,8 +700,13 @@ func fetchStats(client *http.Client, addr string) *wire.StatsResponse {
 		fmt.Fprintf(os.Stderr, "whyload: reading /v1/stats: %s\n", resp.Status)
 		return nil
 	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "whyload: reading /v1/stats: %v\n", err)
+		return nil
+	}
 	var stats wire.StatsResponse
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+	if err := decodeBody(blob, &stats); err != nil {
 		fmt.Fprintf(os.Stderr, "whyload: decoding /v1/stats: %v\n", err)
 		return nil
 	}
@@ -520,8 +734,12 @@ func buildJobs(client *http.Client, addr, mix string, budget int) ([]job, int, e
 	if resp.StatusCode != http.StatusOK {
 		return nil, 0, fmt.Errorf("discovering datasets: %s", resp.Status)
 	}
+	listing, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("reading dataset listing: %w", err)
+	}
 	var infos []wire.DatasetInfo
-	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+	if err := decodeBody(listing, &infos); err != nil {
 		return nil, 0, fmt.Errorf("decoding dataset listing: %w", err)
 	}
 	var jobs []job
@@ -535,17 +753,22 @@ func buildJobs(client *http.Client, addr, mix string, budget int) ([]job, int, e
 		}
 		jobs = append(jobs, job{kind: kind, body: blob})
 	}
+	// The stream mix replays the explain corpus over SSE.
+	explainKind := "explain"
+	if mix == "stream" {
+		explainKind = "stream"
+	}
 	for _, info := range infos {
 		for _, builtin := range info.Builtins {
 			if mix != "match" {
-				add("explain", wire.ExplainRequest{
+				add(explainKind, wire.ExplainRequest{
 					Dataset: info.Name, Builtin: builtin, Failing: true, Lower: 1, Budget: budget,
 				})
-				add("explain", wire.ExplainRequest{
+				add(explainKind, wire.ExplainRequest{
 					Dataset: info.Name, Builtin: builtin, Lower: 1, Upper: 3, Budget: budget,
 				})
 			}
-			if mix != "explain" {
+			if mix == "match" || mix == "mixed" {
 				add("match", wire.MatchRequest{
 					Dataset: info.Name, Builtin: builtin,
 				})

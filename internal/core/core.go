@@ -152,6 +152,39 @@ type Options struct {
 	// Control.Probe: it runs before each candidate execution with the
 	// execution count — whydbd's fault-injection hook.
 	Probe func(executions int)
+	// OnImprovement, when non-nil, is invoked on the calling goroutine each
+	// time an explanation family's incumbent strictly improves — the anytime
+	// hook behind whydbd's /v1/explain/stream. The callback sequence is fired
+	// from the kernel's deterministic sequential progress, so it is identical
+	// at any Workers setting. Distances are monotone non-increasing within
+	// one Family; families use different distance currencies and must not be
+	// compared.
+	OnImprovement func(Improvement)
+}
+
+// Improvement is one anytime-search progress report: a new incumbent
+// explanation plus the quality bound at the moment it was found.
+type Improvement struct {
+	// Family names the explanation search that improved: "mcs", "relax", or
+	// "modtree".
+	Family string
+	// Query is the incumbent: the rewritten query (relax/modtree, with Ops
+	// the modification sequence) or the maximal common subquery so far (mcs,
+	// Ops nil).
+	Query *query.Query
+	// Ops is the modification sequence from the original query (nil for mcs).
+	Ops []query.Op
+	// Cardinality is the incumbent's (possibly capped) result size.
+	Cardinality int
+	// Distance is the incumbent's cardinality distance to the expected
+	// interval — the monotone non-increasing quality bound.
+	Distance int
+	// Syntactic is the incumbent's syntactic distance to the original query.
+	Syntactic float64
+	// Executed counts the family's candidate executions so far; Remaining is
+	// what is left of its execution budget.
+	Executed  int
+	Remaining int
 }
 
 func (o *Options) fill() {
@@ -254,13 +287,33 @@ func (e *Engine) ExplainCtx(ctx context.Context, q *query.Query, opts Options) (
 	if workers <= 0 {
 		workers = e.workers
 	}
+	// improve adapts the kernel's per-family improvement callback to the
+	// engine-level Improvement, stamping the family and its budget arithmetic.
+	improve := func(family string) func(search.Progress, search.Candidate) {
+		if opts.OnImprovement == nil {
+			return nil
+		}
+		return func(p search.Progress, c search.Candidate) {
+			opts.OnImprovement(Improvement{
+				Family:      family,
+				Query:       c.Query,
+				Ops:         c.Ops,
+				Cardinality: c.Cardinality,
+				Distance:    c.Distance,
+				Syntactic:   metrics.SyntacticDistance(q, c.Query),
+				Executed:    p.Executions,
+				Remaining:   opts.Budget - p.Executions,
+			})
+		}
+	}
 	sub := mcs.BoundedMCS(e.m, e.st, q, opts.Expected, mcs.Options{
 		Control: search.Control{
-			MaxExecuted: opts.Budget,
-			Workers:     workers,
-			Ctx:         ctx,
-			Metrics:     &e.kMCS,
-			Probe:       opts.Probe,
+			MaxExecuted:   opts.Budget,
+			Workers:       workers,
+			Ctx:           ctx,
+			Metrics:       &e.kMCS,
+			Probe:         opts.Probe,
+			OnImprovement: improve("mcs"),
 		},
 		UseWCC:      true,
 		EdgeWeights: opts.EdgeWeights,
@@ -289,12 +342,13 @@ func (e *Engine) ExplainCtx(ctx context.Context, q *query.Query, opts Options) (
 		}
 		res := st.mt.TraverseSearchTree(q, modtree.Options{
 			Control: search.Control{
-				MaxExecuted: opts.Budget,
-				Workers:     workers,
-				Ctx:         ctx,
-				Metrics:     &e.kModtree,
-				Stop:        stop,
-				Probe:       opts.Probe,
+				MaxExecuted:   opts.Budget,
+				Workers:       workers,
+				Ctx:           ctx,
+				Metrics:       &e.kModtree,
+				Stop:          stop,
+				Probe:         opts.Probe,
+				OnImprovement: improve("modtree"),
 			},
 			Goal:          opts.Expected,
 			AllowTopology: opts.AllowTopology,
@@ -312,11 +366,12 @@ func (e *Engine) ExplainCtx(ctx context.Context, q *query.Query, opts Options) (
 	} else {
 		out := st.rw.Rewrite(q, relax.Options{
 			Control: search.Control{
-				MaxExecuted: opts.Budget,
-				Workers:     workers,
-				Ctx:         ctx,
-				Metrics:     &e.kRelax,
-				Probe:       opts.Probe,
+				MaxExecuted:   opts.Budget,
+				Workers:       workers,
+				Ctx:           ctx,
+				Metrics:       &e.kRelax,
+				Probe:         opts.Probe,
+				OnImprovement: improve("relax"),
 			},
 			Goal:          opts.Expected,
 			MaxSolutions:  opts.MaxRewritings,

@@ -132,7 +132,7 @@ func BoundedMCS(m *match.Matcher, st *stats.Collector, q *query.Query, bounds me
 	ex := search.NewExecutor(m)
 	ex.Begin(opts.Control)
 	defer ex.End()
-	r := &runner{m: m, st: st, q: q, bounds: bounds, opts: opts, ex: ex}
+	r := &runner{m: m, st: st, q: q, bounds: bounds, opts: opts, ex: ex, fired: &firedFloor{}}
 	if opts.UseWCC {
 		return r.runPerComponent()
 	}
@@ -150,12 +150,25 @@ type runner struct {
 	// visited-state dedup, cancellation, and speculative frontier probes.
 	ex *search.Executor
 
+	// fired is the improvement-callback floor, shared across the fresh
+	// per-component sub-runners of runPerComponent so the distances handed to
+	// OnImprovement stay monotone non-increasing for the whole run even
+	// though each component restarts its incumbent.
+	fired *firedFloor
+
 	hasBest       bool
 	bestEdges     []int
 	bestIsolated  []int
 	bestCard      int
 	bestSatisfied bool
 	bestDist      int
+}
+
+// firedFloor is the smallest cardinality distance reported through the
+// improvement callback so far.
+type firedFloor struct {
+	has  bool
+	dist int
 }
 
 // countCap limits result enumeration per execution ("bounded" evaluation):
@@ -218,6 +231,10 @@ func (r *runner) record(edges, isolated []int, card int) {
 		r.bestCard = card
 		r.bestSatisfied = satisfied
 		r.bestDist = dist
+		if r.ex.Improving() && (!r.fired.has || dist <= r.fired.dist) {
+			r.fired.has, r.fired.dist = true, dist
+			r.ex.Improved(search.Candidate{Query: r.q.Subquery(edges, isolated), Cardinality: card, Distance: dist})
+		}
 	}
 }
 
@@ -297,7 +314,7 @@ func (r *runner) runPerComponent() Explanation {
 	for _, comp := range comps {
 		edges, iso := componentEdges(r.q, comp)
 		okIso := r.filterIsolated(iso)
-		sub := &runner{m: r.m, st: r.st, q: r.q, bounds: r.bounds, opts: r.opts, ex: r.ex}
+		sub := &runner{m: r.m, st: r.st, q: r.q, bounds: r.bounds, opts: r.opts, ex: r.ex, fired: r.fired}
 		r.ex.ResetDedup() // component states are disjoint; leftover probes are waste
 		sub.grow(edges, okIso)
 		mergedEdges = append(mergedEdges, sub.bestEdges...)

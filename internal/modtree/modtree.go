@@ -270,6 +270,7 @@ func (s *Searcher) TraverseSearchTree(q *query.Query, opts Options) (res Result)
 			}
 			if better(child, &res.Best) {
 				res.Best = *child
+				ex.Improved(search.Candidate{Query: child.Query, Ops: child.Ops, Cardinality: child.Cardinality, Distance: child.Distance})
 			}
 			ex.Record(res.Best.Distance)
 			if opts.Goal.Contains(child.Cardinality) {
@@ -551,6 +552,7 @@ func (s *Searcher) Exhaustive(q *query.Query, opts Options) (res Result) {
 			child.Syntactic = metrics.SyntacticDistance(q, child.Query)
 			if better(child, &res.Best) {
 				res.Best = *child
+				ex.Improved(search.Candidate{Query: child.Query, Ops: child.Ops, Cardinality: child.Cardinality, Distance: child.Distance})
 			}
 			ex.Record(res.Best.Distance)
 			if opts.Goal.Contains(child.Cardinality) {
@@ -623,6 +625,7 @@ func (s *Searcher) RandomWalk(q *query.Query, opts Options, seed int64) (res Res
 			}
 			if better(&node, &res.Best) {
 				res.Best = node
+				ex.Improved(search.Candidate{Query: node.Query, Ops: node.Ops, Cardinality: node.Cardinality, Distance: node.Distance})
 			}
 			ex.Record(res.Best.Distance)
 			if opts.Goal.Contains(card) {

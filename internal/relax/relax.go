@@ -214,6 +214,12 @@ func (r *Rewriter) Rewrite(q *query.Query, opts Options) Outcome {
 	var children []childCand
 	var scores []float64
 
+	// Anytime incumbent: the executed rewriting closest to the goal so far,
+	// ordered by (goal distance, syntactic distance). The first executed
+	// relaxation always improves on the empty incumbent, so streaming
+	// consumers get a first explanation after one rewritten execution.
+	bestDist, bestSyn, haveBest := 0, 0.0, false
+
 	for pq.Len() > 0 && !ex.Stopped() && len(out.Solutions) < opts.MaxSolutions {
 		search.SpeculateTop(ex, pq, (*Candidate).key, specEval)
 		c, _ := pq.Pop()
@@ -231,6 +237,12 @@ func (r *Rewriter) Rewrite(q *query.Query, opts Options) Outcome {
 		ex.Record(card)
 		c.Cardinality = card
 		c.Syntactic = metrics.SyntacticDistance(q, c.Query)
+		if len(c.Ops) > 0 {
+			if dist := opts.Goal.Distance(card); !haveBest || dist < bestDist || (dist == bestDist && c.Syntactic < bestSyn) {
+				bestDist, bestSyn, haveBest = dist, c.Syntactic, true
+				ex.Improved(search.Candidate{Query: c.Query, Ops: c.Ops, Cardinality: card, Distance: dist})
+			}
+		}
 		if opts.Goal.Contains(card) && len(c.Ops) > 0 {
 			out.Solutions = append(out.Solutions, *c)
 			continue // goal reached on this branch

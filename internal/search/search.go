@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/match"
 	"repro/internal/parallel"
+	"repro/internal/query"
 )
 
 // Control is the shared option block embedded by relax.Options,
@@ -72,6 +73,26 @@ type Control struct {
 	// probe that cancels Ctx stops the search before the next execution,
 	// exactly like a client cancellation.
 	Probe func(executions int)
+	// OnImprovement, when non-nil, is invoked from the deterministic
+	// sequential loop each time the strategy's incumbent explanation strictly
+	// improves, with the run's Progress and the new incumbent. Because only
+	// the sequential loop fires it (speculation merely precomputes values),
+	// the callback sequence is byte-identical at any worker count. It runs on
+	// the search goroutine; a slow callback stalls the search.
+	OnImprovement func(Progress, Candidate)
+}
+
+// Candidate is an incumbent-explanation snapshot handed to
+// Control.OnImprovement: the improved candidate in the strategy's own
+// currency. Query is the rewritten query (relax/modtree) or the maximal
+// common subquery so far (mcs, with Ops nil); Distance is the strategy's
+// cardinality distance to the goal, monotone non-increasing across the
+// callbacks of one run.
+type Candidate struct {
+	Query       *query.Query
+	Ops         []query.Op
+	Cardinality int
+	Distance    int
 }
 
 // Progress is the run-state snapshot handed to Control.Stop: how many
@@ -339,6 +360,21 @@ func (e *Executor) Record(v int) {
 // Trace returns the run's trace. The slice is owned by the executor's
 // reusable scratch: it stays valid until the next Begin.
 func (e *Executor) Trace() []int { return e.trace }
+
+// Improving reports whether an improvement callback is armed, so strategies
+// can skip building candidate snapshots nobody will observe.
+func (e *Executor) Improving() bool { return e.ctrl.OnImprovement != nil }
+
+// Improved fires Control.OnImprovement with the run's Progress and the new
+// incumbent. Strategies call it from the sequential loop only, immediately
+// after the incumbent strictly improves, so the callback sequence is
+// deterministic and independent of the worker count. No-op without a
+// callback.
+func (e *Executor) Improved(c Candidate) {
+	if e.ctrl.OnImprovement != nil {
+		e.ctrl.OnImprovement(e.Progress(), c)
+	}
+}
 
 // ResetDedup clears the executed/visited keys mid-run while keeping budget,
 // counters, trace, and pools: mcs solves each weakly connected component

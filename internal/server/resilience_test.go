@@ -87,10 +87,7 @@ func TestDegradedExplainDifferential(t *testing.T) {
 		if rec.Code != http.StatusOK {
 			t.Fatalf("%s: degraded explain = %d: %s", tc.name, rec.Code, rec.Body)
 		}
-		var got wire.Report
-		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
-			t.Fatal(err)
-		}
+		got := decodeData[wire.Report](t, rec)
 		if !got.Degraded || got.QualityBound == nil {
 			t.Fatalf("%s: degraded response lacks marker or bound: degraded=%v bound=%+v",
 				tc.name, got.Degraded, got.QualityBound)
@@ -119,7 +116,7 @@ func TestDegradedExplainDifferential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if gotBytes := bytes.TrimRight(rec.Body.Bytes(), "\n"); !bytes.Equal(gotBytes, wantBytes) {
+		if gotBytes := dataBytes(t, rec); !bytes.Equal(gotBytes, wantBytes) {
 			t.Fatalf("%s: degraded response differs from clamped sequential run:\nserver %s\ndirect %s",
 				tc.name, gotBytes, wantBytes)
 		}
@@ -175,12 +172,15 @@ func TestSheddingAnswers429(t *testing.T) {
 		if rec.Header().Get("Retry-After") == "" {
 			t.Fatalf("%s: shed response missing Retry-After", ep.path)
 		}
+		if er := decodeError(t, rec); er.Code != wire.CodeShed || !er.Retryable || er.RetryAfterMs == 0 {
+			t.Fatalf("%s: shed error = %+v, want retryable code shed", ep.path, er)
+		}
 	}
 	if s.shed.Load() != 2 {
 		t.Fatalf("shed counter = %d, want 2", s.shed.Load())
 	}
 	rec := do(t, h, "GET", "/v1/stats", nil)
-	st := decode[wire.StatsResponse](t, rec)
+	st := decodeData[wire.StatsResponse](t, rec)
 	if st.Resilience == nil || st.Resilience.State != "shedding" || st.Resilience.Shed != 2 {
 		t.Fatalf("stats resilience block = %+v", st.Resilience)
 	}
@@ -241,7 +241,7 @@ func TestQueueFullAnswers429(t *testing.T) {
 	if rec.Header().Get("Retry-After") == "" {
 		t.Fatal("queue-full response missing Retry-After")
 	}
-	if !strings.Contains(decode[wire.ErrorResponse](t, rec).Error, "queue full") {
+	if er := decodeError(t, rec); !strings.Contains(er.Message, "queue full") || er.Code != wire.CodeShed {
 		t.Fatalf("queue-full error body: %s", rec.Body)
 	}
 	if s.queueFull.Load() == 0 || s.expiredQueued.Load() != 0 {
@@ -297,15 +297,15 @@ func TestPanicRecovery(t *testing.T) {
 	if rec.Code != http.StatusInternalServerError {
 		t.Fatalf("panicking handler = %d, want 500", rec.Code)
 	}
-	er := decode[wire.ErrorResponse](t, rec)
-	if er.RequestID == "" || rec.Header().Get("X-Request-Id") != er.RequestID {
-		t.Fatalf("panic response id mismatch: body=%q header=%q", er.RequestID, rec.Header().Get("X-Request-Id"))
+	// envelope checks the requestId/header echo; the code must be internal.
+	if er := decodeError(t, rec); er.Code != wire.CodeInternal {
+		t.Fatalf("panic error code = %q, want internal: %s", er.Code, rec.Body)
 	}
 	if s.panics.Load() != 1 {
 		t.Fatalf("panics counter = %d, want 1", s.panics.Load())
 	}
 	// The counter feeds /v1/stats (the chaos gate fails on panics > 0).
-	st := decode[wire.StatsResponse](t, do(t, s.Handler(), "GET", "/v1/stats", nil))
+	st := decodeData[wire.StatsResponse](t, do(t, s.Handler(), "GET", "/v1/stats", nil))
 	if st.Resilience == nil || st.Resilience.Panics != 1 {
 		t.Fatalf("stats resilience = %+v", st.Resilience)
 	}
@@ -333,7 +333,7 @@ func TestInjectedErrorServerLayer(t *testing.T) {
 		if rec.Code != http.StatusInternalServerError {
 			t.Fatalf("%s with injected error = %d: %s", ep.path, rec.Code, rec.Body)
 		}
-		if er := decode[wire.ErrorResponse](t, rec); !er.Injected {
+		if er := decodeError(t, rec); !er.Injected || er.Code != wire.CodeInjected {
 			t.Fatalf("%s: injected error not marked: %s", ep.path, rec.Body)
 		}
 	}
@@ -387,7 +387,7 @@ func TestInjectedCancelKernelLayer(t *testing.T) {
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("explain with kernel cancel = %d: %s", rec.Code, rec.Body)
 	}
-	if er := decode[wire.ErrorResponse](t, rec); !er.Injected {
+	if er := decodeError(t, rec); !er.Injected || er.Code != wire.CodeInjected || !er.Retryable {
 		t.Fatalf("kernel cancel not marked injected: %s", rec.Body)
 	}
 	// The 5M-budget search must have died after ~4 executions, not run out.
@@ -483,12 +483,12 @@ func TestGracefulShutdownUnderLoad(t *testing.T) {
 		if out.code != http.StatusServiceUnavailable {
 			t.Fatalf("in-flight request %d = %d: %s", i, out.code, out.body)
 		}
-		var er wire.ErrorResponse
-		if err := json.Unmarshal(out.body, &er); err != nil {
+		var env wire.Envelope
+		if err := json.Unmarshal(out.body, &env); err != nil {
 			t.Fatalf("in-flight request %d body not valid JSON: %q", i, out.body)
 		}
-		if !strings.Contains(er.Error, "draining") {
-			t.Fatalf("in-flight request %d error = %q, want a drain answer", i, er.Error)
+		if env.Error == nil || env.Error.Code != wire.CodeDraining || !env.Error.Retryable {
+			t.Fatalf("in-flight request %d error = %+v, want a retryable drain answer", i, env.Error)
 		}
 	}
 }
@@ -497,7 +497,7 @@ func TestGracefulShutdownUnderLoad(t *testing.T) {
 // each dataset's admission capacity.
 func TestStatsQueueShape(t *testing.T) {
 	s := newTestServer(t, Config{})
-	st := decode[wire.StatsResponse](t, do(t, s.Handler(), "GET", "/v1/stats", nil))
+	st := decodeData[wire.StatsResponse](t, do(t, s.Handler(), "GET", "/v1/stats", nil))
 	if st.Resilience == nil {
 		t.Fatal("stats missing resilience block")
 	}

@@ -102,6 +102,14 @@ type Config struct {
 	Resilience resilience.Config
 	// Injector, when non-nil, injects deterministic faults (whydbd -inject).
 	Injector *faultinject.Injector
+	// CompatV0, for one deprecation release (whydbd -compat-v0), splices the
+	// legacy pre-envelope top-level fields back into v1 responses: success
+	// objects carry their data fields at the top level alongside the
+	// envelope, /v1/datasets answers the legacy bare array, and error
+	// responses revert to the v0 {error, injected, requestId} shape (the
+	// structured error object cannot coexist with the legacy string under
+	// the same "error" key).
+	CompatV0 bool
 }
 
 func (c *Config) fill() {
@@ -169,6 +177,7 @@ type Server struct {
 
 	reqTotal     atomic.Int64
 	reqExplain   atomic.Int64
+	reqStream    atomic.Int64
 	reqMatch     atomic.Int64
 	reqErrors    atomic.Int64
 	reqCancelled atomic.Int64
@@ -183,6 +192,7 @@ type Server struct {
 
 	reqSeq     atomic.Uint64 // request ids
 	explainSeq atomic.Uint64 // fault-injection draw sequence per site
+	streamSeq  atomic.Uint64
 	matchSeq   atomic.Uint64
 }
 
@@ -271,19 +281,54 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/datasets", s.handleDatasets)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	mux.HandleFunc("POST /v1/explain/stream", s.handleExplainStream)
 	mux.HandleFunc("POST /v1/match", s.handleMatch)
 	return s.recoverer(mux)
 }
 
-// recoverer tags every request with an X-Request-Id and converts a handler
-// panic into a 500 carrying that id, with the stack logged and the panic
-// counted — one bad request must not take the daemon down. The net/http
-// sentinel http.ErrAbortHandler passes through (it is the documented way to
-// abort a response).
+// ridCtxKey carries the request id in the request context.
+type ridCtxKey struct{}
+
+// requestID returns the id the recoverer assigned this request.
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(ridCtxKey{}).(string)
+	return id
+}
+
+// clientRequestID validates a client-supplied X-Request-Id: up to 64
+// characters of [A-Za-z0-9._-], so an hostile header cannot smuggle bytes
+// into response headers or logs. Anything else is discarded.
+func clientRequestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-Id")
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+		default:
+			return ""
+		}
+	}
+	return id
+}
+
+// recoverer tags every request with an X-Request-Id — the client's, when it
+// sent a well-formed one, otherwise a generated sequence id — echoed on the
+// response header, threaded through the request context into every envelope
+// and error log, and converts a handler panic into a 500 carrying that id,
+// with the stack logged and the panic counted — one bad request must not
+// take the daemon down. The net/http sentinel http.ErrAbortHandler passes
+// through (it is the documented way to abort a response).
 func (s *Server) recoverer(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := fmt.Sprintf("%08x", s.reqSeq.Add(1))
+		id := clientRequestID(r)
+		if id == "" {
+			id = fmt.Sprintf("%08x", s.reqSeq.Add(1))
+		}
 		w.Header().Set("X-Request-Id", id)
+		r = r.WithContext(context.WithValue(r.Context(), ridCtxKey{}, id))
 		defer func() {
 			rec := recover()
 			if rec == nil {
@@ -296,9 +341,9 @@ func (s *Server) recoverer(next http.Handler) http.Handler {
 			s.reqErrors.Add(1)
 			log.Printf("server: panic in %s %s (request %s): %v\n%s", r.Method, r.URL.Path, id, rec, debug.Stack())
 			// Best effort: if the handler already wrote, the write fails.
-			s.writeJSON(w, http.StatusInternalServerError, wire.ErrorResponse{
-				Error:     fmt.Sprintf("internal error (request %s)", id),
-				RequestID: id,
+			s.writeError(w, r, http.StatusInternalServerError, wire.Error{
+				Code:    wire.CodeInternal,
+				Message: fmt.Sprintf("internal error (request %s)", id),
 			})
 		}()
 		next.ServeHTTP(w, r)
@@ -316,7 +361,9 @@ func (s *Server) sortedNames() []string {
 	return names
 }
 
-// writeJSON writes v as the response body with the given status.
+// writeJSON writes v as the response body with the given status — the raw
+// writer behind the non-versioned endpoints (/healthz, /readyz), which keep
+// their historical shapes and stay outside the v1 envelope.
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	blob, err := json.Marshal(v)
 	if err != nil {
@@ -328,31 +375,96 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Write(append(blob, '\n'))
 }
 
-// fail writes an ErrorResponse and bumps the error counters.
-func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
-	s.reqErrors.Add(1)
-	if code == StatusClientClosedRequest || code == http.StatusGatewayTimeout {
-		s.reqCancelled.Add(1)
+// writeData answers a v1 success: {requestId, data}. Data's bytes are the
+// endpoint payload marshaled verbatim — the same bytes the stream's `done`
+// event carries, which is what makes the transports differential-testable.
+// Under -compat-v0 the legacy top-level fields are spliced back in (and
+// /v1/datasets answers its legacy bare array).
+func (s *Server) writeData(w http.ResponseWriter, r *http.Request, v any) {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		s.fail(w, r, http.StatusInternalServerError, wire.CodeInternal, "encoding failure: %v", err)
+		return
 	}
-	s.writeJSON(w, code, wire.ErrorResponse{Error: fmt.Sprintf(format, args...)})
+	env, err := json.Marshal(wire.Envelope{RequestID: requestID(r), Data: blob})
+	if err != nil {
+		s.fail(w, r, http.StatusInternalServerError, wire.CodeInternal, "encoding failure: %v", err)
+		return
+	}
+	if s.cfg.CompatV0 {
+		switch blob[0] {
+		case '{':
+			if len(blob) > 2 {
+				// {"requestId":...,"data":{...}} + ,<data fields> — legal JSON
+				// because envelope keys and payload keys are disjoint.
+				env = append(env[:len(env)-1], ',')
+				env = append(env, blob[1:]...)
+			}
+		case '[':
+			env = blob // the v0 /v1/datasets shape was a bare array
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(append(env, '\n'))
 }
 
-// failRetry is fail with a Retry-After header — overload answers (429, the
-// drain 503) tell clients when to come back.
-func (s *Server) failRetry(w http.ResponseWriter, code int, retryAfter time.Duration, format string, args ...any) {
-	w.Header().Set("Retry-After", strconv.Itoa(int((retryAfter+time.Second-1)/time.Second)))
-	s.fail(w, code, format, args...)
+// writeError answers a v1 failure: {requestId, error} with the structured
+// error. Under -compat-v0 the whole body reverts to the v0 shape (the legacy
+// string and the structured object would collide on the "error" key). 5xx
+// answers are logged with the request id for correlation.
+func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, e wire.Error) {
+	id := requestID(r)
+	if e.RetryAfterMs > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa((e.RetryAfterMs+999)/1000))
+	}
+	if status >= http.StatusInternalServerError {
+		log.Printf("server: %s %s request %s: %d %s: %s", r.Method, r.URL.Path, id, status, e.Code, e.Message)
+	}
+	var body any = wire.Envelope{RequestID: id, Error: &e}
+	if s.cfg.CompatV0 {
+		body = wire.ErrorResponse{Error: e.Message, Injected: e.Injected, RequestID: id}
+	}
+	s.writeJSON(w, status, body)
+}
+
+// retryable reports whether a failure with this code may be retried verbatim
+// (possibly against another replica) and the backoff hint to attach.
+func retryable(code wire.ErrorCode) (bool, int) {
+	switch code {
+	case wire.CodeShed, wire.CodeDraining:
+		return true, 1000
+	default:
+		return false, 0
+	}
+}
+
+// fail writes a v1 error envelope and bumps the error counters.
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, status int, code wire.ErrorCode, format string, args ...any) {
+	s.reqErrors.Add(1)
+	if status == StatusClientClosedRequest || status == http.StatusGatewayTimeout {
+		s.reqCancelled.Add(1)
+	}
+	retry, afterMs := retryable(code)
+	s.writeError(w, r, status, wire.Error{
+		Code:         code,
+		Message:      fmt.Sprintf(format, args...),
+		Retryable:    retry,
+		RetryAfterMs: afterMs,
+	})
 }
 
 // failInjected writes a fault-injected failure, marked so load generators
-// count it as explained rather than as a service defect.
-func (s *Server) failInjected(w http.ResponseWriter, code int, msg string) {
+// count it as explained rather than as a service defect. Injected 503s are
+// retryable (the fault models a transient outage); injected 500s are not.
+func (s *Server) failInjected(w http.ResponseWriter, r *http.Request, status int, msg string) {
 	s.injected.Add(1)
 	s.reqErrors.Add(1)
-	if code == http.StatusServiceUnavailable {
-		w.Header().Set("Retry-After", "1")
+	e := wire.Error{Code: wire.CodeInjected, Message: msg, Injected: true}
+	if status == http.StatusServiceUnavailable {
+		e.Retryable, e.RetryAfterMs = true, 1000
 	}
-	s.writeJSON(w, code, wire.ErrorResponse{Error: msg, Injected: true})
+	s.writeError(w, r, status, e)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -393,7 +505,7 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 			Builtins: append([]string(nil), ds.names...),
 		})
 	}
-	s.writeJSON(w, http.StatusOK, infos)
+	s.writeData(w, r, infos)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -405,6 +517,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Requests: wire.ServerCounters{
 			Total:     s.reqTotal.Load(),
 			Explain:   s.reqExplain.Load(),
+			Stream:    s.reqStream.Load(),
 			Match:     s.reqMatch.Load(),
 			Errors:    s.reqErrors.Load(),
 			Cancelled: s.reqCancelled.Load(),
@@ -435,7 +548,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Datasets[name] = st
 	}
-	s.writeJSON(w, http.StatusOK, resp)
+	s.writeData(w, r, resp)
 }
 
 // resilienceStats assembles the brownout and overload counters. Callers
@@ -536,13 +649,13 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, ctx context.Conte
 	state := s.res.ObserveAdmission(int(ds.queued.Load()), ds.queueCap, int(ds.inFlight.Load()), cap(ds.sem))
 	if state == resilience.Shedding {
 		s.shed.Add(1)
-		s.failRetry(w, http.StatusTooManyRequests, time.Second, "server shedding load, retry later")
+		s.fail(w, r, http.StatusTooManyRequests, wire.CodeShed, "server shedding load, retry later")
 		return nil, state
 	}
 	if int(ds.queued.Add(1)) > ds.queueCap {
 		ds.queued.Add(-1)
 		s.queueFull.Add(1)
-		s.failRetry(w, http.StatusTooManyRequests, time.Second, "admission queue full (%d queued), retry later", ds.queueCap)
+		s.fail(w, r, http.StatusTooManyRequests, wire.CodeShed, "admission queue full (%d queued), retry later", ds.queueCap)
 		return nil, state
 	}
 	defer ds.queued.Add(-1)
@@ -557,7 +670,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, ctx context.Conte
 		}, state
 	case <-maxWait.C:
 		s.expiredQueued.Add(1)
-		s.fail(w, http.StatusGatewayTimeout, "no execution slot within %s", s.cfg.MaxQueueWait)
+		s.fail(w, r, http.StatusGatewayTimeout, wire.CodeDeadlineQueued, "no execution slot within %s", s.cfg.MaxQueueWait)
 		return nil, state
 	case <-ctx.Done():
 		s.failCtx(w, r, ctx.Err(), true)
@@ -572,16 +685,18 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, ctx context.Conte
 func (s *Server) failCtx(w http.ResponseWriter, r *http.Request, err error, queued bool) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
+		code := wire.CodeDeadlineRunning
 		if queued {
 			s.expiredQueued.Add(1)
+			code = wire.CodeDeadlineQueued
 		} else {
 			s.expiredRunning.Add(1)
 		}
-		s.fail(w, http.StatusGatewayTimeout, "request deadline exceeded")
+		s.fail(w, r, http.StatusGatewayTimeout, code, "request deadline exceeded")
 	case s.drainCtx.Err() != nil && r.Context().Err() == nil:
-		s.failRetry(w, http.StatusServiceUnavailable, time.Second, "server draining, retry against another instance")
+		s.fail(w, r, http.StatusServiceUnavailable, wire.CodeDraining, "server draining, retry against another instance")
 	default:
-		s.fail(w, StatusClientClosedRequest, "client closed request")
+		s.fail(w, r, StatusClientClosedRequest, wire.CodeCanceled, "client closed request")
 	}
 }
 
@@ -639,45 +754,55 @@ func qualityBound(rep *core.Report, budget, eps int) *wire.QualityBound {
 	return &wire.QualityBound{Budget: budget, Epsilon: eps, Executed: rep.Executed, BestDistance: best}
 }
 
-func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
-	s.reqTotal.Add(1)
-	s.reqExplain.Add(1)
-	started := time.Now()
-	defer func() { s.res.ObserveLatency("explain", time.Since(started)) }()
-	inject := s.cfg.Injector.Decide("explain", s.explainSeq.Add(1)-1)
-	if inject.Kind == faultinject.Latency {
-		time.Sleep(inject.Latency)
+// explainPrep is the decoded, validated, clamped input of one explain
+// request — shared by /v1/explain and /v1/explain/stream so both transports
+// run the engine under byte-identical options.
+type explainPrep struct {
+	req  wire.ExplainRequest
+	ds   *dataset
+	q    *query.Query
+	opts core.Options
+}
+
+// prepareExplain decodes and validates an explain request body, resolves the
+// query spec, applies the fault-injected error, and clamps the knobs into
+// core.Options. On failure the error response has been written and ok is
+// false. The validation sequence (and therefore which error a multiply
+// broken request reports) is part of the v1 contract shared by both explain
+// transports.
+func (s *Server) prepareExplain(w http.ResponseWriter, r *http.Request, inject faultinject.Decision) (prep explainPrep, ok bool) {
+	if code, err := decodeBody(w, r, &prep.req); err != nil {
+		s.fail(w, r, code, wire.CodeInvalidSpec, "bad request body: %v", err)
+		return prep, false
 	}
-	var req wire.ExplainRequest
-	if code, err := decodeBody(w, r, &req); err != nil {
-		s.fail(w, code, "bad request body: %v", err)
-		return
+	req := &prep.req
+	ds, found := s.lookup(req.Dataset)
+	if !found {
+		s.fail(w, r, http.StatusNotFound, wire.CodeInvalidSpec, "unknown dataset %q (see /v1/datasets)", req.Dataset)
+		return prep, false
 	}
-	ds, ok := s.lookup(req.Dataset)
-	if !ok {
-		s.fail(w, http.StatusNotFound, "unknown dataset %q (see /v1/datasets)", req.Dataset)
-		return
-	}
+	prep.ds = ds
 	if req.Lower < 0 || req.Upper < 0 {
-		s.fail(w, http.StatusBadRequest, "cardinality bounds must be non-negative (lower=%d upper=%d)", req.Lower, req.Upper)
-		return
+		s.fail(w, r, http.StatusBadRequest, wire.CodeBoundViolation, "cardinality bounds must be non-negative (lower=%d upper=%d)", req.Lower, req.Upper)
+		return prep, false
 	}
 	if req.Upper > 0 && req.Upper < req.Lower {
-		s.fail(w, http.StatusBadRequest, "upper bound %d below lower bound %d", req.Upper, req.Lower)
-		return
+		s.fail(w, r, http.StatusBadRequest, wire.CodeBoundViolation, "upper bound %d below lower bound %d", req.Upper, req.Lower)
+		return prep, false
 	}
 	if req.Budget < 0 || req.ResultSample < 0 || req.MaxRewritings < 0 || req.Workers < 0 || req.TimeoutMs < 0 {
-		s.fail(w, http.StatusBadRequest, "budget, resultSample, maxRewritings, workers, and timeoutMs must be non-negative")
-		return
+		s.fail(w, r, http.StatusBadRequest, wire.CodeBoundViolation, "budget, resultSample, maxRewritings, workers, and timeoutMs must be non-negative")
+		return prep, false
 	}
 	q, code, err := s.resolveQuery(ds, req.Builtin, req.Failing, req.Query)
 	if err != nil {
-		s.fail(w, code, "%v", err)
-		return
+		s.fail(w, r, code, wire.CodeInvalidSpec, "%v", err)
+		return prep, false
 	}
+	prep.q = q
 	if inject.Kind == faultinject.Error {
-		s.failInjected(w, http.StatusInternalServerError, "injected fault: error")
-		return
+		s.failInjected(w, r, http.StatusInternalServerError, "injected fault: error")
+		return prep, false
 	}
 	budget := req.Budget
 	if budget == 0 {
@@ -694,25 +819,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if max := ds.eng.Workers(); workers > max {
 		workers = max
 	}
-	ctx, cancel := s.requestContext(r, req.TimeoutMs)
-	defer cancel()
-	release, state := s.admit(w, r, ctx, ds)
-	if release == nil {
-		return
-	}
-	if inject.Kind == faultinject.Starve {
-		// Hold the admission slot past the response: the slot-leak fault.
-		inner := release
-		hold := inject.Starve
-		release = func() {
-			go func() {
-				time.Sleep(hold)
-				inner()
-			}()
-		}
-	}
-	defer release()
-	opts := core.Options{
+	prep.opts = core.Options{
 		Expected:      metrics.Interval{Lower: req.Lower, Upper: req.Upper},
 		MaxRewritings: req.MaxRewritings,
 		FineGrained:   req.FineGrained,
@@ -721,6 +828,44 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		ResultSample:  resultSample,
 		Workers:       workers,
 	}
+	return prep, true
+}
+
+// starveRelease wraps an admission release in the slot-leak fault: the slot
+// is held for the injected duration past the response.
+func starveRelease(release func(), hold time.Duration) func() {
+	return func() {
+		go func() {
+			time.Sleep(hold)
+			release()
+		}()
+	}
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal.Add(1)
+	s.reqExplain.Add(1)
+	started := time.Now()
+	defer func() { s.res.ObserveLatency("explain", time.Since(started)) }()
+	inject := s.cfg.Injector.Decide("explain", s.explainSeq.Add(1)-1)
+	if inject.Kind == faultinject.Latency {
+		time.Sleep(inject.Latency)
+	}
+	prep, ok := s.prepareExplain(w, r, inject)
+	if !ok {
+		return
+	}
+	ds, q, opts := prep.ds, prep.q, prep.opts
+	ctx, cancel := s.requestContext(r, prep.req.TimeoutMs)
+	defer cancel()
+	release, state := s.admit(w, r, ctx, ds)
+	if release == nil {
+		return
+	}
+	if inject.Kind == faultinject.Starve {
+		release = starveRelease(release, inject.Starve)
+	}
+	defer release()
 	degraded := state == resilience.Degraded
 	var qbBudget, qbEps int
 	if degraded {
@@ -740,13 +885,13 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			if inject.Kind == faultinject.Cancel && r.Context().Err() == nil && s.drainCtx.Err() == nil {
-				s.failInjected(w, http.StatusServiceUnavailable, "injected fault: mid-search cancellation")
+				s.failInjected(w, r, http.StatusServiceUnavailable, "injected fault: mid-search cancellation")
 				return
 			}
 			s.failCtx(w, r, ctxErr, false)
 			return
 		}
-		s.fail(w, http.StatusBadRequest, "%v", err)
+		s.fail(w, r, http.StatusBadRequest, wire.CodeInvalidSpec, "%v", err)
 		return
 	}
 	resp := wire.FromReport(rep)
@@ -755,7 +900,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		resp.Degraded = true
 		resp.QualityBound = qualityBound(rep, qbBudget, qbEps)
 	}
-	s.writeJSON(w, http.StatusOK, resp)
+	s.writeData(w, r, resp)
 }
 
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
@@ -769,16 +914,16 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	}
 	var req wire.MatchRequest
 	if code, err := decodeBody(w, r, &req); err != nil {
-		s.fail(w, code, "bad request body: %v", err)
+		s.fail(w, r, code, wire.CodeInvalidSpec, "bad request body: %v", err)
 		return
 	}
 	ds, ok := s.lookup(req.Dataset)
 	if !ok {
-		s.fail(w, http.StatusNotFound, "unknown dataset %q (see /v1/datasets)", req.Dataset)
+		s.fail(w, r, http.StatusNotFound, wire.CodeInvalidSpec, "unknown dataset %q (see /v1/datasets)", req.Dataset)
 		return
 	}
 	if req.Limit < 0 || req.CountCap < 0 || req.TimeoutMs < 0 {
-		s.fail(w, http.StatusBadRequest, "limit, countCap, and timeoutMs must be non-negative")
+		s.fail(w, r, http.StatusBadRequest, wire.CodeBoundViolation, "limit, countCap, and timeoutMs must be non-negative")
 		return
 	}
 	mode := req.Mode
@@ -786,16 +931,16 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		mode = "count"
 	}
 	if mode != "count" && mode != "find" {
-		s.fail(w, http.StatusBadRequest, "unknown mode %q (want \"count\" or \"find\")", req.Mode)
+		s.fail(w, r, http.StatusBadRequest, wire.CodeInvalidSpec, "unknown mode %q (want \"count\" or \"find\")", req.Mode)
 		return
 	}
 	q, code, err := s.resolveQuery(ds, req.Builtin, req.Failing, req.Query)
 	if err != nil {
-		s.fail(w, code, "%v", err)
+		s.fail(w, r, code, wire.CodeInvalidSpec, "%v", err)
 		return
 	}
 	if inject.Kind == faultinject.Error {
-		s.failInjected(w, http.StatusInternalServerError, "injected fault: error")
+		s.failInjected(w, r, http.StatusInternalServerError, "injected fault: error")
 		return
 	}
 	countCap := req.CountCap
@@ -816,14 +961,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if inject.Kind == faultinject.Starve {
-		inner := release
-		hold := inject.Starve
-		release = func() {
-			go func() {
-				time.Sleep(hold)
-				inner()
-			}()
-		}
+		release = starveRelease(release, inject.Starve)
 	}
 	// The matching engine has no in-flight cancellation hook (unlike the
 	// explanation searches), so the match runs on its own goroutine: the
@@ -848,7 +986,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	}()
 	select {
 	case resp := <-done:
-		s.writeJSON(w, http.StatusOK, resp)
+		s.writeData(w, r, resp)
 	case <-ctx.Done():
 		s.failCtx(w, r, ctx.Err(), false)
 	}

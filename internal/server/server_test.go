@@ -81,6 +81,62 @@ func decode[T any](t *testing.T, rec *httptest.ResponseRecorder) T {
 	return v
 }
 
+// envelope decodes the body's v1 envelope and checks the transport
+// invariants every v1 response must hold: a non-empty requestId echoed in
+// the X-Request-Id header, and exactly one of data or error.
+func envelope(t *testing.T, rec *httptest.ResponseRecorder) wire.Envelope {
+	t.Helper()
+	var env wire.Envelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatalf("decoding envelope %q: %v", rec.Body.String(), err)
+	}
+	if env.RequestID == "" {
+		t.Fatalf("envelope missing requestId: %s", rec.Body)
+	}
+	if hdr := rec.Header().Get("X-Request-Id"); hdr != env.RequestID {
+		t.Fatalf("X-Request-Id header %q != envelope requestId %q", hdr, env.RequestID)
+	}
+	if (env.Data == nil) == (env.Error == nil) {
+		t.Fatalf("envelope must carry exactly one of data/error: %s", rec.Body)
+	}
+	return env
+}
+
+// decodeData unwraps the envelope's data field of a success response.
+func decodeData[T any](t *testing.T, rec *httptest.ResponseRecorder) T {
+	t.Helper()
+	env := envelope(t, rec)
+	if env.Error != nil {
+		t.Fatalf("want data envelope, got error: %s", rec.Body)
+	}
+	var v T
+	if err := json.Unmarshal(env.Data, &v); err != nil {
+		t.Fatalf("decoding envelope data %q: %v", env.Data, err)
+	}
+	return v
+}
+
+// decodeError unwraps the envelope's structured error of a failure response.
+func decodeError(t *testing.T, rec *httptest.ResponseRecorder) wire.Error {
+	t.Helper()
+	env := envelope(t, rec)
+	if env.Error == nil {
+		t.Fatalf("want error envelope, got: %s", rec.Body)
+	}
+	return *env.Error
+}
+
+// dataBytes returns the raw data bytes of a success envelope — the payload
+// the differential tests compare byte-for-byte against direct engine calls.
+func dataBytes(t *testing.T, rec *httptest.ResponseRecorder) []byte {
+	t.Helper()
+	env := envelope(t, rec)
+	if env.Error != nil {
+		t.Fatalf("want data envelope, got error: %s", rec.Body)
+	}
+	return []byte(env.Data)
+}
+
 func TestHealthz(t *testing.T) {
 	h := newTestServer(t, Config{}).Handler()
 	rec := do(t, h, "GET", "/healthz", nil)
@@ -99,7 +155,7 @@ func TestDatasets(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("got %d: %s", rec.Code, rec.Body)
 	}
-	infos := decode[[]wire.DatasetInfo](t, rec)
+	infos := decodeData[[]wire.DatasetInfo](t, rec)
 	if len(infos) != 2 || infos[0].Name != "dbpedia" || infos[1].Name != "ldbc" {
 		t.Fatalf("want sorted [dbpedia ldbc], got %+v", infos)
 	}
@@ -121,7 +177,7 @@ func TestExplainBuiltinFailing(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("got %d: %s", rec.Code, rec.Body)
 	}
-	rep := decode[wire.Report](t, rec)
+	rep := decodeData[wire.Report](t, rec)
 	if rep.Problem != "why-empty" {
 		t.Fatalf("want why-empty, got %q", rep.Problem)
 	}
@@ -165,7 +221,7 @@ func TestExplainCustomQuery(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("got %d: %s", rec.Code, rec.Body)
 	}
-	rep := decode[wire.Report](t, rec)
+	rep := decodeData[wire.Report](t, rec)
 	if rep.Problem != "why-empty" || rep.Cardinality != 0 {
 		t.Fatalf("want why-empty/0, got %q/%d", rep.Problem, rep.Cardinality)
 	}
@@ -179,7 +235,7 @@ func TestExplainSatisfiedAndWhySoMany(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("got %d: %s", rec.Code, rec.Body)
 	}
-	if rep := decode[wire.Report](t, rec); rep.Problem != "satisfied" || rep.Subgraph != nil {
+	if rep := decodeData[wire.Report](t, rec); rep.Problem != "satisfied" || rep.Subgraph != nil {
 		t.Fatalf("want a bare satisfied report, got %+v", rep)
 	}
 	rec = do(t, h, "POST", "/v1/explain", wire.ExplainRequest{
@@ -188,7 +244,7 @@ func TestExplainSatisfiedAndWhySoMany(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("got %d: %s", rec.Code, rec.Body)
 	}
-	rep := decode[wire.Report](t, rec)
+	rep := decodeData[wire.Report](t, rec)
 	if rep.Problem != "why-so-many" || !rep.FineGrained {
 		t.Fatalf("want fine-grained why-so-many, got %+v", rep)
 	}
@@ -229,8 +285,12 @@ func TestExplainBadRequests(t *testing.T) {
 				t.Fatalf("want %d, got %d: %s", tc.want, rec.Code, rec.Body)
 			}
 			if tc.want != http.StatusMethodNotAllowed {
-				if er := decode[wire.ErrorResponse](t, rec); er.Error == "" {
-					t.Fatalf("error body missing: %s", rec.Body)
+				er := decodeError(t, rec)
+				if er.Message == "" || er.Code == "" {
+					t.Fatalf("error body missing code or message: %s", rec.Body)
+				}
+				if er.Code != wire.CodeInvalidSpec && er.Code != wire.CodeBoundViolation {
+					t.Fatalf("bad request mapped to %q: %s", er.Code, rec.Body)
 				}
 			}
 		})
@@ -245,7 +305,7 @@ func TestMatchCountAndFind(t *testing.T) {
 		if rec.Code != http.StatusOK {
 			t.Fatalf("%s: got %d: %s", nq.Name, rec.Code, rec.Body)
 		}
-		resp := decode[wire.MatchResponse](t, rec)
+		resp := decodeData[wire.MatchResponse](t, rec)
 		if want := le.Matcher().Count(nq.Build(), 0); resp.Count != want {
 			t.Fatalf("%s: server count %d, direct count %d", nq.Name, resp.Count, want)
 		}
@@ -256,7 +316,7 @@ func TestMatchCountAndFind(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("find: got %d: %s", rec.Code, rec.Body)
 	}
-	resp := decode[wire.MatchResponse](t, rec)
+	resp := decodeData[wire.MatchResponse](t, rec)
 	if resp.Count != 5 || len(resp.Results) != 5 {
 		t.Fatalf("find limit not honored: count=%d results=%d", resp.Count, len(resp.Results))
 	}
@@ -324,8 +384,7 @@ func TestExplainDifferential(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got := bytes.TrimRight(rec.Body.Bytes(), "\n")
-		if !bytes.Equal(want, got) {
+		if got := dataBytes(t, rec); !bytes.Equal(want, got) {
 			t.Fatalf("%s %s: server response differs from direct Explain:\nserver %s\ndirect %s",
 				tc.dataset, tc.req.Builtin, got, want)
 		}
@@ -449,7 +508,9 @@ func TestConcurrentExplain(t *testing.T) {
 		if rec.Code != http.StatusOK {
 			t.Fatalf("baseline %d: got %d: %s", i, rec.Code, rec.Body)
 		}
-		baselines[i] = rec.Body.String()
+		// Compare envelope data, not whole bodies: the requestId differs per
+		// request by design.
+		baselines[i] = string(dataBytes(t, rec))
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -462,7 +523,12 @@ func TestConcurrentExplain(t *testing.T) {
 					errCh <- fmt.Errorf("worker %d req %d: got %d: %s", w, ri, rec.Code, rec.Body)
 					return
 				}
-				if rec.Body.String() != baselines[ri] {
+				var env wire.Envelope
+				if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+					errCh <- fmt.Errorf("worker %d req %d: decoding envelope: %v", w, ri, err)
+					return
+				}
+				if string(env.Data) != baselines[ri] {
 					errCh <- fmt.Errorf("worker %d req %d: concurrent response diverged from baseline", w, ri)
 					return
 				}
@@ -485,7 +551,7 @@ func TestStatsEndpoint(t *testing.T) {
 	if rec.Code != http.StatusOK {
 		t.Fatalf("got %d: %s", rec.Code, rec.Body)
 	}
-	stats := decode[wire.StatsResponse](t, rec)
+	stats := decodeData[wire.StatsResponse](t, rec)
 	if stats.Requests.Total < 3 || stats.Requests.Explain < 1 || stats.Requests.Match < 1 {
 		t.Fatalf("request counters did not move: %+v", stats.Requests)
 	}
@@ -553,7 +619,7 @@ func TestExplainResultSampleClamped(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := bytes.TrimRight(rec.Body.Bytes(), "\n"); !bytes.Equal(want, got) {
+	if got := dataBytes(t, rec); !bytes.Equal(want, got) {
 		t.Fatalf("clamped response differs from direct Explain at the maximum:\nserver %s\ndirect %s", got, want)
 	}
 }

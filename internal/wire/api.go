@@ -1,5 +1,7 @@
 package wire
 
+import "encoding/json"
+
 // This file defines the request/response envelopes of the whydbd HTTP API.
 // The query payload of a request is either a built-in workload query
 // (Builtin, optionally its Failing variant) or a custom Query — exactly one
@@ -67,15 +69,74 @@ type MatchResponse struct {
 	Results []Result `json:"results,omitempty"`
 }
 
-// ErrorResponse is the body of every non-2xx response.
+// ErrorResponse is the legacy (pre-envelope) body of a non-2xx response.
+//
+// Deprecated: v1 responses are wrapped in Envelope with a structured Error;
+// these top-level fields are only spliced back in by whydbd's -compat-v0
+// mode for one deprecation release. Decode Envelope instead.
 type ErrorResponse struct {
 	Error string `json:"error"`
 	// Injected marks a fault-injected failure (whydbd -inject): load
 	// generators count it as explained rather than as a service defect.
 	Injected bool `json:"injected,omitempty"`
-	// RequestID echoes the X-Request-Id header for log correlation; set on
-	// recovered-panic responses.
+	// RequestID echoes the X-Request-Id header for log correlation.
 	RequestID string `json:"requestId,omitempty"`
+}
+
+// ErrorCode is the machine-readable failure classification of the v1 API.
+// Load generators and clients branch on the code — never on message text or
+// bare HTTP status — to decide retries and outcome accounting.
+type ErrorCode string
+
+const (
+	// CodeInvalidSpec: the request body, query spec, or named dataset/builtin
+	// does not resolve to an executable explain/match (400/404/413).
+	CodeInvalidSpec ErrorCode = "invalid_spec"
+	// CodeBoundViolation: a numeric knob is outside its admissible bounds
+	// (negative budget, lower > upper, ...) (400).
+	CodeBoundViolation ErrorCode = "bound_violation"
+	// CodeDeadlineQueued: the deadline expired while the request waited for
+	// an execution slot (504).
+	CodeDeadlineQueued ErrorCode = "deadline_queued"
+	// CodeDeadlineRunning: the deadline expired mid-execution (504).
+	CodeDeadlineRunning ErrorCode = "deadline_running"
+	// CodeShed: the brownout controller or the full admission queue refused
+	// the request (429, retryable after RetryAfterMs).
+	CodeShed ErrorCode = "shed"
+	// CodeInjected: a whydbd -inject fault produced this failure; load
+	// generators count it as explained, not as a service defect.
+	CodeInjected ErrorCode = "injected"
+	// CodeInternal: a recovered panic or other unexpected server fault (500).
+	CodeInternal ErrorCode = "internal"
+	// CodeCanceled: the client went away before the answer was ready (499).
+	CodeCanceled ErrorCode = "canceled"
+	// CodeDraining: the daemon is shutting down and no longer admits work
+	// (503, retryable against another replica).
+	CodeDraining ErrorCode = "draining"
+)
+
+// Error is the structured failure payload of the v1 envelope.
+type Error struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+	// Retryable marks failures a client may retry verbatim (possibly against
+	// another replica); RetryAfterMs, when > 0, is the server's backoff hint
+	// (mirrors the Retry-After header).
+	Retryable    bool `json:"retryable"`
+	RetryAfterMs int  `json:"retryAfterMs,omitempty"`
+	// Injected marks a whydbd -inject fault regardless of code.
+	Injected bool `json:"injected,omitempty"`
+}
+
+// Envelope is the unified v1 response shape: every endpoint answers
+// {requestId, data} on success and {requestId, error} on failure. Data holds
+// the endpoint's payload (Report, MatchResponse, []DatasetInfo,
+// StatsResponse) verbatim, so its bytes stay comparable across transports —
+// the `done` event of /v1/explain/stream carries the same bytes.
+type Envelope struct {
+	RequestID string          `json:"requestId"`
+	Data      json.RawMessage `json:"data,omitempty"`
+	Error     *Error          `json:"error,omitempty"`
 }
 
 // DatasetInfo describes one loaded dataset (GET /v1/datasets).
@@ -179,10 +240,12 @@ type ReadyResponse struct {
 	Reason string `json:"reason,omitempty"`
 }
 
-// ServerCounters are the daemon's request counters.
+// ServerCounters are the daemon's request counters. Stream counts
+// /v1/explain/stream requests (not included in Explain).
 type ServerCounters struct {
 	Total     int64 `json:"total"`
 	Explain   int64 `json:"explain"`
+	Stream    int64 `json:"stream"`
 	Match     int64 `json:"match"`
 	Errors    int64 `json:"errors"`
 	Cancelled int64 `json:"cancelled"`

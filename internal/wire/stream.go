@@ -1,0 +1,62 @@
+package wire
+
+import "repro/internal/core"
+
+// This file defines the SSE event payloads of POST /v1/explain/stream. The
+// stream interleaves `improvement` events (StreamEvent: the new incumbent
+// explanation plus a monotone quality bound) with a terminal `done` event
+// whose data is the same Report bytes /v1/explain would have answered, or an
+// `error` event carrying the envelope's Error shape when the search dies
+// mid-stream.
+
+// StreamBound is the anytime quality bound carried by every improvement
+// event. BestDistance is monotone non-increasing within one family (families
+// measure distance in their own currency: subquery cardinality distance for
+// "mcs", rewriting cardinality distance for "relax"/"modtree"); Executed
+// counts the family's candidate executions so far and Remaining what is left
+// of its execution budget.
+type StreamBound struct {
+	BestDistance int `json:"bestDistance"`
+	Executed     int `json:"executed"`
+	Remaining    int `json:"remaining"`
+}
+
+// StreamEvent is the payload of one `improvement` SSE event: the search's
+// new incumbent explanation the moment it was found. Seq numbers the
+// events of one stream from 1. Best.Ops is empty for family "mcs", whose
+// incumbent is the maximal common subquery rather than a rewriting (its
+// cardinalityDistance mirrors the bound; resultDistance is not computed
+// mid-search and reads 0).
+type StreamEvent struct {
+	Seq    int         `json:"seq"`
+	Family string      `json:"family"`
+	Best   Rewriting   `json:"best"`
+	Bound  StreamBound `json:"bound"`
+	// QualityBound is attached per event when the stream runs degraded
+	// (brownout): the reduced budget and ε the search is held to.
+	QualityBound *QualityBound `json:"qualityBound,omitempty"`
+}
+
+// FromImprovement encodes one engine improvement as a stream event payload
+// (Seq and QualityBound are stamped by the serving layer).
+func FromImprovement(imp core.Improvement) StreamEvent {
+	ops := make([]string, len(imp.Ops))
+	for i, op := range imp.Ops {
+		ops[i] = op.String()
+	}
+	return StreamEvent{
+		Family: imp.Family,
+		Best: Rewriting{
+			Query:               FromQuery(imp.Query),
+			Ops:                 ops,
+			Cardinality:         imp.Cardinality,
+			Syntactic:           imp.Syntactic,
+			CardinalityDistance: imp.Distance,
+		},
+		Bound: StreamBound{
+			BestDistance: imp.Distance,
+			Executed:     imp.Executed,
+			Remaining:    imp.Remaining,
+		},
+	}
+}
