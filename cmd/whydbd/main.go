@@ -46,6 +46,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/resilience"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/workload"
 )
 
@@ -67,8 +68,10 @@ func main() {
 	latencyBudget := flag.Duration("latency-budget", 500*time.Millisecond, "latency EWMA mapping to pressure 1.0")
 	enterHold := flag.Duration("brownout-enter-hold", 250*time.Millisecond, "how long pressure must hold above a threshold before stepping up")
 	exitHold := flag.Duration("brownout-exit-hold", 2*time.Second, "how long pressure must hold below a threshold before stepping down")
-	inject := flag.String("inject", "", "fault-injection spec, e.g. 'seed=42,latency=0.1:5ms,error=0.05,cancel=0.03:4,starve=0.02:20ms' (off by default)")
+	inject := flag.String("inject", "", "fault-injection spec, e.g. 'seed=42,latency=0.1:5ms,error=0.05,cancel=0.03:4,starve=0.02:20ms,rpc-error=0.1' (off by default)")
 	compatV0 := flag.Bool("compat-v0", false, "serve the deprecated pre-envelope response shapes alongside/instead of the v1 envelope (one deprecation release)")
+	shards := flag.Int("shards", 0, "split each dataset's counting across N in-process shards (0 = unsharded)")
+	peers := flag.String("peers", "", "comma-separated peer base URLs for HTTP scatter-gather counting (e.g. 'http://h1:8080,http://h2:8080'); mutually exclusive with -shards")
 	flag.Parse()
 
 	// Validate dataset names before opening the listener: a typo should be
@@ -87,6 +90,32 @@ func main() {
 	}
 	if len(names) == 0 {
 		fmt.Fprintln(os.Stderr, "no datasets loaded")
+		os.Exit(2)
+	}
+	var peerURLs []string
+	if *peers != "" {
+		if *shards > 0 {
+			fmt.Fprintln(os.Stderr, "-shards and -peers are mutually exclusive")
+			os.Exit(2)
+		}
+		for _, u := range strings.Split(*peers, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			if !strings.HasPrefix(u, "http://") && !strings.HasPrefix(u, "https://") {
+				fmt.Fprintf(os.Stderr, "peer %q: want an http(s) base URL\n", u)
+				os.Exit(2)
+			}
+			peerURLs = append(peerURLs, strings.TrimSuffix(u, "/"))
+		}
+		if len(peerURLs) < 2 {
+			fmt.Fprintln(os.Stderr, "-peers wants at least two peer URLs")
+			os.Exit(2)
+		}
+	}
+	if *shards < 0 {
+		fmt.Fprintln(os.Stderr, "-shards must be >= 0")
 		os.Exit(2)
 	}
 
@@ -137,19 +166,22 @@ func main() {
 		defer close(loadDone)
 		for _, name := range names {
 			start := time.Now()
+			var eng *core.Engine
 			switch name {
 			case "ldbc":
-				eng := core.NewEngine(datagen.LDBC(datagen.DefaultLDBC().Scaled(*scale)))
+				eng = core.NewEngine(datagen.LDBC(datagen.DefaultLDBC().Scaled(*scale)))
 				eng.SetWorkers(*workers)
 				srv.AddDataset(name, eng, workload.LDBCQueries(), workload.FailingVariant)
-				logLoaded(name, eng, start)
 			case "dbpedia":
 				cfg := datagen.DefaultDBpedia()
 				cfg.Entities = scaleCount(cfg.Entities, *scale)
-				eng := core.NewEngine(datagen.DBpedia(cfg))
+				eng = core.NewEngine(datagen.DBpedia(cfg))
 				eng.SetWorkers(*workers)
 				srv.AddDataset(name, eng, workload.DBpediaQueries(), workload.DBpediaFailingVariant)
-				logLoaded(name, eng, start)
+			}
+			logLoaded(name, eng, start)
+			if err := shardDataset(srv, name, eng, *shards, peerURLs); err != nil {
+				log.Fatalf("sharding %s: %v", name, err)
 			}
 		}
 		srv.SetReady()
@@ -182,6 +214,34 @@ func main() {
 			log.Printf("shutdown: %v", err)
 		}
 	}
+}
+
+// shardDataset wires a dataset's counting into a scatter-gather group:
+// -shards N builds N in-process shards over the loaded matcher, -peers builds
+// one HTTP shard per peer daemon (each of which must serve the same dataset
+// at the same scale — the vertex-id space is partitioned by position in the
+// peer list).
+func shardDataset(srv *server.Server, name string, eng *core.Engine, shards int, peers []string) error {
+	switch {
+	case len(peers) > 0:
+		m := eng.Matcher()
+		members := make([]shard.Shard, len(peers))
+		for i, u := range peers {
+			members[i] = shard.NewClient(fmt.Sprintf("peer%d@%s", i, u), u, name, nil)
+		}
+		g, err := shard.New("http", members, shard.Partition(m.Graph().NumVertices(), len(peers)), shard.Config{})
+		if err != nil {
+			return err
+		}
+		return srv.AddShardGroup(name, g)
+	case shards > 0:
+		g, err := shard.NewLocalGroup(eng.Matcher(), shards, shard.Config{})
+		if err != nil {
+			return err
+		}
+		return srv.AddShardGroup(name, g)
+	}
+	return nil
 }
 
 func logLoaded(name string, eng *core.Engine, start time.Time) {

@@ -26,11 +26,13 @@
 //
 // Outcomes are classified by the v1 envelope's error code (shed, injected,
 // deadline_*, ...), falling back to HTTP status against pre-envelope
-// servers. Overload answers are retried: shed/draining (429/503) back off
-// exponentially with jitter (honoring Retry-After) up to -retries attempts;
-// exhausted retries are counted (shedExhausted / injectedExhausted), not
-// treated as transport failures. Degraded explains (`degraded: true`) are
-// counted and must carry their quality bound.
+// servers. Overload answers and dead connections are retried:
+// shed/draining/shard_unavailable (429/503) back off exponentially with
+// jitter (honoring Retry-After) up to -retries attempts; exhausted retries
+// are counted (shedExhausted / injectedExhausted / transport), not treated
+// as unexplained failures. Degraded explains (`degraded: true`) are counted
+// and must carry their quality bound; with -allow-partial, partial answers
+// (`partial: true`) are counted and must carry their per-shard coverage map.
 //
 // whyload exits non-zero if any request failed hard (transport error,
 // malformed JSON, unexplained non-2xx, or a degraded explain missing its
@@ -46,7 +48,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -56,6 +57,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/retry"
 	"repro/internal/wire"
 )
 
@@ -90,23 +92,32 @@ const (
 	clsShedExhausted
 	// clsInjectedExhausted gave up after -retries injected 503s.
 	clsInjectedExhausted
-	// clsError is a hard failure: transport error, malformed JSON,
-	// unexplained non-2xx, or a degraded explain without its bound.
+	// clsTransport is a connection-level failure after retries: dial refused,
+	// or the peer died mid-exchange (a 5xx status line whose body never
+	// arrived, or arrived as a non-JSON half-answer). Chaos runs treat it as
+	// an explained casualty of the drill — distinct from an unexplained 5xx
+	// the daemon actually composed; other mixes count it as an error.
+	clsTransport
+	// clsError is a hard failure: malformed JSON, unexplained non-2xx, a
+	// degraded explain without its bound, or a partial answer without its
+	// coverage map.
 	clsError
 )
 
 // sample is one job's outcome. ttfe and ttconverged are stream-only anytime
 // latencies (zero when the stream produced no improvement / did not finish).
 type sample struct {
-	kind         string
-	lat          time.Duration
-	class        class
-	status       int
-	retries      int
-	degraded     bool
-	missingBound bool
-	ttfe         time.Duration
-	ttconverged  time.Duration
+	kind            string
+	lat             time.Duration
+	class           class
+	status          int
+	retries         int
+	degraded        bool
+	missingBound    bool
+	partial         bool
+	missingCoverage bool
+	ttfe            time.Duration
+	ttconverged     time.Duration
 }
 
 // kindStats aggregates one request kind's outcomes.
@@ -159,16 +170,19 @@ type summary struct {
 	PerKind     map[string]kindStats `json:"perKind"`
 
 	// Overload and fault accounting (see the class comments).
-	Retries              int `json:"retries"`
-	Shed                 int `json:"shed"`
-	ShedExhausted        int `json:"shedExhausted"`
-	Injected             int `json:"injected"`
-	InjectedExhausted    int `json:"injectedExhausted"`
-	Expired              int `json:"expired"`
-	Degraded             int `json:"degraded"`
-	DegradedMissingBound int `json:"degradedMissingBound"`
-	Unexplained5xx       int `json:"unexplained5xx"`
-	CorpusSkipped        int `json:"corpusSkipped"`
+	Retries                int `json:"retries"`
+	Shed                   int `json:"shed"`
+	ShedExhausted          int `json:"shedExhausted"`
+	Injected               int `json:"injected"`
+	InjectedExhausted      int `json:"injectedExhausted"`
+	Expired                int `json:"expired"`
+	Transport              int `json:"transport"`
+	Degraded               int `json:"degraded"`
+	DegradedMissingBound   int `json:"degradedMissingBound"`
+	Partial                int `json:"partial"`
+	PartialMissingCoverage int `json:"partialMissingCoverage"`
+	Unexplained5xx         int `json:"unexplained5xx"`
+	CorpusSkipped          int `json:"corpusSkipped"`
 
 	// Anytime latency of the stream mix: time from request start to the
 	// first improvement event (TTFE) and to the done event (converged).
@@ -177,32 +191,10 @@ type summary struct {
 
 	Kernel     map[string]map[string]wire.KernelCounters `json:"kernel,omitempty"`
 	Resilience *wire.ResilienceStats                     `json:"resilience,omitempty"`
-}
-
-// retryPolicy is the jittered exponential backoff applied to 429/503.
-type retryPolicy struct {
-	max     int
-	base    time.Duration
-	cap     time.Duration
-	rng     *rand.Rand
-	retries *atomic.Int64
-}
-
-// sleep backs off before retry attempt (0-based), honoring a Retry-After
-// hint when the server sent one: the wait is at least the hint, plus jitter
-// so a shed fleet doesn't return in lockstep.
-func (p *retryPolicy) sleep(attempt int, retryAfter time.Duration) {
-	d := p.base << attempt
-	if d > p.cap {
-		d = p.cap
-	}
-	// Full jitter on the backoff half: [d/2, d).
-	d = d/2 + time.Duration(p.rng.Int63n(int64(d/2)+1))
-	if retryAfter > d {
-		d = retryAfter
-	}
-	p.retries.Add(1)
-	time.Sleep(d)
+	// Shards carries each sharded dataset's shard-group health from the
+	// daemon's post-run stats: breaker states, retry/hedge counters, and how
+	// many partial answers the coordinator served.
+	Shards map[string]*wire.ShardingStats `json:"shards,omitempty"`
 }
 
 func main() {
@@ -219,6 +211,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "backoff-jitter seed")
 	out := flag.String("out", "", "write the JSON summary to this file")
 	allowErrors := flag.Bool("allow-errors", false, "exit 0 even when requests failed")
+	allowPartial := flag.Bool("allow-partial", false, "set allowPartial on every request: a sharded daemon may answer from surviving shards")
 	flag.Parse()
 	chaos := *mix == "chaos"
 	switch *mix {
@@ -236,7 +229,7 @@ func main() {
 	if chaos {
 		corpusMix = "mixed"
 	}
-	jobs, skipped, err := buildJobs(client, *addr, corpusMix, *budget)
+	jobs, skipped, err := buildJobs(client, *addr, corpusMix, *budget, *allowPartial)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "whyload: %v\n", err)
 		os.Exit(1)
@@ -263,13 +256,7 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			policy := &retryPolicy{
-				max:     *retries,
-				base:    *retryBase,
-				cap:     *retryMax,
-				rng:     rand.New(rand.NewSource(*seed + int64(w))),
-				retries: &totalRetries,
-			}
+			policy := retry.New(*retries, *retryBase, *retryMax, *seed+int64(w))
 			for {
 				i := next.Add(1) - 1
 				if useCount {
@@ -286,7 +273,7 @@ func main() {
 					time.Sleep(trickleGap)
 				}
 				j := jobs[int(i)%len(jobs)]
-				perWorker[w] = append(perWorker[w], doJob(client, *addr, j, policy))
+				perWorker[w] = append(perWorker[w], doJob(client, *addr, j, policy, &totalRetries))
 			}
 		}(w)
 	}
@@ -315,6 +302,16 @@ func main() {
 			if s.missingBound {
 				sum.DegradedMissingBound++
 			}
+			if s.partial {
+				sum.Partial++
+			}
+			if s.missingCoverage {
+				sum.PartialMissingCoverage++
+			}
+			wasTransport := s.class == clsTransport
+			if wasTransport {
+				sum.Transport++
+			}
 			s.class = normalize(s.class, chaos)
 			switch s.class {
 			case clsInjected:
@@ -330,7 +327,9 @@ func main() {
 			if s.class == clsError {
 				sum.Errors++
 				ks.Errors++
-				if s.status >= 500 && s.status != http.StatusGatewayTimeout {
+				// A transport casualty never had a daemon-composed body to
+				// explain itself with — it is not an unexplained 5xx.
+				if !wasTransport && s.status >= 500 && s.status != http.StatusGatewayTimeout {
 					sum.Unexplained5xx++
 				}
 			} else {
@@ -370,6 +369,12 @@ func main() {
 		sum.Kernel = make(map[string]map[string]wire.KernelCounters, len(stats.Datasets))
 		for name, ds := range stats.Datasets {
 			sum.Kernel[name] = ds.Kernel
+			if ds.Sharding != nil {
+				if sum.Shards == nil {
+					sum.Shards = map[string]*wire.ShardingStats{}
+				}
+				sum.Shards[name] = ds.Sharding
+			}
 		}
 		sum.Resilience = stats.Resilience
 	}
@@ -389,9 +394,9 @@ func main() {
 		}
 		fmt.Println()
 	}
-	if sum.Retries+sum.Degraded+sum.Injected+sum.Expired+sum.ShedExhausted+sum.InjectedExhausted+sum.CorpusSkipped > 0 {
-		fmt.Printf("  overload: %d retries, %d degraded (%d missing bound), %d injected (%d exhausted), %d expired, %d shed-exhausted, %d corpus-skipped\n",
-			sum.Retries, sum.Degraded, sum.DegradedMissingBound, sum.Injected, sum.InjectedExhausted, sum.Expired, sum.ShedExhausted, sum.CorpusSkipped)
+	if sum.Retries+sum.Degraded+sum.Injected+sum.Expired+sum.Transport+sum.Partial+sum.ShedExhausted+sum.InjectedExhausted+sum.CorpusSkipped > 0 {
+		fmt.Printf("  overload: %d retries, %d degraded (%d missing bound), %d partial (%d missing coverage), %d injected (%d exhausted), %d expired, %d shed-exhausted, %d transport, %d corpus-skipped\n",
+			sum.Retries, sum.Degraded, sum.DegradedMissingBound, sum.Partial, sum.PartialMissingCoverage, sum.Injected, sum.InjectedExhausted, sum.Expired, sum.ShedExhausted, sum.Transport, sum.CorpusSkipped)
 	}
 	if rs := sum.Resilience; rs != nil {
 		fmt.Printf("  resilience: state=%s shed=%d queueFull=%d expired=%d/%d degradedServed=%d panics=%d transitions=%v\n",
@@ -406,6 +411,15 @@ func main() {
 		}
 		fmt.Println(line)
 	}
+	for _, ds := range sortedShardDatasets(sum.Shards) {
+		sh := sum.Shards[ds]
+		fmt.Printf("  shards %-7s mode=%s n=%d partialServed=%d\n", ds, sh.Mode, sh.NumShards, sh.PartialServed)
+		for _, st := range sh.Shards {
+			fmt.Printf("    %-10s [%d,%d) breaker=%s consec=%d req=%d fail=%d retries=%d hedges=%d won=%d opened=%d closed=%d\n",
+				st.Name, st.Lo, st.Hi, st.Breaker, st.ConsecFailures, st.Requests, st.Failures, st.Retries,
+				st.HedgesLaunched, st.HedgesWon, st.BreakerOpened, st.BreakerClosed)
+		}
+	}
 	if *out != "" {
 		blob, err := json.MarshalIndent(sum, "", "  ")
 		if err == nil {
@@ -416,20 +430,20 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if (sum.Errors > 0 || sum.DegradedMissingBound > 0) && !*allowErrors {
+	if (sum.Errors > 0 || sum.DegradedMissingBound > 0 || sum.PartialMissingCoverage > 0) && !*allowErrors {
 		os.Exit(1)
 	}
 }
 
 // normalize maps overload classes to hard errors outside chaos runs: a
-// plain smoke run has no business expiring or exhausting retries, so those
-// outcomes must fail it; a chaos run expects them.
+// plain smoke run has no business expiring, exhausting retries, or losing
+// connections, so those outcomes must fail it; a chaos run expects them.
 func normalize(c class, chaos bool) class {
 	if chaos {
 		return c
 	}
 	switch c {
-	case clsExpired, clsShedExhausted, clsInjectedExhausted:
+	case clsExpired, clsShedExhausted, clsInjectedExhausted, clsTransport:
 		return clsError
 	default:
 		return c
@@ -440,17 +454,19 @@ func normalize(c class, chaos bool) class {
 // structured error code when the server sent one; empty against pre-envelope
 // servers, where the classifier falls back to the HTTP status.
 type result struct {
-	status       int
-	code         wire.ErrorCode
-	transport    bool // transport or read failure
-	badJSON      bool
-	injected     bool
-	streamDead   bool // SSE error event or truncated stream: don't retry
-	degraded     bool
-	missingBound bool
-	retryAfter   time.Duration
-	ttfe         time.Duration
-	ttconverged  time.Duration
+	status          int
+	code            wire.ErrorCode
+	transport       bool // connection-level failure; status kept when the line arrived
+	badJSON         bool
+	injected        bool
+	streamDead      bool // SSE error event or truncated stream: don't retry
+	degraded        bool
+	missingBound    bool
+	partial         bool
+	missingCoverage bool
+	retryAfter      time.Duration
+	ttfe            time.Duration
+	ttconverged     time.Duration
 }
 
 // retriable reports whether this attempt is a documented overload answer the
@@ -461,7 +477,7 @@ func (res result) retriable() bool {
 		return false
 	}
 	switch res.code {
-	case wire.CodeShed, wire.CodeDraining:
+	case wire.CodeShed, wire.CodeDraining, wire.CodeShardUnavailable:
 		return true
 	case wire.CodeInjected:
 		return res.status == http.StatusServiceUnavailable
@@ -482,10 +498,10 @@ func (res result) expired() bool {
 	return false
 }
 
-// doJob runs one job to completion, retrying overload answers under the
-// policy. The sample's latency spans all attempts — the client-observed
-// time to an answer.
-func doJob(client *http.Client, addr string, j job, policy *retryPolicy) sample {
+// doJob runs one job to completion, retrying overload answers and dead
+// connections under the policy. The sample's latency spans all attempts —
+// the client-observed time to an answer.
+func doJob(client *http.Client, addr string, j job, policy *retry.Policy, retries *atomic.Int64) sample {
 	t0 := time.Now()
 	s := sample{kind: j.kind}
 	for attempt := 0; ; attempt++ {
@@ -499,21 +515,34 @@ func doJob(client *http.Client, addr string, j job, policy *retryPolicy) sample 
 		s.status = res.status
 		s.degraded = s.degraded || res.degraded
 		s.missingBound = s.missingBound || res.missingBound
+		s.partial = s.partial || res.partial
+		s.missingCoverage = s.missingCoverage || res.missingCoverage
 		switch {
-		case res.transport || res.badJSON:
+		case res.badJSON:
 			s.class = clsError
 			return s
+		case res.transport:
+			// The connection died — possibly a daemon cycling mid-burst —
+			// so it earns the same retry ladder as an overload answer.
+			if attempt >= policy.Max {
+				s.class = clsTransport
+				s.retries = attempt
+				return s
+			}
+			retries.Add(1)
+			policy.Sleep(attempt, res.retryAfter)
 		case res.status >= 200 && res.status < 300 && !res.streamDead:
 			s.class = clsOK
 			s.ttfe, s.ttconverged = res.ttfe, res.ttconverged
-			if res.missingBound {
-				// A degraded explain without its quality bound is a contract
-				// violation, not an overload answer.
+			if res.missingBound || res.missingCoverage {
+				// A degraded explain without its quality bound, or a partial
+				// answer without its coverage map, is a contract violation,
+				// not an overload answer.
 				s.class = clsError
 			}
 			return s
 		case res.retriable():
-			if attempt >= policy.max {
+			if attempt >= policy.Max {
 				if res.injected {
 					s.class = clsInjectedExhausted
 				} else {
@@ -522,7 +551,8 @@ func doJob(client *http.Client, addr string, j job, policy *retryPolicy) sample 
 				s.retries = attempt
 				return s
 			}
-			policy.sleep(attempt, res.retryAfter)
+			retries.Add(1)
+			policy.Sleep(attempt, res.retryAfter)
 		case res.expired():
 			s.class = clsExpired
 			return s
@@ -555,18 +585,29 @@ func (res *result) parseError(blob []byte) {
 	}
 }
 
-// parseReport checks a 2xx explain/match body for degradation markers. The
-// body may be enveloped ({data: {...}}), spliced (-compat-v0), or bare
-// (pre-envelope server, stream done event) — decodeBody handles all three;
-// a match body simply decodes with both fields absent.
+// parseReport checks a 2xx explain/match body for degradation and partial
+// markers. The body may be enveloped ({data: {...}}), spliced (-compat-v0),
+// or bare (pre-envelope server, stream done event) — decodeBody handles all
+// three; a body without the fields simply decodes with them absent.
 func (res *result) parseReport(blob []byte) {
 	var rep struct {
 		Degraded     bool               `json:"degraded"`
 		QualityBound *wire.QualityBound `json:"qualityBound"`
+		Partial      bool               `json:"partial"`
+		Coverage     map[string]bool    `json:"coverage"` // match answers carry it top-level
 	}
-	if decodeBody(blob, &rep) == nil && rep.Degraded {
+	if decodeBody(blob, &rep) != nil {
+		return
+	}
+	if rep.Degraded {
 		res.degraded = true
 		res.missingBound = rep.QualityBound == nil
+	}
+	if rep.Partial {
+		res.partial = true
+		covered := len(rep.Coverage) > 0 ||
+			(rep.QualityBound != nil && len(rep.QualityBound.Coverage) > 0)
+		res.missingCoverage = !covered
 	}
 }
 
@@ -577,14 +618,23 @@ func send(client *http.Client, url string, body []byte) result {
 		return result{transport: true}
 	}
 	defer resp.Body.Close()
-	blob, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return result{transport: true}
-	}
 	res := result{status: resp.StatusCode}
 	res.readRetryAfter(resp)
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		// The connection died mid-read: a transport casualty whatever the
+		// status line promised, not an unexplained server answer.
+		res.transport = true
+		return res
+	}
 	if !json.Valid(blob) {
-		res.badJSON = true
+		if res.status >= 500 {
+			// A 5xx with a non-JSON body is a dying peer's half-answer
+			// (truncated envelope, proxy text) — transport, not a JSON bug.
+			res.transport = true
+		} else {
+			res.badJSON = true
+		}
 		return res
 	}
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
@@ -623,10 +673,15 @@ func sendStream(client *http.Client, url string, body []byte) result {
 		// Refused before the stream opened: a plain JSON answer.
 		blob, err := io.ReadAll(resp.Body)
 		if err != nil {
-			return result{transport: true}
+			res.transport = true
+			return res
 		}
 		if !json.Valid(blob) {
-			res.badJSON = true
+			if res.status >= 500 {
+				res.transport = true
+			} else {
+				res.badJSON = true
+			}
 			return res
 		}
 		if res.status >= 200 && res.status < 300 {
@@ -722,10 +777,19 @@ func sortedKernelDatasets(m map[string]map[string]wire.KernelCounters) []string 
 	return names
 }
 
+func sortedShardDatasets(m map[string]*wire.ShardingStats) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // buildJobs derives the request corpus from the daemon's dataset listing.
 // A request that fails to marshal is counted and skipped, never fatal: one
 // bad record must not kill a load run.
-func buildJobs(client *http.Client, addr, mix string, budget int) ([]job, int, error) {
+func buildJobs(client *http.Client, addr, mix string, budget int, allowPartial bool) ([]job, int, error) {
 	resp, err := client.Get(addr + "/v1/datasets")
 	if err != nil {
 		return nil, 0, fmt.Errorf("discovering datasets: %w", err)
@@ -763,17 +827,19 @@ func buildJobs(client *http.Client, addr, mix string, budget int) ([]job, int, e
 			if mix != "match" {
 				add(explainKind, wire.ExplainRequest{
 					Dataset: info.Name, Builtin: builtin, Failing: true, Lower: 1, Budget: budget,
+					AllowPartial: allowPartial,
 				})
 				add(explainKind, wire.ExplainRequest{
 					Dataset: info.Name, Builtin: builtin, Lower: 1, Upper: 3, Budget: budget,
+					AllowPartial: allowPartial,
 				})
 			}
 			if mix == "match" || mix == "mixed" {
 				add("match", wire.MatchRequest{
-					Dataset: info.Name, Builtin: builtin,
+					Dataset: info.Name, Builtin: builtin, AllowPartial: allowPartial,
 				})
 				add("match", wire.MatchRequest{
-					Dataset: info.Name, Builtin: builtin, Mode: "find", Limit: 10,
+					Dataset: info.Name, Builtin: builtin, Mode: "find", Limit: 10, AllowPartial: allowPartial,
 				})
 			}
 		}

@@ -267,7 +267,14 @@ func (e *Engine) ExplainCtx(ctx context.Context, q *query.Query, opts Options) (
 	}
 	opts.fill()
 	st := e.states.Get().(*explainState)
-	defer e.states.Put(st)
+	// The request context rides on the matching context so the matcher's
+	// count delegate (sharded counting) sees per-request state; detach before
+	// the state returns to the pool.
+	st.ctx.SetRequest(ctx)
+	defer func() {
+		st.ctx.SetRequest(nil)
+		e.states.Put(st)
+	}()
 	countCap := 0
 	if opts.Expected.Upper > 0 {
 		countCap = opts.Expected.Upper * 4

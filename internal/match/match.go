@@ -20,6 +20,7 @@
 package match
 
 import (
+	"context"
 	"encoding/binary"
 	"sort"
 	"sync"
@@ -99,7 +100,25 @@ type Matcher struct {
 	countCache  [countShards]countShard
 	countHits   atomic.Int64
 	countMisses atomic.Int64
+
+	// countDelegate, when set, intercepts every CountKeyed-routed count —
+	// internal/shard installs its scatter-gather eval here. The delegate runs
+	// before the aggregate count cache is consulted, so sharded requests never
+	// read or write whole-graph cache entries from partial results; a delegate
+	// that declines (ok=false) falls back to the local engine unchanged.
+	countDelegate CountDelegate
 }
+
+// CountDelegate intercepts counts. It receives the execution context (whose
+// Request() carries per-request state), the query, its canonical key if the
+// caller already held one, and the cap; returning ok=false falls back to the
+// local engine.
+type CountDelegate func(c *Ctx, q *query.Query, key string, cap int) (n int, ok bool)
+
+// SetCountDelegate installs (or, with nil, removes) the matcher's count
+// delegate. Set once at startup before serving; not synchronized against
+// in-flight counts.
+func (m *Matcher) SetCountDelegate(d CountDelegate) { m.countDelegate = d }
 
 // New returns a matcher over g. The graph's packed adjacency is frozen here
 // so concurrent matching never races on the lazy build.
@@ -268,6 +287,11 @@ func (m *Matcher) CountKeyed(c *Ctx, q *query.Query, key string, cap int) int {
 	if q.NumVertices() == 0 {
 		return 0
 	}
+	if d := m.countDelegate; d != nil {
+		if n, ok := d(c, q, key, cap); ok {
+			return n
+		}
+	}
 	if m.planOff {
 		p := m.getPlan(q)
 		defer m.plans.Put(p)
@@ -282,6 +306,64 @@ func (m *Matcher) CountKeyed(c *Ctx, q *query.Query, key string, cap int) int {
 	}
 	m.countMisses.Add(1)
 	n := m.cachedPlan(c, q).Count(c, cap)
+	m.countPut(c.cntBuf, n)
+	return n
+}
+
+// CountUnder is Count with the serving request's context attached to the
+// pooled execution context for the duration of the call, so the count routes
+// through the matcher's delegate with per-request state (the shard session)
+// visible. It is the entry point for one-shot server handlers that have no
+// long-lived Ctx of their own.
+func (m *Matcher) CountUnder(ctx context.Context, q *query.Query, cap int) int {
+	c := m.getCtx()
+	c.SetRequest(ctx)
+	defer func() {
+		c.SetRequest(nil)
+		m.putCtx(c)
+	}()
+	return m.CountCtx(c, q, cap)
+}
+
+// CountRange counts embeddings whose root-vertex binding lies in [lo, hi) —
+// the shard-local slice of the scatter-gather count. key is q's binary
+// canonical key when the caller already holds one ("" = derive here). See
+// CountRangeKeyed.
+func (m *Matcher) CountRange(q *query.Query, key string, cap, lo, hi int) int {
+	c := m.getCtx()
+	defer m.putCtx(c)
+	return m.CountRangeKeyed(c, q, key, cap, lo, hi)
+}
+
+// CountRangeKeyed is the range-restricted CountKeyed: it counts only the
+// embeddings binding the plan's root vertex inside [lo, hi), which is what a
+// shard evaluates for its vertex-range partition. Range counts never consult
+// the delegate (a shard answering an RPC must always count locally) and are
+// cached under a distinct key shape: a leading 0x00 tag byte — canonical
+// query keys always start with a 'v' or 'e' record tag, never 0x00 — followed
+// by the query key and fixed-width big-endian cap/lo/hi, so range entries can
+// never collide with whole-graph (key, cap) entries or with each other.
+func (m *Matcher) CountRangeKeyed(c *Ctx, q *query.Query, key string, cap, lo, hi int) int {
+	if q.NumVertices() == 0 || lo >= hi {
+		return 0
+	}
+	if m.planOff {
+		p := m.getPlan(q)
+		defer m.plans.Put(p)
+		return p.CountRange(c, cap, lo, hi)
+	}
+	c.loadKey(q, key)
+	c.cntBuf = append(c.cntBuf[:0], 0x00)
+	c.cntBuf = append(c.cntBuf, c.keyBuf...)
+	c.cntBuf = binary.BigEndian.AppendUint64(c.cntBuf, uint64(cap))
+	c.cntBuf = binary.BigEndian.AppendUint64(c.cntBuf, uint64(lo))
+	c.cntBuf = binary.BigEndian.AppendUint64(c.cntBuf, uint64(hi))
+	if n, ok := m.countGet(c.cntBuf); ok {
+		m.countHits.Add(1)
+		return n
+	}
+	m.countMisses.Add(1)
+	n := m.cachedPlan(c, q).CountRange(c, cap, lo, hi)
 	m.countPut(c.cntBuf, n)
 	return n
 }

@@ -54,6 +54,12 @@ func NewPool[S any](workers int, newState func() S) *Pool[S] {
 // Workers reports the pool's worker count.
 func (p *Pool[S]) Workers() int { return p.workers }
 
+// States exposes the workers' private state values, one per worker. Callers
+// may only touch them while no Each call is in flight — the search executor
+// uses this to attach per-request context to every worker's *match.Ctx
+// before a run begins.
+func (p *Pool[S]) States() []S { return p.states }
+
 // Each invokes f(state, i) exactly once for every i in [0, n), spreading the
 // invocations over the pool's workers, and returns once all completed. With
 // one worker (or n <= 1) everything runs inline on the caller's goroutine.

@@ -1,0 +1,63 @@
+package retry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBackoffJitterBounds pins the jitter window: attempt n draws from
+// [d/2, d] for d = min(base<<n, cap), for every attempt across many seeds.
+func TestBackoffJitterBounds(t *testing.T) {
+	base, cap := 100*time.Millisecond, 2*time.Second
+	for seed := int64(1); seed <= 20; seed++ {
+		p := New(5, base, cap, seed)
+		for attempt := 0; attempt < 8; attempt++ {
+			d := base << attempt
+			if d > cap {
+				d = cap
+			}
+			got := p.Backoff(attempt, 0)
+			if got < d/2 || got > d {
+				t.Fatalf("seed %d attempt %d: backoff %v outside [%v, %v]", seed, attempt, got, d/2, d)
+			}
+		}
+	}
+}
+
+// TestBackoffCap proves deep attempts saturate at the cap instead of growing
+// (or overflowing) past it.
+func TestBackoffCap(t *testing.T) {
+	p := New(3, 100*time.Millisecond, time.Second, 1)
+	for _, attempt := range []int{10, 31, 63, 200} {
+		got := p.Backoff(attempt, 0)
+		if got < time.Second/2 || got > time.Second {
+			t.Fatalf("attempt %d: backoff %v outside capped window [%v, %v]", attempt, got, time.Second/2, time.Second)
+		}
+	}
+}
+
+// TestRetryAfterPrecedence: a Retry-After hint longer than the jittered wait
+// wins; a shorter one is ignored (the jittered wait already exceeds it).
+func TestRetryAfterPrecedence(t *testing.T) {
+	p := New(3, 100*time.Millisecond, 2*time.Second, 7)
+	if got := p.Backoff(0, 10*time.Second); got != 10*time.Second {
+		t.Fatalf("long Retry-After not honored: got %v, want 10s", got)
+	}
+	// Attempt 0 jitters within [50ms, 100ms]; a 1ms hint must never shrink it.
+	for i := 0; i < 50; i++ {
+		if got := p.Backoff(0, time.Millisecond); got < 50*time.Millisecond {
+			t.Fatalf("short Retry-After shrank the backoff to %v", got)
+		}
+	}
+}
+
+// TestDefaults: zero base/cap pick the documented defaults.
+func TestDefaults(t *testing.T) {
+	p := New(3, 0, 0, 1)
+	if p.Base != 100*time.Millisecond || p.Cap != 2*time.Second {
+		t.Fatalf("defaults: base %v cap %v, want 100ms / 2s", p.Base, p.Cap)
+	}
+	if p.Max != 3 {
+		t.Fatalf("max: got %d, want 3", p.Max)
+	}
+}

@@ -219,11 +219,27 @@ func (e *Executor) Begin(ctrl Control) {
 			clear(e.spec)
 		}
 	}
+	// Attach the run's request context to every execution context (the
+	// sequential one and each pool worker's) so a matcher count delegate —
+	// internal/shard's scatter-gather eval — sees per-request state from
+	// inside the opaque eval closures. End detaches.
+	e.mctx.SetRequest(ctrl.Ctx)
+	if e.parallel {
+		for _, c := range e.pool.States() {
+			c.SetRequest(ctrl.Ctx)
+		}
+	}
 }
 
 // End closes the run, flushing the kernel counters — leftover speculated
 // results count as waste — into Control.Metrics when one was supplied.
 func (e *Executor) End() {
+	e.mctx.SetRequest(nil)
+	if e.parallel {
+		for _, c := range e.pool.States() {
+			c.SetRequest(nil)
+		}
+	}
 	if e.ctrl.Metrics != nil {
 		e.ctrl.Metrics.add(e.Counters())
 	}

@@ -57,6 +57,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/resilience"
+	"repro/internal/shard"
 	"repro/internal/wire"
 	"repro/internal/workload"
 )
@@ -156,6 +157,11 @@ type dataset struct {
 	queueCap int
 	queued   atomic.Int64
 	inFlight atomic.Int64
+
+	// shards, when non-nil, is the dataset's scatter-gather counting group
+	// (whydbd -shards / -peers): requests carry a shard.Session and every
+	// CountKeyed-routed count fans out through it.
+	shards *shard.Group
 }
 
 // Server is the why-query HTTP daemon state. Register datasets with
@@ -194,6 +200,7 @@ type Server struct {
 	explainSeq atomic.Uint64 // fault-injection draw sequence per site
 	streamSeq  atomic.Uint64
 	matchSeq   atomic.Uint64
+	countSeq   atomic.Uint64
 }
 
 // New returns an empty server with the given configuration. The server
@@ -265,6 +272,21 @@ func (s *Server) AddDataset(name string, eng *core.Engine, builtins []workload.N
 	s.mu.Unlock()
 }
 
+// AddShardGroup installs a scatter-gather counting group for a registered
+// dataset: the group becomes the matcher's count delegate, so every request
+// served with a shard session fans its counts out instead of counting
+// locally. Call before SetReady — the delegate installation is not
+// synchronized against in-flight counts.
+func (s *Server) AddShardGroup(name string, g *shard.Group) error {
+	ds, ok := s.lookup(name)
+	if !ok {
+		return fmt.Errorf("server: unknown dataset %q", name)
+	}
+	ds.shards = g
+	ds.eng.Matcher().SetCountDelegate(g.Delegate())
+	return nil
+}
+
 // lookup returns the named dataset under the read lock.
 func (s *Server) lookup(name string) (*dataset, bool) {
 	s.mu.RLock()
@@ -283,6 +305,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	mux.HandleFunc("POST /v1/explain/stream", s.handleExplainStream)
 	mux.HandleFunc("POST /v1/match", s.handleMatch)
+	mux.HandleFunc("POST /v1/internal/count", s.handleCount)
 	return s.recoverer(mux)
 }
 
@@ -432,7 +455,7 @@ func (s *Server) writeError(w http.ResponseWriter, r *http.Request, status int, 
 // (possibly against another replica) and the backoff hint to attach.
 func retryable(code wire.ErrorCode) (bool, int) {
 	switch code {
-	case wire.CodeShed, wire.CodeDraining:
+	case wire.CodeShed, wire.CodeDraining, wire.CodeShardUnavailable:
 		return true, 1000
 	default:
 		return false, 0
@@ -545,6 +568,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				Speculated: c.Speculated,
 				SpecWaste:  c.SpecWaste,
 			}
+		}
+		if ds.shards != nil {
+			st.Sharding = ds.shards.Snapshot()
 		}
 		resp.Datasets[name] = st
 	}
@@ -866,6 +892,14 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		release = starveRelease(release, inject.Starve)
 	}
 	defer release()
+	var sess *shard.Session
+	if ds.shards != nil {
+		// Sharded dataset: the session carries allowPartial and per-request
+		// dead-shard state into the count delegate; a hard shard failure
+		// cancels the request context so the search stops promptly.
+		sess = shard.NewSession(prep.req.AllowPartial, cancel)
+		ctx = shard.WithSession(ctx, sess)
+	}
 	degraded := state == resilience.Degraded
 	var qbBudget, qbEps int
 	if degraded {
@@ -883,6 +917,14 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	rep, err := ds.eng.ExplainCtx(ctx, q, opts)
 	if err != nil {
+		// A shard failure cancels the request context, so check the session
+		// first: the caller should see shard_unavailable, not a timeout.
+		if sess != nil {
+			if serr := sess.Err(); serr != nil && errors.Is(serr, shard.ErrUnavailable) {
+				s.fail(w, r, http.StatusServiceUnavailable, wire.CodeShardUnavailable, "%v", serr)
+				return
+			}
+		}
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			if inject.Kind == faultinject.Cancel && r.Context().Err() == nil && s.drainCtx.Err() == nil {
 				s.failInjected(w, r, http.StatusServiceUnavailable, "injected fault: mid-search cancellation")
@@ -899,6 +941,14 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.degradedServed.Add(1)
 		resp.Degraded = true
 		resp.QualityBound = qualityBound(rep, qbBudget, qbEps)
+	}
+	if sess != nil && sess.Partial() {
+		ds.shards.NotePartialServed()
+		resp.Partial = true
+		if resp.QualityBound == nil {
+			resp.QualityBound = qualityBound(rep, opts.Budget, 0)
+		}
+		resp.QualityBound.Coverage = sess.Coverage(ds.shards.Names())
 	}
 	s.writeData(w, r, resp)
 }
@@ -968,12 +1018,36 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 	// handler answers at the deadline, while the execution slot stays held
 	// until the (count-capped / limit-bounded) enumeration finishes — a
 	// timed-out request never lets a new one oversubscribe the matcher.
-	done := make(chan wire.MatchResponse, 1)
+	type matchResult struct {
+		resp wire.MatchResponse
+		err  error
+	}
+	done := make(chan matchResult, 1)
 	go func() {
 		defer release()
 		m := ds.eng.Matcher()
 		if mode == "count" {
-			done <- wire.MatchResponse{Count: m.Count(q, countCap)}
+			if ds.shards != nil {
+				// Sharded count: fan out through the group. The session gets
+				// no cancel hook — the single count's error comes back on the
+				// done channel, so cancelling ctx here would only race the
+				// select below.
+				sess := shard.NewSession(req.AllowPartial, nil)
+				n := m.CountUnder(shard.WithSession(ctx, sess), q, countCap)
+				if err := sess.Err(); err != nil {
+					done <- matchResult{err: err}
+					return
+				}
+				resp := wire.MatchResponse{Count: n}
+				if sess.Partial() {
+					ds.shards.NotePartialServed()
+					resp.Partial = true
+					resp.Coverage = sess.Coverage(ds.shards.Names())
+				}
+				done <- matchResult{resp: resp}
+				return
+			}
+			done <- matchResult{resp: wire.MatchResponse{Count: m.Count(q, countCap)}}
 			return
 		}
 		results := m.Find(q, match.Options{Limit: limit})
@@ -982,11 +1056,15 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		for _, res := range results {
 			resp.Results = append(resp.Results, wire.FromResult(res))
 		}
-		done <- resp
+		done <- matchResult{resp: resp}
 	}()
 	select {
-	case resp := <-done:
-		s.writeData(w, r, resp)
+	case res := <-done:
+		if res.err != nil {
+			s.fail(w, r, http.StatusServiceUnavailable, wire.CodeShardUnavailable, "%v", res.err)
+			return
+		}
+		s.writeData(w, r, res.resp)
 	case <-ctx.Done():
 		s.failCtx(w, r, ctx.Err(), false)
 	}

@@ -1,0 +1,256 @@
+package server
+
+// Stage-2 differential and fault tests for sharded serving: the internal
+// count RPC, the HTTP scatter-gather coordinator (byte-identical to an
+// unsharded server with no faults), and the degradation contract under a
+// fully dead shard — allowPartial answers stamped partial with a coverage
+// map, non-partial requests answering shard_unavailable.
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/faultinject"
+	"repro/internal/resilience"
+	"repro/internal/shard"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+// shardTestEngine builds a small dedicated LDBC engine. The generator is
+// deterministic, so every call yields an identical graph — which is exactly
+// the replicated-data model the HTTP topology assumes.
+func shardTestEngine() *core.Engine {
+	eng := core.NewEngine(datagen.LDBC(datagen.DefaultLDBC().Scaled(0.2)))
+	eng.SetWorkers(2)
+	return eng
+}
+
+func addLDBC(s *Server, eng *core.Engine) {
+	s.AddDataset("ldbc", eng, workload.LDBCQueries(), workload.FailingVariant)
+}
+
+func TestInternalCountEndpoint(t *testing.T) {
+	h := newTestServer(t, Config{}).Handler()
+	le, _ := engines(t)
+	nv := le.Graph().NumVertices()
+	q := workload.LDBCQueries()[0].Build()
+	wq := wire.FromQuery(q)
+	want := le.Matcher().Count(q, 0)
+
+	// Full range (Hi past NumVertices is clamped, not rejected).
+	rec := do(t, h, "POST", "/v1/internal/count", wire.CountRequest{Dataset: "ldbc", Query: &wq, Lo: 0, Hi: nv + 1000})
+	if rec.Code != 200 {
+		t.Fatalf("got %d: %s", rec.Code, rec.Body)
+	}
+	if cr := decodeData[wire.CountResponse](t, rec); cr.Count != want {
+		t.Fatalf("full-range count %d != unsharded %d", cr.Count, want)
+	}
+	// Any partition of the range sums to the total.
+	total := 0
+	for _, r := range shard.Partition(nv, 3) {
+		rec := do(t, h, "POST", "/v1/internal/count", wire.CountRequest{Dataset: "ldbc", Query: &wq, Lo: r.Lo, Hi: r.Hi})
+		total += decodeData[wire.CountResponse](t, rec).Count
+	}
+	if total != want {
+		t.Fatalf("partitioned counts sum to %d, want %d", total, want)
+	}
+	// The cap crosses the wire verbatim.
+	rec = do(t, h, "POST", "/v1/internal/count", wire.CountRequest{Dataset: "ldbc", Query: &wq, Cap: 1, Lo: 0, Hi: nv})
+	if cr := decodeData[wire.CountResponse](t, rec); cr.Count != 1 {
+		t.Fatalf("capped count %d, want 1", cr.Count)
+	}
+
+	for _, tc := range []struct {
+		name string
+		req  wire.CountRequest
+		code int
+		werr wire.ErrorCode
+	}{
+		{"unknown dataset", wire.CountRequest{Dataset: "nope", Query: &wq, Hi: 1}, 404, wire.CodeInvalidSpec},
+		{"missing query", wire.CountRequest{Dataset: "ldbc", Hi: 1}, 400, wire.CodeInvalidSpec},
+		{"lo > hi", wire.CountRequest{Dataset: "ldbc", Query: &wq, Lo: 5, Hi: 1}, 400, wire.CodeBoundViolation},
+		{"negative cap", wire.CountRequest{Dataset: "ldbc", Query: &wq, Cap: -1, Hi: 1}, 400, wire.CodeBoundViolation},
+	} {
+		rec := do(t, h, "POST", "/v1/internal/count", tc.req)
+		if rec.Code != tc.code {
+			t.Fatalf("%s: got %d: %s", tc.name, rec.Code, rec.Body)
+		}
+		if e := decodeError(t, rec); e.Code != tc.werr {
+			t.Fatalf("%s: code %q, want %q", tc.name, e.Code, tc.werr)
+		}
+	}
+}
+
+// shardedPair spins up nPeers peer daemons (peerCfgs[i] may add an injector),
+// a coordinator fanning counts out to them over HTTP, and an unsharded
+// reference server over an identical engine. Cleanup closes the peers. Every
+// server's brownout controller is pinned Healthy: these tests compare shard
+// behavior, and a slow CI machine must not trip latency-based shedding or
+// degradation mid-differential.
+func shardedPair(t *testing.T, nPeers int, groupCfg shard.Config, peerCfg func(i int) Config) (coord, ref *Server) {
+	t.Helper()
+	peerEng := shardTestEngine()
+	members := make([]shard.Shard, nPeers)
+	for i := 0; i < nPeers; i++ {
+		ps := New(peerCfg(i))
+		ps.Resilience().ForceState(resilience.Healthy)
+		addLDBC(ps, peerEng)
+		ts := httptest.NewServer(ps.Handler())
+		t.Cleanup(ts.Close)
+		members[i] = shard.NewClient(fmt.Sprintf("s%d", i), ts.URL, "ldbc", nil)
+	}
+	ref = New(Config{})
+	ref.Resilience().ForceState(resilience.Healthy)
+	addLDBC(ref, peerEng)
+
+	coordEng := shardTestEngine()
+	coord = New(Config{})
+	coord.Resilience().ForceState(resilience.Healthy)
+	addLDBC(coord, coordEng)
+	g, err := shard.New("http", members, shard.Partition(coordEng.Graph().NumVertices(), nPeers), groupCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.AddShardGroup("ldbc", g); err != nil {
+		t.Fatal(err)
+	}
+	return coord, ref
+}
+
+func TestHTTPDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-peer differential")
+	}
+	for _, nPeers := range []int{2, 4} {
+		coord, ref := shardedPair(t, nPeers, shard.Config{}, func(int) Config { return Config{} })
+		ch, rh := coord.Handler(), ref.Handler()
+		for _, nq := range workload.LDBCQueries() {
+			reqs := []any{
+				wire.ExplainRequest{Dataset: "ldbc", Builtin: nq.Name, Failing: true, Lower: 1, Budget: 60},
+				wire.ExplainRequest{Dataset: "ldbc", Builtin: nq.Name, Lower: 1, Upper: 3, Budget: 60},
+				wire.MatchRequest{Dataset: "ldbc", Builtin: nq.Name},
+				wire.MatchRequest{Dataset: "ldbc", Builtin: nq.Name, CountCap: 5},
+			}
+			paths := []string{"/v1/explain", "/v1/explain", "/v1/match", "/v1/match"}
+			for i, req := range reqs {
+				got := dataBytes(t, do(t, ch, "POST", paths[i], req))
+				want := dataBytes(t, do(t, rh, "POST", paths[i], req))
+				if string(got) != string(want) {
+					t.Errorf("%d peers, %s %s[%d]: sharded answer differs:\n sharded: %s\n unsharded: %s",
+						nPeers, nq.Name, paths[i], i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// deadShardPair builds a 2-peer topology whose second peer fails every count
+// RPC (rpc-error=1.0), with a tight retry ladder so tests stay fast.
+func deadShardPair(t *testing.T) (coord, ref *Server) {
+	t.Helper()
+	return shardedPair(t, 2,
+		shard.Config{Retries: 1, RetryBase: time.Millisecond, RetryCap: 2 * time.Millisecond},
+		func(i int) Config {
+			if i != 1 {
+				return Config{}
+			}
+			return Config{Injector: faultinject.New(faultinject.Config{Seed: 42, PRPCError: 1})}
+		})
+}
+
+func TestShardUnavailable(t *testing.T) {
+	coord, _ := deadShardPair(t)
+	h := coord.Handler()
+	rec := do(t, h, "POST", "/v1/explain", wire.ExplainRequest{Dataset: "ldbc", Builtin: "LDBC QUERY 1", Failing: true, Lower: 1, Budget: 40})
+	if rec.Code != 503 {
+		t.Fatalf("got %d: %s", rec.Code, rec.Body)
+	}
+	e := decodeError(t, rec)
+	if e.Code != wire.CodeShardUnavailable {
+		t.Fatalf("code %q, want shard_unavailable: %s", e.Code, rec.Body)
+	}
+	if !e.Retryable || e.RetryAfterMs <= 0 {
+		t.Fatalf("shard_unavailable must advertise a retry: %+v", e)
+	}
+	// Match counts answer the same way.
+	rec = do(t, h, "POST", "/v1/match", wire.MatchRequest{Dataset: "ldbc", Builtin: "LDBC QUERY 1"})
+	if rec.Code != 503 {
+		t.Fatalf("match got %d: %s", rec.Code, rec.Body)
+	}
+	if e := decodeError(t, rec); e.Code != wire.CodeShardUnavailable {
+		t.Fatalf("match code %q, want shard_unavailable", e.Code)
+	}
+}
+
+func TestPartialAnswers(t *testing.T) {
+	coord, ref := deadShardPair(t)
+	h := coord.Handler()
+
+	// allowPartial match count: the surviving shard's range only.
+	rec := do(t, h, "POST", "/v1/match", wire.MatchRequest{Dataset: "ldbc", Builtin: "LDBC QUERY 1", AllowPartial: true})
+	if rec.Code != 200 {
+		t.Fatalf("got %d: %s", rec.Code, rec.Body)
+	}
+	mr := decodeData[wire.MatchResponse](t, rec)
+	if !mr.Partial {
+		t.Fatalf("answer not stamped partial: %s", rec.Body)
+	}
+	if len(mr.Coverage) != 2 || !mr.Coverage["s0"] || mr.Coverage["s1"] {
+		t.Fatalf("coverage %v, want s0 covered / s1 not", mr.Coverage)
+	}
+	refEng := refEngine(t, ref)
+	q := workload.LDBCQueries()[0].Build()
+	half := shard.Partition(refEng.Graph().NumVertices(), 2)[0]
+	if want := refEng.Matcher().CountRange(q, "", 0, half.Lo, half.Hi); mr.Count != want {
+		t.Fatalf("partial count %d, want surviving-range count %d", mr.Count, want)
+	}
+
+	// allowPartial explain: partial flag plus coverage inside qualityBound.
+	rec = do(t, h, "POST", "/v1/explain", wire.ExplainRequest{Dataset: "ldbc", Builtin: "LDBC QUERY 1", Failing: true, Lower: 1, Budget: 40, AllowPartial: true})
+	if rec.Code != 200 {
+		t.Fatalf("explain got %d: %s", rec.Code, rec.Body)
+	}
+	rep := decodeData[wire.Report](t, rec)
+	if !rep.Partial {
+		t.Fatalf("explain not stamped partial: %s", rec.Body)
+	}
+	if rep.QualityBound == nil || len(rep.QualityBound.Coverage) != 2 ||
+		!rep.QualityBound.Coverage["s0"] || rep.QualityBound.Coverage["s1"] {
+		t.Fatalf("explain qualityBound/coverage: %+v", rep.QualityBound)
+	}
+
+	// The shards section of /v1/stats reports the carnage.
+	st := decodeData[wire.StatsResponse](t, do(t, h, "GET", "/v1/stats", nil))
+	sh := st.Datasets["ldbc"].Sharding
+	if sh == nil || sh.Mode != "http" || sh.NumShards != 2 {
+		t.Fatalf("sharding stats: %+v", sh)
+	}
+	if sh.PartialServed < 2 {
+		t.Fatalf("partialServed = %d, want >= 2", sh.PartialServed)
+	}
+	var s1 *wire.ShardStats
+	for i := range sh.Shards {
+		if sh.Shards[i].Name == "s1" {
+			s1 = &sh.Shards[i]
+		}
+	}
+	if s1 == nil || s1.Failures == 0 || s1.Retries == 0 {
+		t.Fatalf("dead shard stats: %+v", s1)
+	}
+}
+
+// refEngine digs the reference server's ldbc engine back out for direct
+// counting.
+func refEngine(t *testing.T, ref *Server) *core.Engine {
+	t.Helper()
+	ds, ok := ref.lookup("ldbc")
+	if !ok {
+		t.Fatal("reference server lost its dataset")
+	}
+	return ds.eng
+}

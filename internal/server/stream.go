@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faultinject"
 	"repro/internal/resilience"
+	"repro/internal/shard"
 	"repro/internal/wire"
 )
 
@@ -87,6 +88,11 @@ func (s *Server) handleExplainStream(w http.ResponseWriter, r *http.Request) {
 		release = starveRelease(release, inject.Starve)
 	}
 	defer release()
+	var sess *shard.Session
+	if ds.shards != nil {
+		sess = shard.NewSession(prep.req.AllowPartial, cancel)
+		ctx = shard.WithSession(ctx, sess)
+	}
 	degraded := state == resilience.Degraded
 	var qbBudget, qbEps int
 	if degraded {
@@ -133,6 +139,16 @@ func (s *Server) handleExplainStream(w http.ResponseWriter, r *http.Request) {
 	rep, err := ds.eng.ExplainCtx(ctx, q, opts)
 	if err != nil {
 		var we wire.Error
+		if sess != nil {
+			if serr := sess.Err(); serr != nil && errors.Is(serr, shard.ErrUnavailable) {
+				s.reqErrors.Add(1)
+				we = wire.Error{Code: wire.CodeShardUnavailable, Message: serr.Error(), Retryable: true, RetryAfterMs: 1000}
+				if writeSSE(w, "error", wire.Envelope{RequestID: requestID(r), Error: &we}) == nil {
+					flusher.Flush()
+				}
+				return
+			}
+		}
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			if inject.Kind == faultinject.Cancel && r.Context().Err() == nil && s.drainCtx.Err() == nil {
 				s.injected.Add(1)
@@ -155,6 +171,14 @@ func (s *Server) handleExplainStream(w http.ResponseWriter, r *http.Request) {
 		s.degradedServed.Add(1)
 		resp.Degraded = true
 		resp.QualityBound = qualityBound(rep, qbBudget, qbEps)
+	}
+	if sess != nil && sess.Partial() {
+		ds.shards.NotePartialServed()
+		resp.Partial = true
+		if resp.QualityBound == nil {
+			resp.QualityBound = qualityBound(rep, opts.Budget, 0)
+		}
+		resp.QualityBound.Coverage = sess.Coverage(ds.shards.Names())
 	}
 	if writeSSE(w, "done", resp) == nil {
 		flusher.Flush()

@@ -1,0 +1,163 @@
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+const (
+	// BreakerClosed: calls flow; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: calls fail fast until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe call is in flight; its outcome decides
+	// between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String names the state as surfaced in /v1/stats.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// BreakerConfig tunes a circuit breaker. The zero value picks the defaults.
+type BreakerConfig struct {
+	// Threshold is the consecutive-failure count that opens the breaker
+	// (0 = 3).
+	Threshold int
+	// Cooldown is how long an open breaker fails fast before admitting a
+	// half-open probe (0 = 1s).
+	Cooldown time.Duration
+	// Now is the clock (nil = time.Now) — injectable like
+	// resilience.Config.Now so tests drive transitions by hand.
+	Now func() time.Time
+}
+
+func (c *BreakerConfig) fill() {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// Breaker is a per-shard circuit breaker: closed → (Threshold consecutive
+// failures) → open → (Cooldown) → half-open → one probe → closed or open.
+// It exists so a dead shard costs one fast-failed check per count instead of
+// a full retry ladder, while still being re-probed after the cooldown.
+// Safe for concurrent use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	consec   int       // consecutive failures since the last success
+	openedAt time.Time // when the breaker last opened
+	probing  bool      // a half-open probe is in flight
+	opened   int64     // transitions into open
+	closed   int64     // transitions back into closed
+}
+
+// NewBreaker returns a closed breaker under the config.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	cfg.fill()
+	return &Breaker{cfg: cfg}
+}
+
+// Allow reports whether a call may proceed. An open breaker whose cooldown
+// has elapsed transitions to half-open and admits exactly one probe; callers
+// admitted by Allow must report the outcome via Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success reports a successful call: a half-open probe closes the breaker,
+// and any success resets the consecutive-failure count.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != BreakerClosed {
+		b.closed++
+	}
+	b.state = BreakerClosed
+	b.consec = 0
+	b.probing = false
+}
+
+// Failure reports a failed call: a failed half-open probe re-opens the
+// breaker immediately; in closed state the Threshold-th consecutive failure
+// opens it.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.consec++
+	b.probing = false
+	switch b.state {
+	case BreakerHalfOpen:
+		b.state = BreakerOpen
+		b.openedAt = b.cfg.Now()
+		b.opened++
+	case BreakerClosed:
+		if b.consec >= b.cfg.Threshold {
+			b.state = BreakerOpen
+			b.openedAt = b.cfg.Now()
+			b.opened++
+		}
+	}
+}
+
+// State returns the breaker's position. An open breaker past its cooldown
+// reports half-open-eligible as open until the next Allow actually admits
+// the probe.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// ConsecFailures returns the consecutive failures since the last success.
+func (b *Breaker) ConsecFailures() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.consec
+}
+
+// Counters returns the transition counters: entries into open and returns to
+// closed.
+func (b *Breaker) Counters() (opened, closed int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opened, b.closed
+}

@@ -1,0 +1,83 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/query"
+	"repro/internal/wire"
+)
+
+// Client is an HTTP shard: a whydbd peer answering the internal count RPC
+// POST /v1/internal/count. A Client is one attempt's transport and nothing
+// more — retries, hedging, breakers, and deadlines are the Group's job, so
+// the same fault-tolerance layer covers every Shard implementation and a
+// hedged duplicate is just a second concurrent Count call.
+//
+// Only the query spec and integers cross the wire; the peer re-derives the
+// canonical key itself, which keeps the RPC body free of engine internals.
+type Client struct {
+	name    string
+	url     string // resolved RPC endpoint
+	dataset string
+	hc      *http.Client
+}
+
+// NewClient returns an HTTP shard speaking to the peer's base URL (e.g.
+// "http://host:port") for the named dataset. hc nil picks a client with a
+// sane overall timeout backstop; per-call deadlines come from the context.
+func NewClient(name, baseURL, dataset string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Client{name: name, url: baseURL + "/v1/internal/count", dataset: dataset, hc: hc}
+}
+
+// Name implements Shard.
+func (c *Client) Name() string { return c.name }
+
+// Count implements Shard: one count RPC against the peer. Any transport
+// fault, non-2xx answer, or malformed body is an error for the Group's retry
+// ladder to handle.
+func (c *Client) Count(ctx context.Context, q *query.Query, _ string, cap int, r Range) (int, error) {
+	wq := wire.FromQuery(q)
+	body, err := json.Marshal(wire.CountRequest{Dataset: c.dataset, Query: &wq, Cap: cap, Lo: r.Lo, Hi: r.Hi})
+	if err != nil {
+		return 0, fmt.Errorf("shard %s: encode: %w", c.name, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url, bytes.NewReader(body))
+	if err != nil {
+		return 0, fmt.Errorf("shard %s: %w", c.name, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("shard %s: %w", c.name, err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, fmt.Errorf("shard %s: read: %w", c.name, err)
+	}
+	var env wire.Envelope
+	if err := json.Unmarshal(blob, &env); err != nil {
+		return 0, fmt.Errorf("shard %s: status %d, bad envelope: %w", c.name, resp.StatusCode, err)
+	}
+	if resp.StatusCode != http.StatusOK || env.Error != nil {
+		msg := "no error payload"
+		if env.Error != nil {
+			msg = fmt.Sprintf("%s: %s", env.Error.Code, env.Error.Message)
+		}
+		return 0, fmt.Errorf("shard %s: status %d: %s", c.name, resp.StatusCode, msg)
+	}
+	var cr wire.CountResponse
+	if err := json.Unmarshal(env.Data, &cr); err != nil {
+		return 0, fmt.Errorf("shard %s: bad count payload: %w", c.name, err)
+	}
+	return cr.Count, nil
+}

@@ -1,0 +1,159 @@
+package shard
+
+// The stage-1 differential suite: a single-process multi-shard engine must be
+// byte-identical to the unsharded matcher — counts through the delegate, and
+// full explanation reports for every explain family, over both datasets and
+// 1/2/4 shards. The unsharded baseline runs first (no session in the context,
+// so the installed delegate declines and the matcher counts locally); the
+// sharded runs reuse the same engine with a session attached, which also
+// proves the delegate's fall-through leaves local callers untouched.
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+	"repro/internal/query"
+	"repro/internal/wire"
+	"repro/internal/workload"
+)
+
+type diffDataset struct {
+	name    string
+	eng     *core.Engine
+	queries []diffQuery
+}
+
+type diffQuery struct {
+	name string
+	q    *query.Query
+	opts core.Options
+}
+
+var (
+	diffOnce sync.Once
+	diffSets []*diffDataset
+)
+
+// diffDatasets builds both generator datasets (small) with the full explain
+// corpus: a why-empty explain per failing variant and a why-so-many explain
+// per original query — between them they exercise the coarse relaxation,
+// fine-grained modification-tree, and subgraph explanation families.
+func diffDatasets(t *testing.T) []*diffDataset {
+	t.Helper()
+	diffOnce.Do(func() {
+		build := func(name string, eng *core.Engine, queries []workload.Named, failing func(string) (*query.Query, error)) {
+			ds := &diffDataset{name: name, eng: eng}
+			for _, nq := range queries {
+				fq, err := failing(nq.Name)
+				if err != nil {
+					t.Fatalf("%s failing variant: %v", nq.Name, err)
+				}
+				ds.queries = append(ds.queries,
+					diffQuery{name: nq.Name + "/why-empty", q: fq,
+						opts: core.Options{Expected: metrics.Interval{Lower: 1}, Budget: 60, ResultSample: 40}},
+					diffQuery{name: nq.Name + "/why-so-many", q: nq.Build(),
+						opts: core.Options{Expected: metrics.Interval{Lower: 1, Upper: 3}, Budget: 60, ResultSample: 40}},
+				)
+			}
+			diffSets = append(diffSets, ds)
+		}
+		ldbc := core.NewEngine(datagen.LDBC(datagen.DefaultLDBC().Scaled(0.25)))
+		ldbc.SetWorkers(2)
+		build("ldbc", ldbc, workload.LDBCQueries(), workload.FailingVariant)
+		dbp := core.NewEngine(datagen.DBpedia(datagen.DBpediaConfig{Seed: 7, Entities: 600, EdgesPer: 4}))
+		dbp.SetWorkers(2)
+		build("dbpedia", dbp, workload.DBpediaQueries(), workload.DBpediaFailingVariant)
+	})
+	return diffSets
+}
+
+// sessionCtx returns a request context carrying a fresh non-partial session,
+// which is what routes counts through the installed delegate.
+func sessionCtx() context.Context {
+	return WithSession(context.Background(), NewSession(false, nil))
+}
+
+func TestDifferentialCounts(t *testing.T) {
+	for _, ds := range diffDatasets(t) {
+		m := ds.eng.Matcher()
+		type baseline struct {
+			q   *query.Query
+			cap int
+			n   int
+		}
+		var base []baseline
+		for _, dq := range ds.queries {
+			for _, cap := range []int{0, 1, 5} {
+				base = append(base, baseline{dq.q, cap, m.Count(dq.q, cap)})
+			}
+		}
+		for _, n := range []int{1, 2, 4} {
+			g, err := NewLocalGroup(m, n, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.SetCountDelegate(g.Delegate())
+			for _, b := range base {
+				if got := m.CountUnder(sessionCtx(), b.q, b.cap); got != b.n {
+					t.Errorf("%s: %d shards, cap %d: sharded count %d != unsharded %d", ds.name, n, b.cap, got, b.n)
+				}
+			}
+			// Prove the counts actually scattered: every shard saw RPCs.
+			for _, st := range g.Snapshot().Shards {
+				if st.Requests == 0 {
+					t.Errorf("%s: %d shards: shard %s never called — delegate not routing", ds.name, n, st.Name)
+				}
+			}
+			m.SetCountDelegate(nil)
+		}
+	}
+}
+
+func TestDifferentialExplain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full explain differential")
+	}
+	for _, ds := range diffDatasets(t) {
+		m := ds.eng.Matcher()
+		// Unsharded baselines: the canonical wire bytes of every report.
+		want := make(map[string][]byte, len(ds.queries))
+		for _, dq := range ds.queries {
+			rep, err := ds.eng.ExplainCtx(context.Background(), dq.q, dq.opts)
+			if err != nil {
+				t.Fatalf("%s/%s: baseline explain: %v", ds.name, dq.name, err)
+			}
+			blob, err := json.Marshal(wire.FromReport(rep))
+			if err != nil {
+				t.Fatal(err)
+			}
+			want[dq.name] = blob
+		}
+		for _, n := range []int{1, 2, 4} {
+			g, err := NewLocalGroup(m, n, Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.SetCountDelegate(g.Delegate())
+			for _, dq := range ds.queries {
+				rep, err := ds.eng.ExplainCtx(sessionCtx(), dq.q, dq.opts)
+				if err != nil {
+					t.Fatalf("%s/%s: %d-shard explain: %v", ds.name, dq.name, n, err)
+				}
+				blob, err := json.Marshal(wire.FromReport(rep))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(blob) != string(want[dq.name]) {
+					t.Errorf("%s/%s: %d-shard report differs from unsharded:\n sharded: %s\n unsharded: %s",
+						ds.name, dq.name, n, blob, want[dq.name])
+				}
+			}
+			m.SetCountDelegate(nil)
+		}
+	}
+}

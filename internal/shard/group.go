@@ -1,0 +1,403 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/match"
+	"repro/internal/query"
+	"repro/internal/retry"
+	"repro/internal/wire"
+)
+
+// Config tunes a Group's fault-tolerance layer. The zero value picks the
+// defaults; NewLocalGroup overrides what makes no sense in-process.
+type Config struct {
+	// Retries is the per-shard retry budget past the first attempt (0 = 2;
+	// negative = no retries).
+	Retries int
+	// RetryBase/RetryCap shape the jittered exponential backoff between
+	// attempts (zero = the retry package's defaults).
+	RetryBase, RetryCap time.Duration
+	// Seed keys the backoff jitter (0 = 1).
+	Seed int64
+	// Hedge enables duplicate requests after HedgeDelay (or the observed p99
+	// once enough latency samples exist). Pointless for in-process shards.
+	Hedge bool
+	// HedgeDelay is the hedge delay used until the latency ring holds enough
+	// samples for a p99 (0 = 50ms).
+	HedgeDelay time.Duration
+	// AttemptTimeout bounds one RPC attempt when the request context carries
+	// no deadline (0 = 2s). With a deadline, each attempt gets an equal share
+	// of the remaining budget instead.
+	AttemptTimeout time.Duration
+	// Breaker tunes the per-shard circuit breakers.
+	Breaker BreakerConfig
+}
+
+func (c *Config) fill() {
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.HedgeDelay <= 0 {
+		c.HedgeDelay = 50 * time.Millisecond
+	}
+	if c.AttemptTimeout <= 0 {
+		c.AttemptTimeout = 2 * time.Second
+	}
+}
+
+// latRing is a fixed-size ring of recent successful-call latencies, the
+// sample the hedge delay's p99 is computed from.
+const latRingSize = 128
+
+// shardState is one shard plus its fault-tolerance state: range, breaker,
+// counters, and the latency ring.
+type shardState struct {
+	sh Shard
+	r  Range
+
+	breaker *Breaker
+
+	requests  atomic.Int64
+	failures  atomic.Int64
+	retries   atomic.Int64
+	hedges    atomic.Int64
+	hedgesWon atomic.Int64
+
+	latMu sync.Mutex
+	lat   [latRingSize]time.Duration
+	latN  int // total samples recorded (ring index = latN % latRingSize)
+}
+
+func (st *shardState) recordLatency(d time.Duration) {
+	st.latMu.Lock()
+	st.lat[st.latN%latRingSize] = d
+	st.latN++
+	st.latMu.Unlock()
+}
+
+// hedgeDelay returns the p99 of the latency ring, or fallback until the ring
+// holds enough samples to make a p99 meaningful.
+func (st *shardState) hedgeDelay(fallback time.Duration) time.Duration {
+	st.latMu.Lock()
+	n := st.latN
+	if n > latRingSize {
+		n = latRingSize
+	}
+	if n < 16 {
+		st.latMu.Unlock()
+		return fallback
+	}
+	buf := make([]time.Duration, n)
+	copy(buf, st.lat[:n])
+	st.latMu.Unlock()
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	d := buf[(n*99)/100]
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d
+}
+
+// Group is a sharded scatter-gather counting engine: N shards covering a
+// partition of the vertex-id space, a fan-out that sums their
+// range-restricted counts, and the per-shard fault-tolerance layer (retries,
+// hedging, breakers, degradation). Installed as a matcher's count delegate
+// (Delegate), it makes every CountKeyed-routed count of a request scatter —
+// the searches never know. A Group is safe for concurrent use.
+type Group struct {
+	mode   string // "local" or "http"
+	cfg    Config
+	shards []*shardState
+	names  []string
+
+	polMu sync.Mutex
+	pol   *retry.Policy
+
+	partialServed atomic.Int64
+}
+
+// New assembles a group from shards and their ranges (parallel slices; the
+// ranges must partition the vertex-id space — Partition produces them).
+func New(mode string, shards []Shard, ranges []Range, cfg Config) (*Group, error) {
+	if len(shards) == 0 || len(shards) != len(ranges) {
+		return nil, fmt.Errorf("shard: %d shards vs %d ranges", len(shards), len(ranges))
+	}
+	cfg.fill()
+	g := &Group{mode: mode, cfg: cfg}
+	g.pol = retry.New(cfg.Retries, cfg.RetryBase, cfg.RetryCap, cfg.Seed)
+	for i, sh := range shards {
+		g.shards = append(g.shards, &shardState{sh: sh, r: ranges[i], breaker: NewBreaker(cfg.Breaker)})
+		g.names = append(g.names, sh.Name())
+	}
+	return g, nil
+}
+
+// NewLocalGroup builds the single-process multi-shard engine: n Local shards
+// over one matcher, partitioning its graph's vertex-id space. Hedging and
+// retries are disabled — an in-process count has no transient failures.
+func NewLocalGroup(m *match.Matcher, n int, cfg Config) (*Group, error) {
+	cfg.Hedge = false
+	cfg.Retries = -1
+	ranges := Partition(m.Graph().NumVertices(), n)
+	shards := make([]Shard, n)
+	for i := range shards {
+		shards[i] = NewLocal(fmt.Sprintf("shard%d", i), m)
+	}
+	return New("local", shards, ranges, cfg)
+}
+
+// Mode reports "local" or "http".
+func (g *Group) Mode() string { return g.mode }
+
+// NumShards reports the shard count.
+func (g *Group) NumShards() int { return len(g.shards) }
+
+// Names returns the shard names in partition order.
+func (g *Group) Names() []string { return g.names }
+
+// NotePartialServed counts one answer served without every shard; the
+// serving layer calls it when it stamps a response partial.
+func (g *Group) NotePartialServed() { g.partialServed.Add(1) }
+
+// Delegate returns the match.CountDelegate routing a matcher's counts
+// through this group. Requests without a shard session — stats probes, CLI
+// tools, anything outside the serving path — fall back to the local engine.
+func (g *Group) Delegate() match.CountDelegate {
+	return func(c *match.Ctx, q *query.Query, key string, cap int) (int, bool) {
+		sess := SessionFrom(c.Request())
+		if sess == nil {
+			return 0, false
+		}
+		if sess.Err() != nil {
+			// The request is already failing shard-side: answer 0 and let the
+			// cancelled context wind the search down.
+			return 0, true
+		}
+		n, err := g.Count(c.Request(), sess, q, key, cap)
+		if err != nil {
+			if errors.Is(err, ErrUnavailable) {
+				sess.Fail(err)
+			}
+			return 0, true
+		}
+		return n, true
+	}
+}
+
+// Count scatters one capped count over the shards and sums the answers,
+// clamping at the cap — byte-identical to the unsharded count (see the
+// package comment for why). A shard that stays unreachable past its retry
+// ladder either fails the count (ErrUnavailable) or, when the session allows
+// partial answers, is marked dead for the rest of the request and skipped —
+// here and in every later count of the same request, keeping the partial
+// answer internally consistent.
+func (g *Group) Count(ctx context.Context, sess *Session, q *query.Query, key string, cap int) (int, error) {
+	n := len(g.shards)
+	counts := make([]int, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, st := range g.shards {
+		if st.r.Lo >= st.r.Hi {
+			continue // empty partition: contributes 0, can't fail
+		}
+		if sess != nil && sess.Dead(st.sh.Name()) {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, st *shardState) {
+			defer wg.Done()
+			counts[i], errs[i] = g.call(ctx, st, q, key, cap)
+		}(i, st)
+	}
+	wg.Wait()
+	total := 0
+	for i, st := range g.shards {
+		if errs[i] != nil {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			if sess != nil && sess.AllowPartial() {
+				sess.MarkDead(st.sh.Name())
+				continue
+			}
+			return 0, errs[i]
+		}
+		total += counts[i]
+	}
+	if cap > 0 && total > cap {
+		total = cap
+	}
+	return total, nil
+}
+
+// call runs one shard's count under the fault-tolerance ladder: breaker
+// check, attempt (hedged when configured), jittered backoff between
+// attempts. It returns ErrUnavailable (wrapped) once the ladder is
+// exhausted or the breaker refuses, and the bare context error when the
+// request itself died.
+func (g *Group) call(ctx context.Context, st *shardState, q *query.Query, key string, cap int) (int, error) {
+	attempts := g.cfg.Retries + 1
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			st.retries.Add(1)
+			if err := g.backoff(ctx, attempt-1); err != nil {
+				return 0, err
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		if !st.breaker.Allow() {
+			return 0, fmt.Errorf("shard %s: breaker open: %w", st.sh.Name(), ErrUnavailable)
+		}
+		n, err := g.attempt(ctx, st, q, key, cap)
+		if err == nil {
+			st.breaker.Success()
+			return n, nil
+		}
+		st.failures.Add(1)
+		st.breaker.Failure()
+		lastErr = err
+	}
+	return 0, fmt.Errorf("shard %s: %d attempts, last: %v: %w", st.sh.Name(), attempts, lastErr, ErrUnavailable)
+}
+
+// backoff sleeps the jittered exponential wait for the given retry, bailing
+// out early when the request dies.
+func (g *Group) backoff(ctx context.Context, attempt int) error {
+	g.polMu.Lock()
+	d := g.pol.Backoff(attempt, 0)
+	g.polMu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// attemptTimeout derives one attempt's deadline from the request budget:
+// with a request deadline, each of the ladder's attempts gets an equal share
+// of what remains (floored so a nearly-spent budget still gets one real
+// try); without one, the configured default.
+func (g *Group) attemptTimeout(ctx context.Context) time.Duration {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return g.cfg.AttemptTimeout
+	}
+	rem := time.Until(dl)
+	if rem <= 0 {
+		return time.Millisecond
+	}
+	t := rem / time.Duration(g.cfg.Retries+1)
+	if floor := 20 * time.Millisecond; t < floor {
+		t = floor
+		if t > rem {
+			t = rem
+		}
+	}
+	if t > g.cfg.AttemptTimeout {
+		t = g.cfg.AttemptTimeout
+	}
+	return t
+}
+
+// attempt runs one (possibly hedged) shard call under the per-attempt
+// deadline. With hedging on, a duplicate request launches after the shard's
+// p99-based hedge delay and the first success wins; the loser is cancelled
+// with the attempt context.
+func (g *Group) attempt(ctx context.Context, st *shardState, q *query.Query, key string, cap int) (int, error) {
+	st.requests.Add(1)
+	actx, cancel := context.WithTimeout(ctx, g.attemptTimeout(ctx))
+	defer cancel()
+	start := time.Now()
+	if !g.cfg.Hedge {
+		n, err := st.sh.Count(actx, q, key, cap, st.r)
+		if err == nil {
+			st.recordLatency(time.Since(start))
+		}
+		return n, err
+	}
+	type result struct {
+		n     int
+		err   error
+		hedge bool
+	}
+	ch := make(chan result, 2) // buffered: losers never block
+	run := func(hedge bool) {
+		n, err := st.sh.Count(actx, q, key, cap, st.r)
+		ch <- result{n: n, err: err, hedge: hedge}
+	}
+	go run(false)
+	hedgeTimer := time.NewTimer(st.hedgeDelay(g.cfg.HedgeDelay))
+	defer hedgeTimer.Stop()
+	launched := false
+	outstanding := 1
+	for {
+		select {
+		case r := <-ch:
+			outstanding--
+			if r.err == nil {
+				if r.hedge {
+					st.hedgesWon.Add(1)
+				}
+				st.recordLatency(time.Since(start))
+				return r.n, nil
+			}
+			if outstanding == 0 {
+				return 0, r.err
+			}
+			// One leg failed, the other is still in flight — wait for it.
+		case <-hedgeTimer.C:
+			if !launched {
+				launched = true
+				outstanding++
+				st.hedges.Add(1)
+				go run(true)
+			}
+		}
+	}
+}
+
+// Snapshot assembles the group's health for GET /v1/stats.
+func (g *Group) Snapshot() *wire.ShardingStats {
+	ss := &wire.ShardingStats{
+		Mode:          g.mode,
+		NumShards:     len(g.shards),
+		PartialServed: g.partialServed.Load(),
+	}
+	for _, st := range g.shards {
+		opened, closed := st.breaker.Counters()
+		ss.Shards = append(ss.Shards, wire.ShardStats{
+			Name:           st.sh.Name(),
+			Lo:             st.r.Lo,
+			Hi:             st.r.Hi,
+			Breaker:        st.breaker.State().String(),
+			ConsecFailures: st.breaker.ConsecFailures(),
+			Requests:       st.requests.Load(),
+			Failures:       st.failures.Load(),
+			Retries:        st.retries.Load(),
+			HedgesLaunched: st.hedges.Load(),
+			HedgesWon:      st.hedgesWon.Load(),
+			BreakerOpened:  opened,
+			BreakerClosed:  closed,
+		})
+	}
+	return ss
+}

@@ -1,0 +1,35 @@
+package shard
+
+import (
+	"context"
+
+	"repro/internal/match"
+	"repro/internal/query"
+)
+
+// Local is an in-process shard: a range-restricted view of one matcher.
+// The single-process multi-shard engine (whydbd -shards N) runs N Locals
+// over the same matcher — which proves the partition/merge logic against the
+// unsharded engine with no network in the way, and exercises exactly the
+// same Group code path the HTTP fan-out uses.
+type Local struct {
+	name string
+	m    *match.Matcher
+}
+
+// NewLocal returns an in-process shard over the matcher.
+func NewLocal(name string, m *match.Matcher) *Local {
+	return &Local{name: name, m: m}
+}
+
+// Name implements Shard.
+func (l *Local) Name() string { return l.name }
+
+// Count implements Shard: a local range-restricted count. It cannot fail
+// transiently — the only error is a request already cancelled.
+func (l *Local) Count(ctx context.Context, q *query.Query, key string, cap int, r Range) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return l.m.CountRange(q, key, cap, r.Lo, r.Hi), nil
+}

@@ -1,0 +1,122 @@
+package shard
+
+import (
+	"context"
+	"sync"
+)
+
+// Session is the per-request state of sharded counting. It rides on the
+// request context (WithSession), which the search layers attach to every
+// match.Ctx for the run, so the Group's delegate can recover it from deep
+// inside the kernel's opaque eval closures.
+//
+// A session records which shards the request has given up on (allowPartial
+// degradation: a dead shard stays dead for the rest of the request, keeping
+// its counts consistently partial) and the first fatal shard error (fail-fast
+// mode: recording it cancels the request so the search stops within one
+// candidate execution).
+//
+// Sessions are touched concurrently by the speculation pool's workers; all
+// state is mutex-guarded.
+type Session struct {
+	allowPartial bool
+	cancel       context.CancelFunc
+
+	mu      sync.Mutex
+	dead    map[string]bool
+	err     error
+	partial bool
+}
+
+// NewSession returns a session for one request. cancel, when non-nil, is
+// invoked on Fail so a fatal shard error stops the whole search, not just
+// the one count.
+func NewSession(allowPartial bool, cancel context.CancelFunc) *Session {
+	return &Session{allowPartial: allowPartial, cancel: cancel}
+}
+
+// AllowPartial reports whether the request accepts answers computed without
+// every shard.
+func (s *Session) AllowPartial() bool { return s.allowPartial }
+
+// Fail records the request's fatal shard error (first one wins) and cancels
+// the request context, stopping the search within one candidate execution.
+func (s *Session) Fail(err error) {
+	if err == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+	if s.cancel != nil {
+		s.cancel()
+	}
+}
+
+// Err returns the recorded fatal shard error, nil when none.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// MarkDead gives up on a shard for the rest of the request and marks the
+// session partial.
+func (s *Session) MarkDead(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead == nil {
+		s.dead = make(map[string]bool)
+	}
+	s.dead[name] = true
+	s.partial = true
+}
+
+// Dead reports whether the request has given up on the shard.
+func (s *Session) Dead(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dead[name]
+}
+
+// Partial reports whether any count of this request was computed without
+// every shard.
+func (s *Session) Partial() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.partial
+}
+
+// Coverage maps every shard name to whether it contributed (true) or was
+// given up on (false) — the per-shard coverage map stamped into a partial
+// response's quality bound.
+func (s *Session) Coverage(names []string) map[string]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cov := make(map[string]bool, len(names))
+	for _, n := range names {
+		cov[n] = !s.dead[n]
+	}
+	return cov
+}
+
+// ctxKey keys the session in a context.Context.
+type ctxKey struct{}
+
+// WithSession attaches the session to the request context.
+func WithSession(ctx context.Context, s *Session) context.Context {
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SessionFrom recovers the request's session, nil when the context carries
+// none — which is how non-request work (stats probes, CLI tools, pooled
+// contexts between requests) falls back to the local engine.
+func SessionFrom(ctx context.Context) *Session {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*Session)
+	return s
+}

@@ -1,0 +1,81 @@
+// Package shard implements fault-tolerant sharded scatter-gather counting —
+// the step from "fast on one box" to a partitioned fleet.
+//
+// The partitioning exploits a structural property of the matching kernel:
+// every compiled plan enumerates embeddings from one root vertex (the first
+// start op), and every embedding binds that root exactly once. Splitting the
+// data graph's vertex-id space into N contiguous ranges therefore partitions
+// the embedding space — per-range counts sum to the whole, and capped counts
+// clamp back to the unsharded value (min(Σ min(cᵢ, cap), cap) = min(C, cap)).
+// Since the explanation searches consume counts and nothing else, only
+// integers cross the wire and sharded results are byte-identical to the
+// unsharded engine by construction.
+//
+// Every node holds the full frozen CSR (datasets regenerate
+// deterministically); only the root-candidate work is partitioned. A Group
+// fans each count out to its shards — in-process engines (Local) or whydbd
+// peers reached over POST /v1/internal/count (Client) — and installs itself
+// as the matcher's count delegate, so the searches shard transparently.
+//
+// The fan-out is wrapped in a fault-tolerance layer: per-attempt deadlines
+// derived from the request's remaining budget, jittered exponential retries
+// (internal/retry), hedged duplicate requests after a p99-based delay, a
+// per-shard circuit breaker (closed → open → half-open, injectable clock),
+// and graceful degradation — a shard unreachable past retries either fails
+// the request fast (wire code shard_unavailable) or, when the request allows
+// partial answers, is marked dead for the rest of the request while the
+// surviving shards keep answering, with the response stamped "partial" plus a
+// per-shard coverage map.
+package shard
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/query"
+)
+
+// Range is a half-open vertex-id interval [Lo, Hi): one shard's slice of the
+// root-candidate space.
+type Range struct {
+	Lo, Hi int
+}
+
+// Partition splits [0, numVertices) into n contiguous ranges whose sizes
+// differ by at most one vertex. It always returns n ranges; with more shards
+// than vertices the tail ranges are empty (a shard with an empty range
+// answers every count with 0).
+func Partition(numVertices, n int) []Range {
+	if n < 1 {
+		n = 1
+	}
+	if numVertices < 0 {
+		numVertices = 0
+	}
+	rs := make([]Range, n)
+	base, extra := numVertices/n, numVertices%n
+	lo := 0
+	for i := range rs {
+		size := base
+		if i < extra {
+			size++
+		}
+		rs[i] = Range{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return rs
+}
+
+// Shard evaluates range-restricted counts: the embeddings of q whose
+// root-vertex binding lies in r, capped at cap. key is q's binary canonical
+// key when the caller holds one ("" = derive shard-side). Implementations
+// are Local (an in-process engine) and Client (a whydbd peer over HTTP).
+type Shard interface {
+	Name() string
+	Count(ctx context.Context, q *query.Query, key string, cap int, r Range) (int, error)
+}
+
+// ErrUnavailable marks a shard that stayed unreachable past retries (or
+// whose circuit breaker is open). The serving layer maps it to the
+// shard_unavailable wire code.
+var ErrUnavailable = errors.New("shard unavailable")

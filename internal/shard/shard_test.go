@@ -1,0 +1,374 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/query"
+)
+
+func TestPartition(t *testing.T) {
+	cases := []struct{ nv, n int }{
+		{0, 1}, {0, 4}, {1, 1}, {1, 3}, {10, 1}, {10, 2}, {10, 3}, {10, 4},
+		{11, 4}, {97, 8}, {100, 7}, {3, 5},
+	}
+	for _, tc := range cases {
+		ranges := Partition(tc.nv, tc.n)
+		if len(ranges) != tc.n {
+			t.Fatalf("Partition(%d, %d): %d ranges", tc.nv, tc.n, len(ranges))
+		}
+		// Contiguous cover of [0, nv) with sizes differing by at most one.
+		at, minSz, maxSz := 0, tc.nv+1, -1
+		for _, r := range ranges {
+			if r.Lo != at || r.Hi < r.Lo {
+				t.Fatalf("Partition(%d, %d): bad range %+v at offset %d", tc.nv, tc.n, r, at)
+			}
+			at = r.Hi
+			if sz := r.Hi - r.Lo; sz < minSz {
+				minSz = sz
+			} else if sz > maxSz {
+				maxSz = sz
+			}
+		}
+		if at != tc.nv {
+			t.Fatalf("Partition(%d, %d): covers [0, %d)", tc.nv, tc.n, at)
+		}
+		if maxSz >= 0 && maxSz-minSz > 1 {
+			t.Fatalf("Partition(%d, %d): uneven sizes (min %d, max %d)", tc.nv, tc.n, minSz, maxSz)
+		}
+	}
+	if got := Partition(10, 0); len(got) != 1 || got[0] != (Range{0, 10}) {
+		t.Fatalf("Partition(10, 0) = %+v, want one full range", got)
+	}
+}
+
+func TestBreakerTransitions(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(BreakerConfig{Threshold: 3, Cooldown: time.Second, Now: func() time.Time { return now }})
+
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatal("new breaker must be closed and allowing")
+	}
+	// Two failures: still closed; a success resets the streak.
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerClosed || b.ConsecFailures() != 2 {
+		t.Fatalf("state=%v consec=%d after 2 failures", b.State(), b.ConsecFailures())
+	}
+	b.Success()
+	if b.ConsecFailures() != 0 {
+		t.Fatal("success must reset the failure streak")
+	}
+	// Threshold consecutive failures open it.
+	b.Failure()
+	b.Failure()
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state=%v after threshold failures, want open", b.State())
+	}
+	if opened, _ := b.Counters(); opened != 1 {
+		t.Fatalf("opened=%d, want 1", opened)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker within cooldown must refuse")
+	}
+	// Cooldown elapses: exactly one half-open probe is admitted.
+	now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("open breaker past cooldown must admit a probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state=%v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker must admit only one probe")
+	}
+	// Failed probe re-opens; the next cooldown+probe+success closes.
+	b.Failure()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state=%v after failed probe, want open", b.State())
+	}
+	now = now.Add(time.Second)
+	if !b.Allow() {
+		t.Fatal("re-opened breaker past cooldown must admit a probe")
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state=%v after successful probe, want closed", b.State())
+	}
+	opened, closed := b.Counters()
+	if opened != 2 || closed != 1 {
+		t.Fatalf("opened=%d closed=%d, want 2/1", opened, closed)
+	}
+}
+
+func TestSession(t *testing.T) {
+	cancelled := false
+	sess := NewSession(true, func() { cancelled = true })
+	if !sess.AllowPartial() || sess.Partial() || sess.Err() != nil {
+		t.Fatal("fresh session state")
+	}
+	sess.MarkDead("s1")
+	if !sess.Partial() || !sess.Dead("s1") || sess.Dead("s0") {
+		t.Fatal("MarkDead must set partial and only the named shard")
+	}
+	cov := sess.Coverage([]string{"s0", "s1", "s2"})
+	want := map[string]bool{"s0": true, "s1": false, "s2": true}
+	if len(cov) != len(want) {
+		t.Fatalf("coverage %v", cov)
+	}
+	for k, v := range want {
+		if cov[k] != v {
+			t.Fatalf("coverage[%s]=%v, want %v", k, cov[k], v)
+		}
+	}
+	errBoom := errors.New("boom")
+	sess.Fail(errBoom)
+	sess.Fail(errors.New("later"))
+	if !errors.Is(sess.Err(), errBoom) {
+		t.Fatalf("first error must win, got %v", sess.Err())
+	}
+	if !cancelled {
+		t.Fatal("Fail must invoke the cancel hook")
+	}
+
+	// Context round trip; a bare context has no session.
+	ctx := WithSession(context.Background(), sess)
+	if SessionFrom(ctx) != sess {
+		t.Fatal("session lost in context")
+	}
+	if SessionFrom(context.Background()) != nil || SessionFrom(nil) != nil {
+		t.Fatal("missing session must read as nil")
+	}
+}
+
+// fakeShard scripts one shard's behavior per call number (1-based).
+type fakeShard struct {
+	name  string
+	calls atomic.Int64
+	fn    func(call int64, ctx context.Context, r Range) (int, error)
+}
+
+func (f *fakeShard) Name() string { return f.name }
+func (f *fakeShard) Count(ctx context.Context, q *query.Query, key string, cap int, r Range) (int, error) {
+	return f.fn(f.calls.Add(1), ctx, r)
+}
+
+// sized returns a fake shard answering its range size, always succeeding.
+func sized(name string) *fakeShard {
+	return &fakeShard{name: name, fn: func(_ int64, _ context.Context, r Range) (int, error) {
+		return r.Hi - r.Lo, nil
+	}}
+}
+
+func testGroup(t *testing.T, cfg Config, shards ...Shard) *Group {
+	t.Helper()
+	ranges := Partition(100, len(shards))
+	g, err := New("local", shards, ranges, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGroupCountSumsAndClamps(t *testing.T) {
+	g := testGroup(t, Config{Retries: -1}, sized("a"), sized("b"), sized("c"))
+	n, err := g.Count(context.Background(), nil, nil, "", 0)
+	if err != nil || n != 100 {
+		t.Fatalf("Count = %d, %v; want 100", n, err)
+	}
+	// Per-shard counts sum past the cap: the merge must clamp.
+	n, err = g.Count(context.Background(), nil, nil, "", 60)
+	if err != nil || n != 60 {
+		t.Fatalf("capped Count = %d, %v; want 60", n, err)
+	}
+}
+
+func TestGroupRetriesFlakyShard(t *testing.T) {
+	flaky := &fakeShard{name: "flaky", fn: func(call int64, _ context.Context, r Range) (int, error) {
+		if call <= 2 {
+			return 0, errors.New("transient")
+		}
+		return r.Hi - r.Lo, nil
+	}}
+	g := testGroup(t, Config{Retries: 2, RetryBase: time.Millisecond, RetryCap: 2 * time.Millisecond}, flaky, sized("ok"))
+	n, err := g.Count(context.Background(), nil, nil, "", 0)
+	if err != nil || n != 100 {
+		t.Fatalf("Count = %d, %v; want 100 after retries", n, err)
+	}
+	ss := g.Snapshot()
+	if ss.Shards[0].Retries != 2 || ss.Shards[0].Failures != 2 {
+		t.Fatalf("flaky stats %+v, want 2 retries / 2 failures", ss.Shards[0])
+	}
+	if ss.Shards[0].Breaker != "closed" {
+		t.Fatalf("breaker %s after eventual success, want closed", ss.Shards[0].Breaker)
+	}
+}
+
+func TestGroupUnavailableWithoutPartial(t *testing.T) {
+	dead := &fakeShard{name: "dead", fn: func(int64, context.Context, Range) (int, error) {
+		return 0, errors.New("down")
+	}}
+	g := testGroup(t, Config{Retries: 1, RetryBase: time.Millisecond, RetryCap: time.Millisecond}, dead, sized("ok"))
+	_, err := g.Count(context.Background(), nil, nil, "", 0)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+	sess := NewSession(false, nil)
+	_, err = g.Count(context.Background(), sess, nil, "", 0)
+	if !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err with non-partial session = %v, want ErrUnavailable", err)
+	}
+	if sess.Partial() {
+		t.Fatal("failed non-partial count must not mark the session partial")
+	}
+}
+
+func TestGroupPartialDegradation(t *testing.T) {
+	dead := &fakeShard{name: "dead", fn: func(int64, context.Context, Range) (int, error) {
+		return 0, errors.New("down")
+	}}
+	g := testGroup(t, Config{Retries: 1, RetryBase: time.Millisecond, RetryCap: time.Millisecond}, sized("a"), dead, sized("c"))
+	sess := NewSession(true, nil)
+	n, err := g.Count(context.Background(), sess, nil, "", 0)
+	if err != nil {
+		t.Fatalf("allowPartial count failed: %v", err)
+	}
+	// 100 vertices over 3 shards ([0,34) [34,67) [67,100)): the dead middle
+	// shard's 33 are missing.
+	if n != 100-33 {
+		t.Fatalf("partial Count = %d, want %d (surviving shards only)", n, 100-33)
+	}
+	if !sess.Partial() || !sess.Dead("dead") {
+		t.Fatal("dead shard must be marked for the rest of the request")
+	}
+	cov := sess.Coverage(g.Names())
+	if cov["a"] != true || cov["dead"] != false || cov["c"] != true {
+		t.Fatalf("coverage %v", cov)
+	}
+	// A later count in the same request skips the dead shard outright:
+	// consistent partial answers, no fresh retry ladder.
+	calls := dead.calls.Load()
+	if n2, err := g.Count(context.Background(), sess, nil, "", 0); err != nil || n2 != n {
+		t.Fatalf("second partial Count = %d, %v; want %d again", n2, err, n)
+	}
+	if dead.calls.Load() != calls {
+		t.Fatal("dead shard must not be called again within the session")
+	}
+}
+
+func TestGroupBreakerFailsFast(t *testing.T) {
+	dead := &fakeShard{name: "dead", fn: func(int64, context.Context, Range) (int, error) {
+		return 0, errors.New("down")
+	}}
+	now := time.Unix(0, 0)
+	cfg := Config{
+		Retries: -1,
+		Breaker: BreakerConfig{Threshold: 2, Cooldown: time.Hour, Now: func() time.Time { return now }},
+	}
+	g := testGroup(t, cfg, dead, sized("ok"))
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := g.Count(ctx, nil, nil, "", 0); !errors.Is(err, ErrUnavailable) {
+			t.Fatalf("count %d: err = %v", i, err)
+		}
+	}
+	calls := dead.calls.Load()
+	if _, err := g.Count(ctx, nil, nil, "", 0); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("err = %v, want breaker fail-fast as ErrUnavailable", err)
+	}
+	if dead.calls.Load() != calls {
+		t.Fatal("open breaker must not let the call through")
+	}
+	ss := g.Snapshot()
+	if ss.Shards[0].Breaker != "open" || ss.Shards[0].BreakerOpened != 1 {
+		t.Fatalf("breaker stats %+v, want open/opened=1", ss.Shards[0])
+	}
+	// Past the cooldown the half-open probe goes through; the shard has
+	// recovered, so the breaker closes again.
+	now = now.Add(2 * time.Hour)
+	dead.fn = func(_ int64, _ context.Context, r Range) (int, error) { return r.Hi - r.Lo, nil }
+	if n, err := g.Count(ctx, nil, nil, "", 0); err != nil || n != 100 {
+		t.Fatalf("post-recovery Count = %d, %v; want 100", n, err)
+	}
+	ss = g.Snapshot()
+	if ss.Shards[0].Breaker != "closed" || ss.Shards[0].BreakerClosed != 1 {
+		t.Fatalf("breaker stats %+v, want closed again", ss.Shards[0])
+	}
+}
+
+func TestGroupHedgeWins(t *testing.T) {
+	// First call hangs until cancelled; the hedge (second call) answers
+	// immediately. The hedge must win without waiting out the primary.
+	slowFirst := &fakeShard{name: "slow", fn: func(call int64, ctx context.Context, r Range) (int, error) {
+		if call == 1 {
+			<-ctx.Done()
+			return 0, ctx.Err()
+		}
+		return r.Hi - r.Lo, nil
+	}}
+	cfg := Config{Retries: -1, Hedge: true, HedgeDelay: 5 * time.Millisecond}
+	g := testGroup(t, cfg, slowFirst, sized("ok"))
+	n, err := g.Count(context.Background(), nil, nil, "", 0)
+	if err != nil || n != 100 {
+		t.Fatalf("Count = %d, %v; want 100 via the hedge", n, err)
+	}
+	ss := g.Snapshot()
+	if ss.Shards[0].HedgesLaunched != 1 || ss.Shards[0].HedgesWon != 1 {
+		t.Fatalf("hedge stats %+v, want launched=won=1", ss.Shards[0])
+	}
+}
+
+func TestGroupContextError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := testGroup(t, Config{Retries: -1}, sized("a"), sized("b"))
+	sess := NewSession(true, nil)
+	if _, err := g.Count(ctx, sess, nil, "", 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want the bare context error", err)
+	}
+	if sess.Partial() {
+		t.Fatal("a dead request must not be misread as a dead shard")
+	}
+}
+
+func TestAttemptTimeout(t *testing.T) {
+	g := testGroup(t, Config{Retries: 2, AttemptTimeout: 2 * time.Second}, sized("a"))
+	if got := g.attemptTimeout(context.Background()); got != 2*time.Second {
+		t.Fatalf("no deadline: %v, want the configured default", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 900*time.Millisecond)
+	defer cancel()
+	got := g.attemptTimeout(ctx)
+	// Three attempts share the ~900ms budget: roughly 300ms each.
+	if got < 200*time.Millisecond || got > 300*time.Millisecond {
+		t.Fatalf("budget share %v, want ~300ms", got)
+	}
+	tight, cancel2 := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel2()
+	if got := g.attemptTimeout(tight); got > 20*time.Millisecond {
+		t.Fatalf("nearly-spent budget: %v, want the floor clamped to the remainder", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("local", nil, nil, Config{}); err == nil {
+		t.Fatal("empty group must be rejected")
+	}
+	if _, err := New("local", []Shard{sized("a")}, []Range{{0, 5}, {5, 10}}, Config{}); err == nil {
+		t.Fatal("mismatched shards/ranges must be rejected")
+	}
+}
+
+func TestClientName(t *testing.T) {
+	c := NewClient("peer0", "http://127.0.0.1:1", "ldbc", nil)
+	if c.Name() != "peer0" {
+		t.Fatalf("Name = %q", c.Name())
+	}
+	if _, err := c.Count(context.Background(), query.New(), "", 0, Range{0, 1}); err == nil {
+		t.Fatal("unreachable peer must error")
+	}
+}

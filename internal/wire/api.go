@@ -40,6 +40,12 @@ type ExplainRequest struct {
 	// TimeoutMs bounds the request's processing time (0 = server default;
 	// clamped to the server's maximum).
 	TimeoutMs int `json:"timeoutMs,omitempty"`
+	// AllowPartial opts into degraded answers on a sharded deployment: when a
+	// shard stays unreachable past retries, the explanation continues on the
+	// surviving shards and the response is stamped "partial": true with a
+	// per-shard coverage map in qualityBound. Without it, a lost shard fails
+	// the request with code shard_unavailable.
+	AllowPartial bool `json:"allowPartial,omitempty"`
 }
 
 // MatchRequest is the body of POST /v1/match: count or enumerate the
@@ -59,6 +65,9 @@ type MatchRequest struct {
 	// TimeoutMs bounds the request's processing time (0 = server default;
 	// clamped to the server's maximum).
 	TimeoutMs int `json:"timeoutMs,omitempty"`
+	// AllowPartial opts into partial counts from surviving shards when a
+	// shard is unreachable (count mode on a sharded deployment).
+	AllowPartial bool `json:"allowPartial,omitempty"`
 }
 
 // MatchResponse answers /v1/match. Count is the result-graph count (find
@@ -67,6 +76,31 @@ type MatchRequest struct {
 type MatchResponse struct {
 	Count   int      `json:"count"`
 	Results []Result `json:"results,omitempty"`
+	// Partial marks a count computed without every shard (allowPartial);
+	// Coverage maps shard name → reachable for the shards that did/didn't
+	// contribute.
+	Partial  bool            `json:"partial,omitempty"`
+	Coverage map[string]bool `json:"coverage,omitempty"`
+}
+
+// CountRequest is the body of the internal shard RPC POST /v1/internal/count:
+// count the embeddings of a query whose root-vertex binding lies in the
+// half-open vertex-id range [Lo, Hi), capped at Cap. The coordinator fans one
+// CountRequest per shard and sums the answers; only integers cross the wire,
+// which is what makes sharded results byte-identical to unsharded ones.
+type CountRequest struct {
+	Dataset string `json:"dataset"`
+	Query   *Query `json:"query"`
+	// Cap aborts counting once reached (0 = exact).
+	Cap int `json:"cap,omitempty"`
+	// Lo/Hi bound the root-vertex binding: the shard's vertex-range partition.
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// CountResponse answers the internal count RPC.
+type CountResponse struct {
+	Count int `json:"count"`
 }
 
 // ErrorResponse is the legacy (pre-envelope) body of a non-2xx response.
@@ -113,6 +147,10 @@ const (
 	// CodeDraining: the daemon is shutting down and no longer admits work
 	// (503, retryable against another replica).
 	CodeDraining ErrorCode = "draining"
+	// CodeShardUnavailable: a shard of the partitioned engine stayed
+	// unreachable past retries and the request did not allow a partial answer
+	// (503, retryable — the shard may recover or its breaker half-open).
+	CodeShardUnavailable ErrorCode = "shard_unavailable"
 )
 
 // Error is the structured failure payload of the v1 envelope.
@@ -189,6 +227,45 @@ type DatasetStats struct {
 	CandCache  CacheStats                `json:"candCache"`
 	StatsCache CacheStats                `json:"statsCache"`
 	Kernel     map[string]KernelCounters `json:"kernel"`
+	// Sharding reports the scatter-gather fan-out's health when the dataset
+	// is served by a shard group (whydbd -shards / -peers).
+	Sharding *ShardingStats `json:"sharding,omitempty"`
+}
+
+// ShardStats reports one shard's fault-tolerance state (GET /v1/stats).
+type ShardStats struct {
+	Name string `json:"name"`
+	// Lo/Hi is the shard's vertex-range partition [lo, hi).
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// Breaker is the circuit-breaker state: "closed", "open", or "half-open".
+	Breaker string `json:"breaker"`
+	// ConsecFailures counts failures since the last success.
+	ConsecFailures int `json:"consecFailures"`
+	// Requests/Failures/Retries count shard RPC attempts and their outcomes;
+	// retries are re-attempts after a failed or timed-out call.
+	Requests int64 `json:"requests"`
+	Failures int64 `json:"failures"`
+	Retries  int64 `json:"retries"`
+	// HedgesLaunched/HedgesWon count duplicate requests fired after the
+	// p99-based hedge delay, and how many beat the primary.
+	HedgesLaunched int64 `json:"hedgesLaunched"`
+	HedgesWon      int64 `json:"hedgesWon"`
+	// BreakerOpened/BreakerClosed count breaker transitions into open and
+	// back into closed.
+	BreakerOpened int64 `json:"breakerOpened"`
+	BreakerClosed int64 `json:"breakerClosed"`
+}
+
+// ShardingStats reports a dataset's shard-group health (GET /v1/stats).
+type ShardingStats struct {
+	// Mode is "local" (single-process multi-shard) or "http" (peer fan-out).
+	Mode      string       `json:"mode"`
+	NumShards int          `json:"numShards"`
+	Shards    []ShardStats `json:"shards"`
+	// PartialServed counts answers computed without every shard
+	// (allowPartial degradation).
+	PartialServed int64 `json:"partialServed"`
 }
 
 // StatsResponse answers GET /v1/stats.

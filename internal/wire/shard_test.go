@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestCountRPCRoundTrip pins the internal count RPC's wire shape: the request
+// and response must survive a JSON round trip unchanged, because coordinator
+// and shard may run different builds during a rolling deploy.
+func TestCountRPCRoundTrip(t *testing.T) {
+	wq := FromQuery(workload.LDBCQueries()[0].Build())
+	req := CountRequest{Dataset: "ldbc", Query: &wq, Cap: 7, Lo: 100, Hi: 250}
+	blob, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back CountRequest
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Dataset != req.Dataset || back.Cap != req.Cap || back.Lo != req.Lo || back.Hi != req.Hi {
+		t.Fatalf("round trip %+v != %+v", back, req)
+	}
+	q1, err := req.Query.ToQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := back.Query.ToQuery()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(q1.AppendKey(nil)) != string(q2.AppendKey(nil)) {
+		t.Fatal("query changed across the round trip")
+	}
+	// Cap 0 (exact count) must not be dropped by omitempty into ambiguity:
+	// absent and zero both mean exact.
+	blob, _ = json.Marshal(CountRequest{Dataset: "d", Query: &wq, Lo: 0, Hi: 10})
+	var exact CountRequest
+	if err := json.Unmarshal(blob, &exact); err != nil || exact.Cap != 0 {
+		t.Fatalf("exact-count request: cap=%d err=%v", exact.Cap, err)
+	}
+
+	rblob, _ := json.Marshal(CountResponse{Count: 42})
+	var cr CountResponse
+	if err := json.Unmarshal(rblob, &cr); err != nil || cr.Count != 42 {
+		t.Fatalf("count response round trip: %+v, %v", cr, err)
+	}
+}
+
+// TestShardUnavailableCode pins the error code string clients match on.
+func TestShardUnavailableCode(t *testing.T) {
+	if CodeShardUnavailable != "shard_unavailable" {
+		t.Fatalf("CodeShardUnavailable = %q", CodeShardUnavailable)
+	}
+	blob, _ := json.Marshal(Error{Code: CodeShardUnavailable, Message: "shard s1 down", Retryable: true, RetryAfterMs: 1000})
+	var e Error
+	if err := json.Unmarshal(blob, &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Code != CodeShardUnavailable || !e.Retryable || e.RetryAfterMs != 1000 {
+		t.Fatalf("round trip %+v", e)
+	}
+}
+
+// TestPartialMarkers pins the degradation contract's JSON: `partial` and the
+// coverage maps must round-trip, and must vanish entirely from non-partial
+// answers (omitempty) so the unsharded differential stays byte-identical.
+func TestPartialMarkers(t *testing.T) {
+	cov := map[string]bool{"s0": true, "s1": false}
+
+	mr := MatchResponse{Count: 9, Partial: true, Coverage: cov}
+	blob, _ := json.Marshal(mr)
+	var mback MatchResponse
+	if err := json.Unmarshal(blob, &mback); err != nil {
+		t.Fatal(err)
+	}
+	if !mback.Partial || !reflect.DeepEqual(mback.Coverage, cov) {
+		t.Fatalf("match round trip %+v", mback)
+	}
+
+	rep := Report{Problem: "why-empty", Partial: true, QualityBound: &QualityBound{Budget: 60, Coverage: cov}}
+	blob, _ = json.Marshal(rep)
+	var rback Report
+	if err := json.Unmarshal(blob, &rback); err != nil {
+		t.Fatal(err)
+	}
+	if !rback.Partial || rback.QualityBound == nil || !reflect.DeepEqual(rback.QualityBound.Coverage, cov) {
+		t.Fatalf("report round trip %+v", rback)
+	}
+
+	// Non-partial answers carry no trace of the markers.
+	for _, v := range []any{MatchResponse{Count: 9}, Report{Problem: "why-empty"}} {
+		blob, _ := json.Marshal(v)
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(blob, &m); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := m["partial"]; ok {
+			t.Fatalf("non-partial %T leaks a partial field: %s", v, blob)
+		}
+		if _, ok := m["coverage"]; ok {
+			t.Fatalf("non-partial %T leaks a coverage field: %s", v, blob)
+		}
+	}
+}
+
+// TestShardingStatsRoundTrip covers the /v1/stats shards section.
+func TestShardingStatsRoundTrip(t *testing.T) {
+	ss := ShardingStats{
+		Mode: "http", NumShards: 2, PartialServed: 3,
+		Shards: []ShardStats{
+			{Name: "s0", Lo: 0, Hi: 50, Breaker: "closed", Requests: 10},
+			{Name: "s1", Lo: 50, Hi: 100, Breaker: "open", ConsecFailures: 4, Failures: 6, Retries: 4, HedgesLaunched: 2, HedgesWon: 1, BreakerOpened: 1},
+		},
+	}
+	blob, _ := json.Marshal(ss)
+	var back ShardingStats
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, ss) {
+		t.Fatalf("round trip\n got %+v\nwant %+v", back, ss)
+	}
+}
