@@ -5,6 +5,15 @@
 // whydbd serves, so a report printed here is byte-comparable with a report
 // fetched from the daemon).
 //
+// The pack subcommand writes a dataset as a persistent binary snapshot that
+// whydbd can boot from (-snapshot dir/) without regenerating it:
+//
+//	whydb pack -dataset ldbc -scale 1.0 -out snaps/        # writes snaps/ldbc.snap
+//	whydb pack -from snaps/ldbc.snap -out repacked/        # load + repack (determinism check)
+//
+// Packing is deterministic: packing the same graph — or loading a snapshot
+// and repacking it — yields byte-identical files with the same checksum.
+//
 // Usage:
 //
 //	whydb -dataset ldbc -query "LDBC QUERY 2" -fail -lower 1
@@ -18,16 +27,25 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/query"
+	"repro/internal/snapshot"
 	"repro/internal/wire"
 	"repro/internal/workload"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "pack" {
+		pack(os.Args[2:])
+		return
+	}
 	dataset := flag.String("dataset", "ldbc", "data set: ldbc or dbpedia")
 	name := flag.String("query", "LDBC QUERY 2", "built-in query name")
 	fail := flag.Bool("fail", false, "use the query's failing (why-empty) variant")
@@ -118,4 +136,68 @@ func buildNamed(qs []workload.Named, name string) *query.Query {
 		}
 	}
 	return nil
+}
+
+// pack implements `whydb pack`: generate (or reload) a dataset and write it
+// as a snapshot file under -out. The dataset construction mirrors whydbd's
+// exactly, so a daemon booted from the snapshot serves byte-identical answers
+// to one that generated the dataset itself.
+func pack(args []string) {
+	fs := flag.NewFlagSet("pack", flag.ExitOnError)
+	dataset := fs.String("dataset", "ldbc", "data set to pack: ldbc or dbpedia")
+	scale := fs.Float64("scale", 1.0, "dataset size factor (matches whydbd -scale)")
+	out := fs.String("out", "snaps", "output directory; the file is <out>/<name>.snap")
+	from := fs.String("from", "", "repack an existing snapshot file instead of generating (determinism check)")
+	mode := fs.String("mode", "auto", "load path for -from: auto, mmap, or read")
+	quiet := fs.Bool("q", false, "suppress the manifest line")
+	fs.Parse(args)
+
+	var g *graph.Graph
+	name := *dataset
+	start := time.Now()
+	if *from != "" {
+		loadMode, ok := map[string]snapshot.Mode{"auto": snapshot.ModeAuto, "mmap": snapshot.ModeMmap, "read": snapshot.ModeRead}[*mode]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown -mode %q (want auto, mmap, or read)\n", *mode)
+			os.Exit(2)
+		}
+		loaded, err := snapshot.ReadFile(*from, loadMode)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loading %s: %v\n", *from, err)
+			os.Exit(1)
+		}
+		defer loaded.Close()
+		g = loaded.Graph
+		name = strings.TrimSuffix(filepath.Base(*from), ".snap")
+	} else {
+		switch name {
+		case "ldbc":
+			g = datagen.LDBC(datagen.DefaultLDBC().Scaled(*scale))
+		case "dbpedia":
+			cfg := datagen.DefaultDBpedia()
+			cfg.Entities = int(float64(cfg.Entities) * *scale)
+			if cfg.Entities < 1 {
+				cfg.Entities = 1
+			}
+			g = datagen.DBpedia(cfg)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown dataset %q (want ldbc or dbpedia)\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	path := filepath.Join(*out, name+".snap")
+	man, err := snapshot.WriteFile(path, g)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "packing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if !*quiet {
+		fmt.Printf("packed %s: %d vertices, %d edges (%d live), %d edge types, %d bytes, checksum %08x (%.2fs)\n",
+			path, man.Vertices, man.Edges, man.LiveEdges, man.EdgeTypes, man.Bytes, man.Checksum, time.Since(start).Seconds())
+	}
 }

@@ -6,6 +6,7 @@
 //
 //	whydbd -addr :8080 -datasets ldbc,dbpedia
 //	whydbd -addr 127.0.0.1:8091 -datasets ldbc -scale 0.5 -workers 4
+//	whydbd -addr :8080 -snapshot snaps/                               # boot from whydb pack output
 //	whydbd -addr :8080 -inject 'seed=42,latency=0.1:5ms,error=0.05'   # chaos drills
 //
 // Endpoints: POST /v1/explain, POST /v1/explain/stream (SSE),
@@ -37,16 +38,21 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/faultinject"
+	"repro/internal/graph"
 	"repro/internal/resilience"
 	"repro/internal/server"
 	"repro/internal/shard"
+	"repro/internal/snapshot"
 	"repro/internal/workload"
 )
 
@@ -72,6 +78,9 @@ func main() {
 	compatV0 := flag.Bool("compat-v0", false, "serve the deprecated pre-envelope response shapes alongside/instead of the v1 envelope (one deprecation release)")
 	shards := flag.Int("shards", 0, "split each dataset's counting across N in-process shards (0 = unsharded)")
 	peers := flag.String("peers", "", "comma-separated peer base URLs for HTTP scatter-gather counting (e.g. 'http://h1:8080,http://h2:8080'); mutually exclusive with -shards")
+	snapDir := flag.String("snapshot", "", "load each dataset from <dir>/<name>.snap (whydb pack output) instead of generating it; -scale is ignored")
+	snapMode := flag.String("snapshot-mode", "auto", "snapshot load path: auto (mmap where possible), mmap, or read")
+	maxMutationBatch := flag.Int("max-mutation-batch", 0, "max elements (adds + removes) per /v1/graph/mutate batch (0 = server default, 100000)")
 	flag.Parse()
 
 	// Validate dataset names before opening the listener: a typo should be
@@ -118,15 +127,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-shards must be >= 0")
 		os.Exit(2)
 	}
+	var loadMode snapshot.Mode
+	switch *snapMode {
+	case "auto":
+		loadMode = snapshot.ModeAuto
+	case "mmap":
+		loadMode = snapshot.ModeMmap
+	case "read":
+		loadMode = snapshot.ModeRead
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -snapshot-mode %q (want auto, mmap, or read)\n", *snapMode)
+		os.Exit(2)
+	}
 
 	cfg := server.Config{
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		DefaultBudget:  *budget,
-		MaxBudget:      *maxBudget,
-		QueueCap:       *queueCap,
-		MaxQueueWait:   *maxQueueWait,
-		CompatV0:       *compatV0,
+		DefaultTimeout:   *timeout,
+		MaxTimeout:       *maxTimeout,
+		DefaultBudget:    *budget,
+		MaxBudget:        *maxBudget,
+		QueueCap:         *queueCap,
+		MaxQueueWait:     *maxQueueWait,
+		CompatV0:         *compatV0,
+		MaxMutationBatch: *maxMutationBatch,
 		Resilience: resilience.Config{
 			DegradeAt:     *degradeAt,
 			ShedAt:        *shedAt,
@@ -161,32 +183,48 @@ func main() {
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
-	loadDone := make(chan struct{})
-	go func() {
-		defer close(loadDone)
-		for _, name := range names {
+	// Load datasets concurrently — generation/loading dominates startup, and
+	// the datasets are independent. /readyz names which datasets are still
+	// loading, so an operator watching readiness sees progress, not just
+	// "loading".
+	loading := newLoadTracker(srv, names)
+	loadStart := time.Now()
+	for _, name := range names {
+		go func(name string) {
 			start := time.Now()
 			var eng *core.Engine
+			var source string
+			if *snapDir != "" {
+				path := filepath.Join(*snapDir, name+".snap")
+				loaded, err := snapshot.ReadFile(path, loadMode)
+				if err != nil {
+					log.Fatalf("loading snapshot %s: %v", path, err)
+				}
+				eng = core.NewEngine(loaded.Graph)
+				source = "snapshot:" + filepath.Base(path)
+				log.Printf("snapshot %s: %d bytes, checksum %08x, mapped=%v", path, loaded.Manifest.Bytes, loaded.Manifest.Checksum, loaded.Manifest.Mapped)
+			} else {
+				eng = core.NewEngine(generate(name, *scale))
+				source = "datagen"
+			}
+			eng.SetWorkers(*workers)
 			switch name {
 			case "ldbc":
-				eng = core.NewEngine(datagen.LDBC(datagen.DefaultLDBC().Scaled(*scale)))
-				eng.SetWorkers(*workers)
 				srv.AddDataset(name, eng, workload.LDBCQueries(), workload.FailingVariant)
 			case "dbpedia":
-				cfg := datagen.DefaultDBpedia()
-				cfg.Entities = scaleCount(cfg.Entities, *scale)
-				eng = core.NewEngine(datagen.DBpedia(cfg))
-				eng.SetWorkers(*workers)
 				srv.AddDataset(name, eng, workload.DBpediaQueries(), workload.DBpediaFailingVariant)
 			}
+			srv.SetDatasetSource(name, source)
 			logLoaded(name, eng, start)
 			if err := shardDataset(srv, name, eng, *shards, peerURLs); err != nil {
 				log.Fatalf("sharding %s: %v", name, err)
 			}
-		}
-		srv.SetReady()
-		log.Printf("whydbd ready: %d datasets", len(names))
-	}()
+			if loading.done(name) {
+				srv.SetReady()
+				log.Printf("whydbd ready: %d datasets (%.2fs)", len(names), time.Since(loadStart).Seconds())
+			}
+		}(name)
+	}
 
 	select {
 	case err := <-errCh:
@@ -242,6 +280,55 @@ func shardDataset(srv *server.Server, name string, eng *core.Engine, shards int,
 		return srv.AddShardGroup(name, g)
 	}
 	return nil
+}
+
+// generate builds a dataset from internal/datagen at the given scale.
+func generate(name string, scale float64) *graph.Graph {
+	switch name {
+	case "ldbc":
+		return datagen.LDBC(datagen.DefaultLDBC().Scaled(scale))
+	case "dbpedia":
+		cfg := datagen.DefaultDBpedia()
+		cfg.Entities = scaleCount(cfg.Entities, scale)
+		return datagen.DBpedia(cfg)
+	}
+	panic("unreachable: dataset names validated at startup")
+}
+
+// loadTracker tracks which datasets are still loading and keeps the /readyz
+// reason naming them.
+type loadTracker struct {
+	srv       *server.Server
+	mu        sync.Mutex
+	remaining map[string]bool
+}
+
+func newLoadTracker(srv *server.Server, names []string) *loadTracker {
+	t := &loadTracker{srv: srv, remaining: make(map[string]bool, len(names))}
+	for _, n := range names {
+		t.remaining[n] = true
+	}
+	srv.SetNotReady("loading " + strings.Join(names, ","))
+	return t
+}
+
+// done marks one dataset loaded; it returns true when that was the last one
+// (the caller flips readiness), otherwise it updates the reason to name the
+// datasets still in flight.
+func (t *loadTracker) done(name string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.remaining, name)
+	if len(t.remaining) == 0 {
+		return true
+	}
+	left := make([]string, 0, len(t.remaining))
+	for n := range t.remaining {
+		left = append(left, n)
+	}
+	sort.Strings(left)
+	t.srv.SetNotReady("loading " + strings.Join(left, ","))
+	return false
 }
 
 func logLoaded(name string, eng *core.Engine, start time.Time) {

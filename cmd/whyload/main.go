@@ -69,8 +69,11 @@ type job struct {
 // path maps the job kind to its endpoint (the stream kind is an explain
 // body answered over SSE).
 func (j job) path() string {
-	if j.kind == "stream" {
+	switch j.kind {
+	case "stream":
 		return "/v1/explain/stream"
+	case "mutate":
+		return "/v1/graph/mutate"
 	}
 	return "/v1/" + j.kind
 }
@@ -212,6 +215,7 @@ func main() {
 	out := flag.String("out", "", "write the JSON summary to this file")
 	allowErrors := flag.Bool("allow-errors", false, "exit 0 even when requests failed")
 	allowPartial := flag.Bool("allow-partial", false, "set allowPartial on every request: a sharded daemon may answer from surviving shards")
+	mutateFrac := flag.Float64("mutate-frac", 0, "fraction of the corpus that is graph mutations (mixed/chaos only; sharded datasets are skipped)")
 	flag.Parse()
 	chaos := *mix == "chaos"
 	switch *mix {
@@ -237,6 +241,25 @@ func main() {
 	if len(jobs) == 0 {
 		fmt.Fprintln(os.Stderr, "whyload: the daemon serves no datasets")
 		os.Exit(1)
+	}
+	if *mutateFrac < 0 || *mutateFrac >= 1 {
+		fmt.Fprintln(os.Stderr, "whyload: -mutate-frac must be in [0, 1)")
+		os.Exit(2)
+	}
+	if *mutateFrac > 0 {
+		if *mix != "mixed" && !chaos {
+			fmt.Fprintln(os.Stderr, "whyload: -mutate-frac wants -mix mixed or chaos")
+			os.Exit(2)
+		}
+		mj, err := mutateJobs(client, *addr, *mutateFrac, len(jobs))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "whyload: %v\n", err)
+			os.Exit(1)
+		}
+		if len(mj) == 0 {
+			fmt.Fprintln(os.Stderr, "whyload: -mutate-frac set but every dataset is sharded; no mutations sent")
+		}
+		jobs = interleave(jobs, mj)
 	}
 
 	perWorker := make([][]sample, *concurrency)
@@ -845,6 +868,77 @@ func buildJobs(client *http.Client, addr, mix string, budget int, allowPartial b
 		}
 	}
 	return jobs, skipped, nil
+}
+
+// mutateJobs builds write jobs for -mutate-frac: each is a self-contained
+// batch — two fresh "loadtest" vertices joined by a "loadtest" edge via
+// batch-local references — so it always names live elements no matter how
+// many mutations ran before it, and its types match no built-in query, so
+// the read corpus' answers stay comparable while every write still forces a
+// full refreeze. Sharded datasets reject mutation, so they are skipped
+// (discovered from /v1/stats). The job count makes mutations ≈ frac of the
+// final corpus: n = frac·len(jobs)/(1−frac), at least one per dataset.
+func mutateJobs(client *http.Client, addr string, frac float64, corpus int) ([]job, error) {
+	stats := fetchStats(client, addr)
+	if stats == nil {
+		return nil, fmt.Errorf("discovering mutable datasets: /v1/stats unavailable")
+	}
+	var names []string
+	for name, ds := range stats.Datasets {
+		if ds.Sharding == nil {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+	n := int(math.Ceil(frac * float64(corpus) / (1 - frac)))
+	if n < len(names) {
+		n = len(names)
+	}
+	attrs := func(tag string) map[string]wire.Value {
+		return map[string]wire.Value{
+			"type": {Kind: "string", Str: "loadtest"},
+			"tag":  {Kind: "string", Str: tag},
+		}
+	}
+	jobs := make([]job, 0, n)
+	for i := 0; i < n; i++ {
+		body, err := json.Marshal(wire.MutateRequest{
+			Dataset: names[i%len(names)],
+			AddVertices: []wire.MutVertex{
+				{Attrs: attrs("whyload-a")},
+				{Attrs: attrs("whyload-b")},
+			},
+			AddEdges: []wire.MutEdge{{From: -1, To: -2, Type: "loadtest"}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, job{kind: "mutate", body: body})
+	}
+	return jobs, nil
+}
+
+// interleave spreads the write jobs evenly through the read corpus so
+// refreezes land throughout the run instead of clustering at the end.
+func interleave(reads, writes []job) []job {
+	if len(writes) == 0 {
+		return reads
+	}
+	out := make([]job, 0, len(reads)+len(writes))
+	stride := len(reads)/len(writes) + 1
+	w := 0
+	for i, j := range reads {
+		out = append(out, j)
+		if (i+1)%stride == 0 && w < len(writes) {
+			out = append(out, writes[w])
+			w++
+		}
+	}
+	out = append(out, writes[w:]...)
+	return out
 }
 
 // percentiles returns p50/p95/p99/max in milliseconds.

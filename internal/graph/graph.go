@@ -70,6 +70,16 @@ type Graph struct {
 	// It is built lazily by BuildVertexIndex for the keys requested.
 	vattrIndex map[string]map[Value][]VertexID
 
+	// Tombstones. IDs are dense and never reused, so removal marks the slot
+	// instead of compacting: removed vertices keep their ID with nil attrs and
+	// no incident edges, removed edges keep their record but leave every
+	// adjacency list and the type index. Both slices are nil until the first
+	// removal, so purely additive graphs pay nothing.
+	removedV  []bool
+	removedE  []bool
+	nRemovedV int
+	nRemovedE int
+
 	// Packed adjacency (CSR layout), built by Freeze and invalidated by
 	// mutation. The whole snapshot lives behind one atomic pointer so its
 	// publication is a plain acquire/release pair: Freeze builds a csr that
@@ -113,6 +123,9 @@ func (g *Graph) AddVertex(attrs Attrs) VertexID {
 	g.vertices = append(g.vertices, Vertex{ID: id, Attrs: attrs})
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
+	if g.removedV != nil {
+		g.removedV = append(g.removedV, false)
+	}
 	g.frozen.Store(nil)
 	return id
 }
@@ -125,6 +138,9 @@ func (g *Graph) AddEdge(from, to VertexID, typ string, attrs Attrs) EdgeID {
 	if int(from) >= len(g.vertices) || int(to) >= len(g.vertices) || from < 0 || to < 0 {
 		panic(fmt.Sprintf("graph: AddEdge endpoints out of range: %d -> %d (have %d vertices)", from, to, len(g.vertices)))
 	}
+	if g.VertexRemoved(from) || g.VertexRemoved(to) {
+		panic(fmt.Sprintf("graph: AddEdge endpoint removed: %d -> %d", from, to))
+	}
 	id := EdgeID(len(g.edges))
 	g.edges = append(g.edges, Edge{ID: id, From: from, To: to, Type: typ, Attrs: attrs})
 	g.out[from] = append(g.out[from], id)
@@ -133,6 +149,9 @@ func (g *Graph) AddEdge(from, to VertexID, typ string, attrs Attrs) EdgeID {
 		g.typeIndex = make(map[string][]EdgeID)
 	}
 	g.typeIndex[typ] = append(g.typeIndex[typ], id)
+	if g.removedE != nil {
+		g.removedE = append(g.removedE, false)
+	}
 	g.frozen.Store(nil)
 	return id
 }
@@ -157,11 +176,11 @@ func (g *Graph) Freeze() {
 	for i, t := range c.typeNames {
 		c.typeIDs[t] = int32(i)
 	}
-	nv, ne := len(g.vertices), len(g.edges)
+	nv, live := len(g.vertices), len(g.edges)-g.nRemovedE
 	c.outOff = make([]int32, nv+1)
 	c.inOff = make([]int32, nv+1)
-	c.outAdj = make([]Adj, ne)
-	c.inAdj = make([]Adj, ne)
+	c.outAdj = make([]Adj, live)
+	c.inAdj = make([]Adj, live)
 	opos, ipos := int32(0), int32(0)
 	for v := 0; v < nv; v++ {
 		c.outOff[v] = opos

@@ -179,16 +179,19 @@ func (m *Matcher) candidatesFlat(dst []graph.VertexID, preds []flatPred, scratch
 		*scratch = pool
 		if indexed {
 			for _, id := range pool {
-				if matchFlat(m.g.Vertex(id).Attrs, preds) {
+				if !m.g.VertexRemoved(id) && matchFlat(m.g.Vertex(id).Attrs, preds) {
 					dst = append(dst, id)
 				}
 			}
 			return dst
 		}
 	}
+	// Tombstoned vertices carry nil attrs, so any non-empty predicate list
+	// rejects them; the explicit check keeps predicate-free pattern vertices
+	// from binding removed slots.
 	for i := 0; i < m.g.NumVertices(); i++ {
 		id := graph.VertexID(i)
-		if matchFlat(m.g.Vertex(id).Attrs, preds) {
+		if !m.g.VertexRemoved(id) && matchFlat(m.g.Vertex(id).Attrs, preds) {
 			dst = append(dst, id)
 		}
 	}

@@ -61,7 +61,7 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) {
 		s.injected.Add(1)
 		panic(http.ErrAbortHandler)
 	}
-	m := ds.eng.Matcher()
+	m := ds.engine().Matcher()
 	hi := req.Hi
 	if nv := m.Graph().NumVertices(); hi > nv {
 		hi = nv

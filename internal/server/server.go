@@ -92,6 +92,10 @@ type Config struct {
 	// graphs per rewriting with no cancellation hook, so it must stay
 	// bounded for the same reason as the match caps.
 	MaxResultSample int
+	// MaxMutationBatch caps the total elements (adds + removes) of one
+	// /v1/graph/mutate batch (0 = 100,000). A batch clones the graph before
+	// applying, so an unbounded batch is an unbounded memory spike.
+	MaxMutationBatch int
 	// QueueCap bounds each dataset's admission queue (0 = 4× the dataset's
 	// admission capacity). A request arriving at a full queue answers 429
 	// with Retry-After instead of waiting.
@@ -138,16 +142,39 @@ func (c *Config) fill() {
 	if c.MaxQueueWait == 0 {
 		c.MaxQueueWait = 5 * time.Second
 	}
+	if c.MaxMutationBatch == 0 {
+		c.MaxMutationBatch = 100000
+	}
 }
 
 // dataset is one loaded graph with its engine, built-in workload queries,
 // and admission state.
+//
+// The engine lives behind an atomic pointer because mutation replaces it
+// wholesale: a mutate batch clones the graph, applies the writes, freezes a
+// new CSR, builds a fresh engine, and publishes it as the next epoch.
+// Handlers snapshot the pointer once per request, so an in-flight search
+// finishes on the epoch it started on while new requests see the new one —
+// and since the plan/count/candidate caches hang off the engine, a swap
+// invalidates every cache by construction (no stale hits across epochs).
 type dataset struct {
 	name     string
-	eng      *core.Engine
+	eng      atomic.Pointer[core.Engine]
 	builtins map[string]func() *query.Query
 	names    []string // builtin names, insertion order
 	failing  func(string) (*query.Query, error)
+
+	// Mutation state: mutMu serializes writers (readers never take it),
+	// epoch counts published graph versions (1 at boot), refreezes and
+	// mutations count publications and applied batches, lastRefreezeNs the
+	// latest publication's build time. source records where the boot graph
+	// came from ("datagen" or "snapshot:<file>").
+	mutMu         sync.Mutex
+	epoch         atomic.Int64
+	refreezes     atomic.Int64
+	mutations     atomic.Int64
+	lastRefreezNs atomic.Int64
+	source        string
 
 	// sem is the admission semaphore: at most cap(sem) requests execute
 	// against the engine at once (sized off the engine's worker count);
@@ -163,6 +190,11 @@ type dataset struct {
 	// CountKeyed-routed count fans out through it.
 	shards *shard.Group
 }
+
+// engine returns the dataset's current engine. Handlers call it once per
+// request and use that engine throughout, so an epoch swap mid-request
+// cannot mix two graphs in one answer.
+func (ds *dataset) engine() *core.Engine { return ds.eng.Load() }
 
 // Server is the why-query HTTP daemon state. Register datasets with
 // AddDataset (safe while serving: whydbd registers datasets as they finish
@@ -185,6 +217,7 @@ type Server struct {
 	reqExplain   atomic.Int64
 	reqStream    atomic.Int64
 	reqMatch     atomic.Int64
+	reqMutate    atomic.Int64
 	reqErrors    atomic.Int64
 	reqCancelled atomic.Int64
 
@@ -201,6 +234,7 @@ type Server struct {
 	streamSeq  atomic.Uint64
 	matchSeq   atomic.Uint64
 	countSeq   atomic.Uint64
+	mutateSeq  atomic.Uint64
 }
 
 // New returns an empty server with the given configuration. The server
@@ -257,12 +291,14 @@ func (s *Server) AddDataset(name string, eng *core.Engine, builtins []workload.N
 	}
 	ds := &dataset{
 		name:     name,
-		eng:      eng,
 		builtins: make(map[string]func() *query.Query, len(builtins)),
 		failing:  failing,
 		sem:      make(chan struct{}, admitCap),
 		queueCap: queueCap,
+		source:   "datagen",
 	}
+	ds.eng.Store(eng)
+	ds.epoch.Store(1)
 	for _, nq := range builtins {
 		ds.builtins[nq.Name] = nq.Build
 		ds.names = append(ds.names, nq.Name)
@@ -270,6 +306,15 @@ func (s *Server) AddDataset(name string, eng *core.Engine, builtins []workload.N
 	s.mu.Lock()
 	s.datasets[name] = ds
 	s.mu.Unlock()
+}
+
+// SetDatasetSource records where a dataset's boot graph came from, reported
+// in /v1/stats ("datagen" is the default; whydbd -snapshot boots record
+// "snapshot:<file>"). Call before SetReady.
+func (s *Server) SetDatasetSource(name, source string) {
+	if ds, ok := s.lookup(name); ok {
+		ds.source = source
+	}
 }
 
 // AddShardGroup installs a scatter-gather counting group for a registered
@@ -283,7 +328,7 @@ func (s *Server) AddShardGroup(name string, g *shard.Group) error {
 		return fmt.Errorf("server: unknown dataset %q", name)
 	}
 	ds.shards = g
-	ds.eng.Matcher().SetCountDelegate(g.Delegate())
+	ds.engine().Matcher().SetCountDelegate(g.Delegate())
 	return nil
 }
 
@@ -305,6 +350,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	mux.HandleFunc("POST /v1/explain/stream", s.handleExplainStream)
 	mux.HandleFunc("POST /v1/match", s.handleMatch)
+	mux.HandleFunc("POST /v1/graph/mutate", s.handleMutate)
 	mux.HandleFunc("POST /v1/internal/count", s.handleCount)
 	return s.recoverer(mux)
 }
@@ -518,12 +564,13 @@ func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
 	infos := make([]wire.DatasetInfo, 0, len(s.datasets))
 	for _, name := range s.sortedNames() {
 		ds := s.datasets[name]
-		g := ds.eng.Graph()
+		eng := ds.engine()
+		g := eng.Graph()
 		infos = append(infos, wire.DatasetInfo{
 			Name:     name,
 			Vertices: g.NumVertices(),
 			Edges:    g.NumEdges(),
-			Workers:  ds.eng.Workers(),
+			Workers:  eng.Workers(),
 			AdmitCap: cap(ds.sem),
 			Builtins: append([]string(nil), ds.names...),
 		})
@@ -542,6 +589,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Explain:   s.reqExplain.Load(),
 			Stream:    s.reqStream.Load(),
 			Match:     s.reqMatch.Load(),
+			Mutate:    s.reqMutate.Load(),
 			Errors:    s.reqErrors.Load(),
 			Cancelled: s.reqCancelled.Load(),
 		},
@@ -549,17 +597,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Resilience: s.resilienceStats(),
 	}
 	for name, ds := range s.datasets {
-		m := ds.eng.Matcher()
+		eng := ds.engine()
+		m := eng.Matcher()
 		st := wire.DatasetStats{
-			Workers:  ds.eng.Workers(),
-			AdmitCap: cap(ds.sem),
-			InFlight: int(ds.inFlight.Load()),
+			Workers:        eng.Workers(),
+			AdmitCap:       cap(ds.sem),
+			InFlight:       int(ds.inFlight.Load()),
+			Epoch:          ds.epoch.Load(),
+			Source:         ds.source,
+			Refreezes:      ds.refreezes.Load(),
+			Mutations:      ds.mutations.Load(),
+			LastRefreezeMs: float64(ds.lastRefreezNs.Load()) / 1e6,
 		}
 		st.PlanCache = wire.NewCacheStats(m.PlanCacheStats())
 		st.CountCache = wire.NewCacheStats(m.CountCacheStats())
 		st.CandCache = wire.NewCacheStats(m.CandCacheStats())
-		st.StatsCache = wire.NewCacheStats(ds.eng.Stats().CacheStats())
-		kernel := ds.eng.KernelCounters()
+		st.StatsCache = wire.NewCacheStats(eng.Stats().CacheStats())
+		kernel := eng.KernelCounters()
 		st.Kernel = make(map[string]wire.KernelCounters, len(kernel))
 		for family, c := range kernel {
 			st.Kernel[family] = wire.KernelCounters{
@@ -786,6 +840,7 @@ func qualityBound(rep *core.Report, budget, eps int) *wire.QualityBound {
 type explainPrep struct {
 	req  wire.ExplainRequest
 	ds   *dataset
+	eng  *core.Engine // the epoch this request is pinned to
 	q    *query.Query
 	opts core.Options
 }
@@ -808,6 +863,7 @@ func (s *Server) prepareExplain(w http.ResponseWriter, r *http.Request, inject f
 		return prep, false
 	}
 	prep.ds = ds
+	prep.eng = ds.engine()
 	if req.Lower < 0 || req.Upper < 0 {
 		s.fail(w, r, http.StatusBadRequest, wire.CodeBoundViolation, "cardinality bounds must be non-negative (lower=%d upper=%d)", req.Lower, req.Upper)
 		return prep, false
@@ -842,7 +898,7 @@ func (s *Server) prepareExplain(w http.ResponseWriter, r *http.Request, inject f
 		resultSample = s.cfg.MaxResultSample
 	}
 	workers := req.Workers
-	if max := ds.eng.Workers(); workers > max {
+	if max := prep.eng.Workers(); workers > max {
 		workers = max
 	}
 	prep.opts = core.Options{
@@ -915,7 +971,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	rep, err := ds.eng.ExplainCtx(ctx, q, opts)
+	rep, err := prep.eng.ExplainCtx(ctx, q, opts)
 	if err != nil {
 		// A shard failure cancels the request context, so check the session
 		// first: the caller should see shard_unavailable, not a timeout.
@@ -1023,9 +1079,10 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		err  error
 	}
 	done := make(chan matchResult, 1)
+	eng := ds.engine() // pin this request's epoch
 	go func() {
 		defer release()
-		m := ds.eng.Matcher()
+		m := eng.Matcher()
 		if mode == "count" {
 			if ds.shards != nil {
 				// Sharded count: fan out through the group. The session gets

@@ -252,5 +252,5 @@ func refEngine(t *testing.T, ref *Server) *core.Engine {
 	if !ok {
 		t.Fatal("reference server lost its dataset")
 	}
-	return ds.eng
+	return ds.engine()
 }

@@ -136,7 +136,7 @@ func (s *Server) handleExplainStream(w http.ResponseWriter, r *http.Request) {
 		flusher.Flush()
 	}
 
-	rep, err := ds.eng.ExplainCtx(ctx, q, opts)
+	rep, err := prep.eng.ExplainCtx(ctx, q, opts)
 	if err != nil {
 		var we wire.Error
 		if sess != nil {

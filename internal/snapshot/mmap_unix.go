@@ -1,0 +1,20 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// mmapFile maps the file read-only. The returned closer unmaps; the mapping
+// must outlive every graph loaded zero-copy from it.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

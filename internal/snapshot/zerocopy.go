@@ -1,0 +1,44 @@
+package snapshot
+
+import (
+	"unsafe"
+
+	"repro/internal/graph"
+)
+
+// Zero-copy reinterpretation of fixed-width sections. Only valid on a
+// little-endian host over 8-aligned section bytes (the writer aligns every
+// section); callers gate on hostLittleEndian().
+
+// Compile-time layout asserts: the on-disk record widths must equal the
+// in-memory struct sizes, or reinterpretation would shear.
+var (
+	_ [adjSize]byte     = [unsafe.Sizeof(graph.Adj{})]byte{}
+	_ [attrRecSize]byte = [unsafe.Sizeof(attrRec{})]byte{}
+)
+
+func hostLittleEndian() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}
+
+func asInt32(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+func asAdj(b []byte) []graph.Adj {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*graph.Adj)(unsafe.Pointer(&b[0])), len(b)/adjSize)
+}
+
+func asAttrRecs(b []byte) []attrRec {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*attrRec)(unsafe.Pointer(&b[0])), len(b)/attrRecSize)
+}

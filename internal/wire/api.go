@@ -83,6 +83,62 @@ type MatchResponse struct {
 	Coverage map[string]bool `json:"coverage,omitempty"`
 }
 
+// MutateRequest is the body of POST /v1/graph/mutate: one atomic batch of
+// graph writes. The whole batch applies to a fresh clone of the dataset's
+// graph which is then frozen and published as a new epoch — in-flight
+// searches finish on the old epoch's CSR, new requests see the new one, and
+// the per-engine plan/count/candidate caches are invalidated wholesale by
+// the swap.
+type MutateRequest struct {
+	Dataset string `json:"dataset"`
+	// AddVertices appends new vertices; response reports their assigned ids.
+	AddVertices []MutVertex `json:"addVertices,omitempty"`
+	// AddEdges appends new edges. From/To are either existing vertex ids
+	// (>= 0) or negative batch-local references: -1 is the first vertex of
+	// AddVertices in this batch, -2 the second, and so on.
+	AddEdges []MutEdge `json:"addEdges,omitempty"`
+	// RemoveVertices tombstones vertices (and their incident edges);
+	// RemoveEdges tombstones individual edges. Ids are never reused.
+	RemoveVertices []int `json:"removeVertices,omitempty"`
+	RemoveEdges    []int `json:"removeEdges,omitempty"`
+	// TimeoutMs bounds the request's processing time (0 = server default).
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+}
+
+// MutVertex is one vertex to insert.
+type MutVertex struct {
+	Attrs map[string]Value `json:"attrs,omitempty"`
+}
+
+// MutEdge is one edge to insert (see MutateRequest.AddEdges for the
+// negative-reference convention).
+type MutEdge struct {
+	From  int              `json:"from"`
+	To    int              `json:"to"`
+	Type  string           `json:"type"`
+	Attrs map[string]Value `json:"attrs,omitempty"`
+}
+
+// MutateResponse answers /v1/graph/mutate after the new epoch is live.
+type MutateResponse struct {
+	// Epoch is the dataset's epoch after this batch (boot epoch is 1).
+	Epoch int64 `json:"epoch"`
+	// AddedVertices/AddedEdges are the ids assigned to this batch's inserts,
+	// in request order.
+	AddedVertices []int `json:"addedVertices,omitempty"`
+	AddedEdges    []int `json:"addedEdges,omitempty"`
+	// RemovedVertices/RemovedEdges count tombstones this batch created,
+	// incident-edge cascades included.
+	RemovedVertices int `json:"removedVertices"`
+	RemovedEdges    int `json:"removedEdges"`
+	// Vertices/Edges are the live (non-tombstoned) totals after the batch.
+	Vertices int `json:"vertices"`
+	Edges    int `json:"edges"`
+	// RefreezeMs is the time spent cloning, applying, freezing, and
+	// rebuilding the engine for the new epoch.
+	RefreezeMs float64 `json:"refreezeMs"`
+}
+
 // CountRequest is the body of the internal shard RPC POST /v1/internal/count:
 // count the embeddings of a query whose root-vertex binding lies in the
 // half-open vertex-id range [Lo, Hi), capped at Cap. The coordinator fans one
@@ -219,14 +275,24 @@ type KernelCounters struct {
 // (GET /v1/stats). Kernel is keyed by explanation family: "relax",
 // "modtree", "mcs".
 type DatasetStats struct {
-	Workers    int                       `json:"workers"`
-	AdmitCap   int                       `json:"admitCap"`
-	InFlight   int                       `json:"inFlight"`
-	PlanCache  CacheStats                `json:"planCache"`
-	CountCache CacheStats                `json:"countCache"`
-	CandCache  CacheStats                `json:"candCache"`
-	StatsCache CacheStats                `json:"statsCache"`
-	Kernel     map[string]KernelCounters `json:"kernel"`
+	Workers  int `json:"workers"`
+	AdmitCap int `json:"admitCap"`
+	InFlight int `json:"inFlight"`
+	// Epoch is the dataset's mutation epoch (1 at boot; each applied mutate
+	// batch publishes the next). Source is where the boot graph came from:
+	// "datagen" or "snapshot:<file>". Refreezes counts epoch publications,
+	// Mutations counts applied batches (equal unless a future writer
+	// coalesces), and LastRefreezeMs is the latest publication's build time.
+	Epoch          int64                     `json:"epoch"`
+	Source         string                    `json:"source"`
+	Refreezes      int64                     `json:"refreezes"`
+	Mutations      int64                     `json:"mutations"`
+	LastRefreezeMs float64                   `json:"lastRefreezeMs,omitempty"`
+	PlanCache      CacheStats                `json:"planCache"`
+	CountCache     CacheStats                `json:"countCache"`
+	CandCache      CacheStats                `json:"candCache"`
+	StatsCache     CacheStats                `json:"statsCache"`
+	Kernel         map[string]KernelCounters `json:"kernel"`
 	// Sharding reports the scatter-gather fan-out's health when the dataset
 	// is served by a shard group (whydbd -shards / -peers).
 	Sharding *ShardingStats `json:"sharding,omitempty"`
@@ -324,6 +390,7 @@ type ServerCounters struct {
 	Explain   int64 `json:"explain"`
 	Stream    int64 `json:"stream"`
 	Match     int64 `json:"match"`
+	Mutate    int64 `json:"mutate"`
 	Errors    int64 `json:"errors"`
 	Cancelled int64 `json:"cancelled"`
 }
