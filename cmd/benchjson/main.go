@@ -15,6 +15,19 @@
 // recorded baseline — or when the benchmark is missing from the input.
 // Every -max-ns-ratio gate (repeatable, `name=R`) fails when the measured
 // ns/op exceeds the -baseline report's ns/op × R.
+//
+// Service mode gates the served system instead of in-process benchmarks:
+//
+//	benchjson -service mixed=whyload_mixed.json -service batch=whyload_batch.json \
+//	    -service-baseline BENCH_service.json -service-out BENCH_service_ci.json \
+//	    -max-p50-ratio 'mixed=3.0' -max-p99-ratio 'mixed=3.0' \
+//	    -min-rps-ratio 'mixed=0.25' -min-item-rps-ratio 'batch=0.25'
+//
+// Each -service flag (repeatable, `scenario=path`) loads one whyload -out
+// summary; the latency gates are ratio ceilings and the throughput gates
+// ratio floors against the committed -service-baseline, and any measured
+// scenario with hard errors fails outright. Service mode reads nothing from
+// stdin and cannot be combined with the benchmark gates.
 package main
 
 import (
@@ -27,13 +40,40 @@ import (
 	"repro/internal/benchparse"
 )
 
+// serviceMetricFlags maps each service-gate flag to the benchparse metric
+// its `scenario=ratio` value bounds.
+var serviceMetricFlags = map[string]string{
+	"-max-p50-ratio":      benchparse.ServiceP50,
+	"-max-p99-ratio":      benchparse.ServiceP99,
+	"-min-rps-ratio":      benchparse.ServiceRPS,
+	"-min-item-rps-ratio": benchparse.ServiceItemRPS,
+}
+
 func main() {
 	args := os.Args[1:]
 	outPath := ""
 	baselinePath := ""
+	serviceBaselinePath := ""
+	serviceOutPath := ""
 	var gates []benchparse.Gate
 	var nsGates []benchparse.NsGate
+	var serviceGates []benchparse.ServiceGate
+	serviceFiles := map[string]string{}
+	var serviceOrder []string
 	for i := 0; i < len(args); i++ {
+		if metric, ok := serviceMetricFlags[args[i]]; ok {
+			flag := args[i]
+			i++
+			if i >= len(args) {
+				fatal("missing value for " + flag)
+			}
+			g, err := benchparse.ParseServiceGate(metric, args[i])
+			if err != nil {
+				fatal(err.Error())
+			}
+			serviceGates = append(serviceGates, g)
+			continue
+		}
 		switch args[i] {
 		case "-out":
 			i++
@@ -67,12 +107,52 @@ func main() {
 				fatal(err.Error())
 			}
 			nsGates = append(nsGates, g)
+		case "-service":
+			i++
+			if i >= len(args) {
+				fatal("missing value for -service")
+			}
+			eq := strings.Index(args[i], "=")
+			if eq <= 0 || eq == len(args[i])-1 {
+				fatal(fmt.Sprintf("-service %q not of the form scenario=path", args[i]))
+			}
+			name := args[i][:eq]
+			if _, dup := serviceFiles[name]; dup {
+				fatal(fmt.Sprintf("duplicate -service scenario %q", name))
+			}
+			serviceFiles[name] = args[i][eq+1:]
+			serviceOrder = append(serviceOrder, name)
+		case "-service-baseline":
+			i++
+			if i >= len(args) {
+				fatal("missing value for -service-baseline")
+			}
+			serviceBaselinePath = args[i]
+		case "-service-out":
+			i++
+			if i >= len(args) {
+				fatal("missing value for -service-out")
+			}
+			serviceOutPath = args[i]
 		default:
 			fatal(fmt.Sprintf("unknown flag %q", args[i]))
 		}
 	}
 	if len(nsGates) > 0 && baselinePath == "" {
 		fatal("-max-ns-ratio requires -baseline")
+	}
+	if len(serviceFiles) > 0 {
+		if len(gates)+len(nsGates) > 0 || outPath != "" || baselinePath != "" {
+			fatal("service mode cannot be combined with benchmark gates")
+		}
+		if len(serviceGates) > 0 && serviceBaselinePath == "" {
+			fatal("service gates require -service-baseline")
+		}
+		runService(serviceFiles, serviceOrder, serviceBaselinePath, serviceOutPath, serviceGates)
+		return
+	}
+	if len(serviceGates) > 0 || serviceBaselinePath != "" || serviceOutPath != "" {
+		fatal("service flags require at least one -service scenario=path")
 	}
 
 	report, err := benchparse.Parse(os.Stdin)
@@ -117,6 +197,65 @@ func main() {
 	}
 	if n := len(gates) + len(nsGates); n > 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: %d gate(s) passed\n", n)
+	}
+}
+
+// runService loads every -service whyload summary, optionally writes the
+// measured report in the committed-baseline format, and evaluates the
+// service gates against -service-baseline. Exit codes match benchmark mode:
+// 1 on gate failure, 2 on unusable input.
+func runService(files map[string]string, order []string, baselinePath, outPath string, gates []benchparse.ServiceGate) {
+	measured := &benchparse.ServiceReport{Scenarios: map[string]benchparse.ServiceEntry{}}
+	for _, name := range order {
+		f, err := os.Open(files[name])
+		if err != nil {
+			fatal(err.Error())
+		}
+		e, err := benchparse.ParseWhyloadSummary(f)
+		f.Close()
+		if err != nil {
+			fatal(fmt.Sprintf("%s: %s", files[name], err))
+		}
+		measured.Scenarios[name] = e
+	}
+	var out io.Writer = os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			fatal(err.Error())
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	if err := measured.WriteJSON(w); err != nil {
+		fatal(err.Error())
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err.Error())
+	}
+
+	var failures []string
+	if baselinePath != "" {
+		bf, err := os.Open(baselinePath)
+		if err != nil {
+			fatal(err.Error())
+		}
+		baseline, err := benchparse.ReadServiceBaseline(bf)
+		bf.Close()
+		if err != nil {
+			fatal(err.Error())
+		}
+		failures = measured.CheckServiceGates(baseline, gates)
+	}
+	for _, f := range failures {
+		fmt.Fprintln(os.Stderr, "benchjson: GATE FAILED:", f)
+	}
+	if len(failures) > 0 {
+		os.Exit(1)
+	}
+	if len(gates) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: %d service gate(s) passed\n", len(gates))
 	}
 }
 

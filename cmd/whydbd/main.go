@@ -81,6 +81,7 @@ func main() {
 	snapDir := flag.String("snapshot", "", "load each dataset from <dir>/<name>.snap (whydb pack output) instead of generating it; -scale is ignored")
 	snapMode := flag.String("snapshot-mode", "auto", "snapshot load path: auto (mmap where possible), mmap, or read")
 	maxMutationBatch := flag.Int("max-mutation-batch", 0, "max elements (adds + removes) per /v1/graph/mutate batch (0 = server default, 100000)")
+	maxBatch := flag.Int("max-batch", 0, "max items per /v1/explain/batch request (0 = server default, 64)")
 	flag.Parse()
 
 	// Validate dataset names before opening the listener: a typo should be
@@ -149,6 +150,7 @@ func main() {
 		MaxQueueWait:     *maxQueueWait,
 		CompatV0:         *compatV0,
 		MaxMutationBatch: *maxMutationBatch,
+		MaxBatch:         *maxBatch,
 		Resilience: resilience.Config{
 			DegradeAt:     *degradeAt,
 			ShedAt:        *shedAt,

@@ -67,11 +67,13 @@ type job struct {
 }
 
 // path maps the job kind to its endpoint (the stream kind is an explain
-// body answered over SSE).
+// body answered over SSE, the batch kind a BatchExplainRequest).
 func (j job) path() string {
 	switch j.kind {
 	case "stream":
 		return "/v1/explain/stream"
+	case "batch":
+		return "/v1/explain/batch"
 	case "mutate":
 		return "/v1/graph/mutate"
 	}
@@ -109,6 +111,10 @@ const (
 
 // sample is one job's outcome. ttfe and ttconverged are stream-only anytime
 // latencies (zero when the stream produced no improvement / did not finish).
+// items/itemErrors/itemOverload are batch-only: items the answered batch
+// carried, items carrying a hard error envelope, and items carrying a
+// documented overload answer (shed, deadline, injected, shard loss) — the
+// latter tolerated in chaos runs, errors elsewhere.
 type sample struct {
 	kind            string
 	lat             time.Duration
@@ -121,6 +127,9 @@ type sample struct {
 	missingCoverage bool
 	ttfe            time.Duration
 	ttconverged     time.Duration
+	items           int
+	itemErrors      int
+	itemOverload    int
 }
 
 // kindStats aggregates one request kind's outcomes.
@@ -192,8 +201,25 @@ type summary struct {
 	TTFEMs        *latQuantiles `json:"ttfeMs,omitempty"`
 	TTConvergedMs *latQuantiles `json:"ttconvergedMs,omitempty"`
 
+	// Batch accounting (batch jobs in the mix): batches sent, items carried,
+	// item-level hard errors and tolerated overload answers, effective
+	// item throughput, and per-item latency percentiles (each item observes
+	// its enclosing batch's wall latency — the time a batched caller waits
+	// for that answer).
+	Batches           int           `json:"batches,omitempty"`
+	BatchItems        int           `json:"batchItems,omitempty"`
+	BatchItemErrors   int           `json:"batchItemErrors,omitempty"`
+	BatchItemOverload int           `json:"batchItemOverload,omitempty"`
+	ItemRPS           float64       `json:"itemRps,omitempty"`
+	PerItemMs         *latQuantiles `json:"perItemMs,omitempty"`
+
 	Kernel     map[string]map[string]wire.KernelCounters `json:"kernel,omitempty"`
 	Resilience *wire.ResilienceStats                     `json:"resilience,omitempty"`
+	// Speculation and Coalescing mirror the daemon's post-run fleet-serving
+	// counters: the server-wide speculation budget's utilization and each
+	// dataset's cross-request singleflight stampede counters.
+	Speculation *wire.SpeculationPoolStats      `json:"speculation,omitempty"`
+	Coalescing  map[string]wire.CoalescingStats `json:"coalescing,omitempty"`
 	// Shards carries each sharded dataset's shard-group health from the
 	// daemon's post-run stats: breaker states, retry/hedge counters, and how
 	// many partial answers the coordinator served.
@@ -216,22 +242,31 @@ func main() {
 	allowErrors := flag.Bool("allow-errors", false, "exit 0 even when requests failed")
 	allowPartial := flag.Bool("allow-partial", false, "set allowPartial on every request: a sharded daemon may answer from surviving shards")
 	mutateFrac := flag.Float64("mutate-frac", 0, "fraction of the corpus that is graph mutations (mixed/chaos only; sharded datasets are skipped)")
+	batchSize := flag.Int("batch-size", 8, "items per /v1/explain/batch request (batch and chaos mixes)")
+	dupFrac := flag.Float64("dup-frac", 0.5, "fraction of each batch's items duplicating its first item (cross-request coalescing pressure)")
 	flag.Parse()
 	chaos := *mix == "chaos"
 	switch *mix {
-	case "explain", "match", "mixed", "stream", "chaos":
+	case "explain", "match", "mixed", "stream", "batch", "chaos":
 	default:
-		fmt.Fprintf(os.Stderr, "unknown mix %q (want explain, match, mixed, stream, or chaos)\n", *mix)
+		fmt.Fprintf(os.Stderr, "unknown mix %q (want explain, match, mixed, stream, batch, or chaos)\n", *mix)
 		os.Exit(2)
 	}
 	if *concurrency < 1 {
 		*concurrency = 1
+	}
+	if *batchSize < 1 || *dupFrac < 0 || *dupFrac > 1 {
+		fmt.Fprintln(os.Stderr, "whyload: -batch-size must be >= 1 and -dup-frac in [0, 1]")
+		os.Exit(2)
 	}
 
 	client := &http.Client{Timeout: *timeout}
 	corpusMix := *mix
 	if chaos {
 		corpusMix = "mixed"
+	}
+	if *mix == "batch" {
+		corpusMix = "explain"
 	}
 	jobs, skipped, err := buildJobs(client, *addr, corpusMix, *budget, *allowPartial)
 	if err != nil {
@@ -241,6 +276,28 @@ func main() {
 	if len(jobs) == 0 {
 		fmt.Fprintln(os.Stderr, "whyload: the daemon serves no datasets")
 		os.Exit(1)
+	}
+	if *mix == "batch" {
+		jobs = batchJobs(jobs, *batchSize, *dupFrac)
+	}
+	if chaos {
+		// The overload drill also carries fleet traffic: every fourth explain
+		// replays over SSE, and duplicate-heavy batches ride along so batching
+		// and coalescing face the same epoch swaps and brownouts as singles.
+		nExplain := 0
+		for i := range jobs {
+			if jobs[i].kind == "explain" {
+				if nExplain%4 == 3 {
+					jobs[i].kind = "stream"
+				}
+				nExplain++
+			}
+		}
+		bjs := batchJobs(jobs, *batchSize, *dupFrac)
+		if max := len(jobs)/4 + 1; len(bjs) > max {
+			bjs = bjs[:max]
+		}
+		jobs = interleave(jobs, bjs)
 	}
 	if *mutateFrac < 0 || *mutateFrac >= 1 {
 		fmt.Fprintln(os.Stderr, "whyload: -mutate-frac must be in [0, 1)")
@@ -312,13 +369,28 @@ func main() {
 		CorpusSkipped: skipped,
 		Retries:       int(totalRetries.Load()),
 	}
-	var all, ttfes, ttconvs []time.Duration
+	var all, ttfes, ttconvs, perItem []time.Duration
 	var mean time.Duration
 	for _, ws := range perWorker {
 		for _, s := range ws {
 			sum.Requests++
 			ks := sum.PerKind[s.kind]
 			ks.Requests++
+			if s.kind == "batch" {
+				sum.Batches++
+				sum.BatchItems += s.items
+				hard, tolerated := s.itemErrors, s.itemOverload
+				if !chaos {
+					// Outside chaos an overloaded item is as wrong as any
+					// other failed item, mirroring normalize().
+					hard, tolerated = hard+tolerated, 0
+				}
+				sum.BatchItemErrors += hard
+				sum.BatchItemOverload += tolerated
+				for n := s.items - hard - tolerated; n > 0; n-- {
+					perItem = append(perItem, s.lat)
+				}
+			}
 			if s.degraded {
 				sum.Degraded++
 			}
@@ -370,7 +442,11 @@ func main() {
 		}
 	}
 	sum.TTFEMs, sum.TTConvergedMs = quantiles(ttfes), quantiles(ttconvs)
+	sum.PerItemMs = quantiles(perItem)
 	sum.RPS = float64(sum.Requests) / elapsed.Seconds()
+	if sum.BatchItems > 0 {
+		sum.ItemRPS = float64(sum.BatchItems) / elapsed.Seconds()
+	}
 	sum.P50Ms, sum.P95Ms, sum.P99Ms, sum.MaxMs = percentiles(all)
 	if len(all) > 0 {
 		sum.MeanMs = float64(mean.Nanoseconds()) / 1e6 / float64(len(all))
@@ -398,8 +474,15 @@ func main() {
 				}
 				sum.Shards[name] = ds.Sharding
 			}
+			if ds.Coalescing.Waits > 0 || ds.Coalescing.Shared > 0 {
+				if sum.Coalescing == nil {
+					sum.Coalescing = map[string]wire.CoalescingStats{}
+				}
+				sum.Coalescing[name] = ds.Coalescing
+			}
 		}
 		sum.Resilience = stats.Resilience
+		sum.Speculation = stats.Speculation
 	}
 
 	fmt.Printf("whyload: %s mix against %s, %d workers\n", sum.Mix, sum.Target, sum.Concurrency)
@@ -417,6 +500,14 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if sum.Batches > 0 {
+		fmt.Printf("  batch: %d batches carrying %d items (%d item errors, %d item overload), %.1f items/s",
+			sum.Batches, sum.BatchItems, sum.BatchItemErrors, sum.BatchItemOverload, sum.ItemRPS)
+		if q := sum.PerItemMs; q != nil {
+			fmt.Printf(", per-item p50=%.2f p99=%.2f max=%.2f", q.P50Ms, q.P99Ms, q.MaxMs)
+		}
+		fmt.Println()
+	}
 	if sum.Retries+sum.Degraded+sum.Injected+sum.Expired+sum.Transport+sum.Partial+sum.ShedExhausted+sum.InjectedExhausted+sum.CorpusSkipped > 0 {
 		fmt.Printf("  overload: %d retries, %d degraded (%d missing bound), %d partial (%d missing coverage), %d injected (%d exhausted), %d expired, %d shed-exhausted, %d transport, %d corpus-skipped\n",
 			sum.Retries, sum.Degraded, sum.DegradedMissingBound, sum.Partial, sum.PartialMissingCoverage, sum.Injected, sum.InjectedExhausted, sum.Expired, sum.ShedExhausted, sum.Transport, sum.CorpusSkipped)
@@ -424,6 +515,14 @@ func main() {
 	if rs := sum.Resilience; rs != nil {
 		fmt.Printf("  resilience: state=%s shed=%d queueFull=%d expired=%d/%d degradedServed=%d panics=%d transitions=%v\n",
 			rs.State, rs.Shed, rs.QueueFull, rs.ExpiredQueued, rs.ExpiredRunning, rs.DegradedServed, rs.Panics, rs.Transitions)
+	}
+	if sp := sum.Speculation; sp != nil {
+		fmt.Printf("  speculation: pool=%d/%d granted=%d denied=%d returned=%d\n",
+			sp.Size, sp.Capacity, sp.Granted, sp.Denied, sp.Returned)
+	}
+	for _, ds := range sortedCoalesceDatasets(sum.Coalescing) {
+		c := sum.Coalescing[ds]
+		fmt.Printf("  coalesce %-7s waits=%d shared=%d\n", ds, c.Waits, c.Shared)
 	}
 	for _, ds := range sortedKernelDatasets(sum.Kernel) {
 		families := sum.Kernel[ds]
@@ -453,9 +552,60 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if (sum.Errors > 0 || sum.DegradedMissingBound > 0 || sum.PartialMissingCoverage > 0) && !*allowErrors {
+	if (sum.Errors > 0 || sum.BatchItemErrors > 0 || sum.DegradedMissingBound > 0 || sum.PartialMissingCoverage > 0) && !*allowErrors {
 		os.Exit(1)
 	}
+}
+
+// batchJobs wraps the corpus' explain bodies into /v1/explain/batch jobs.
+// Each batch anchors on one distinct spec: ceil(dupFrac·size) items repeat
+// the anchor (the coalescing pressure a duplicate-heavy fleet workload
+// exerts), and the rest walk the remaining specs round-robin, so every
+// batch still carries distinct work. Bodies are spliced as raw JSON — the
+// specs were marshaled once when the corpus was built.
+func batchJobs(corpus []job, size int, dupFrac float64) []job {
+	var specs []json.RawMessage
+	for _, j := range corpus {
+		if j.kind == "explain" {
+			specs = append(specs, json.RawMessage(j.body))
+		}
+	}
+	if len(specs) == 0 {
+		return nil
+	}
+	dups := int(math.Ceil(dupFrac * float64(size)))
+	if dups > size {
+		dups = size
+	}
+	next := 0
+	out := make([]job, 0, len(specs))
+	for a := range specs {
+		items := make([]json.RawMessage, 0, size)
+		for d := 0; d < dups && len(items) < size; d++ {
+			items = append(items, specs[a])
+		}
+		for len(items) < size {
+			items = append(items, specs[next%len(specs)])
+			next++
+		}
+		body, err := json.Marshal(struct {
+			Items []json.RawMessage `json:"items"`
+		}{items})
+		if err != nil {
+			continue
+		}
+		out = append(out, job{kind: "batch", body: body})
+	}
+	return out
+}
+
+func sortedCoalesceDatasets(m map[string]wire.CoalescingStats) []string {
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // normalize maps overload classes to hard errors outside chaos runs: a
@@ -490,6 +640,9 @@ type result struct {
 	retryAfter      time.Duration
 	ttfe            time.Duration
 	ttconverged     time.Duration
+	items           int // batch answers: items carried
+	itemErrors      int // items with a hard error envelope
+	itemOverload    int // items with a documented overload answer
 }
 
 // retriable reports whether this attempt is a documented overload answer the
@@ -532,7 +685,7 @@ func doJob(client *http.Client, addr string, j job, policy *retry.Policy, retrie
 		if j.kind == "stream" {
 			res = sendStream(client, addr+j.path(), j.body)
 		} else {
-			res = send(client, addr+j.path(), j.body)
+			res = send(client, addr+j.path(), j.body, j.kind == "batch")
 		}
 		s.lat = time.Since(t0)
 		s.status = res.status
@@ -557,6 +710,7 @@ func doJob(client *http.Client, addr string, j job, policy *retry.Policy, retrie
 		case res.status >= 200 && res.status < 300 && !res.streamDead:
 			s.class = clsOK
 			s.ttfe, s.ttconverged = res.ttfe, res.ttconverged
+			s.items, s.itemErrors, s.itemOverload = res.items, res.itemErrors, res.itemOverload
 			if res.missingBound || res.missingCoverage {
 				// A degraded explain without its quality bound, or a partial
 				// answer without its coverage map, is a contract violation,
@@ -634,8 +788,10 @@ func (res *result) parseReport(blob []byte) {
 	}
 }
 
-// send posts one request and parses the pieces the classifier needs.
-func send(client *http.Client, url string, body []byte) result {
+// send posts one request and parses the pieces the classifier needs. batch
+// answers carry per-item envelopes and are unpacked by parseBatch instead
+// of the single-report markers.
+func send(client *http.Client, url string, body []byte, batch bool) result {
 	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
 	if err != nil {
 		return result{transport: true}
@@ -661,11 +817,49 @@ func send(client *http.Client, url string, body []byte) result {
 		return res
 	}
 	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
-		res.parseReport(blob)
+		if batch {
+			res.parseBatch(blob)
+		} else {
+			res.parseReport(blob)
+		}
 		return res
 	}
 	res.parseError(blob)
 	return res
+}
+
+// parseBatch unpacks a 2xx /v1/explain/batch body: every item envelope is
+// classified independently — data items run the single-answer contract
+// checks (degraded bound, partial coverage), error items split into
+// documented overload answers and hard failures.
+func (res *result) parseBatch(blob []byte) {
+	var batch wire.BatchExplainResponse
+	if decodeBody(blob, &batch) != nil {
+		res.badJSON = true
+		return
+	}
+	res.items = len(batch.Items)
+	for _, item := range batch.Items {
+		switch {
+		case item.Error != nil:
+			switch item.Error.Code {
+			case wire.CodeShed, wire.CodeDraining, wire.CodeDeadlineQueued,
+				wire.CodeDeadlineRunning, wire.CodeShardUnavailable, wire.CodeInjected:
+				res.itemOverload++
+			default:
+				res.itemErrors++
+			}
+		case len(item.Data) > 0:
+			var sub result
+			sub.parseReport(item.Data)
+			res.degraded = res.degraded || sub.degraded
+			res.missingBound = res.missingBound || sub.missingBound
+			res.partial = res.partial || sub.partial
+			res.missingCoverage = res.missingCoverage || sub.missingCoverage
+		default:
+			res.itemErrors++
+		}
+	}
 }
 
 func (res *result) readRetryAfter(resp *http.Response) {

@@ -17,7 +17,7 @@ func TestSendTransportClassification(t *testing.T) {
 			w.Write([]byte("upstream connect error or disconnect"))
 		}))
 		defer ts.Close()
-		res := send(ts.Client(), ts.URL, []byte("{}"))
+		res := send(ts.Client(), ts.URL, []byte("{}"), false)
 		if !res.transport || res.badJSON {
 			t.Fatalf("want transport, got %+v", res)
 		}
@@ -39,7 +39,7 @@ func TestSendTransportClassification(t *testing.T) {
 			panic(http.ErrAbortHandler)
 		}))
 		defer ts.Close()
-		res := send(ts.Client(), ts.URL, []byte("{}"))
+		res := send(ts.Client(), ts.URL, []byte("{}"), false)
 		if !res.transport || res.badJSON {
 			t.Fatalf("want transport, got %+v", res)
 		}
@@ -53,7 +53,7 @@ func TestSendTransportClassification(t *testing.T) {
 			w.Write([]byte("not json"))
 		}))
 		defer ts.Close()
-		res := send(ts.Client(), ts.URL, []byte("{}"))
+		res := send(ts.Client(), ts.URL, []byte("{}"), false)
 		if res.transport || !res.badJSON {
 			t.Fatalf("want badJSON, got %+v", res)
 		}
@@ -63,7 +63,7 @@ func TestSendTransportClassification(t *testing.T) {
 		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
 		url := ts.URL
 		ts.Close()
-		res := send(http.DefaultClient, url, []byte("{}"))
+		res := send(http.DefaultClient, url, []byte("{}"), false)
 		if !res.transport {
 			t.Fatalf("want transport, got %+v", res)
 		}

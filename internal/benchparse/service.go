@@ -1,0 +1,208 @@
+package benchparse
+
+// Service-level regression gates: where benchparse.go gates the in-process
+// benchmarks (allocs/op, ns/op), this file gates the served system. The
+// input is whyload's -out summary JSON — one file per load scenario — and
+// the committed baseline is BENCH_service.json, a small scenario → metrics
+// map regenerated with `whyload -out` against a locally booted whydbd (see
+// README). Latency gates are ratio ceilings against the baseline, and
+// throughput gates are ratio floors, so one committed file absorbs
+// machine-speed differences the same way the ns/op gates do.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ServiceEntry is one load scenario's gated metrics, extracted from a
+// whyload summary. ItemRPS is zero for scenarios without batch traffic.
+type ServiceEntry struct {
+	// RPS is the request throughput of the run.
+	RPS float64 `json:"rps"`
+	// ItemRPS is the per-item throughput of batch traffic (0 = no batches).
+	ItemRPS float64 `json:"itemRps,omitempty"`
+	// P50Ms is the median request latency in milliseconds.
+	P50Ms float64 `json:"p50Ms"`
+	// P99Ms is the 99th-percentile request latency in milliseconds.
+	P99Ms float64 `json:"p99Ms"`
+	// Errors is the run's hard-error count; gated runs must report zero.
+	Errors int `json:"errors"`
+}
+
+// ServiceReport maps scenario names (e.g. "mixed", "batch") to their
+// metrics. It is both the parsed baseline and the measured side of a check.
+type ServiceReport struct {
+	Scenarios map[string]ServiceEntry `json:"scenarios"`
+}
+
+// ParseWhyloadSummary reads one whyload -out summary and extracts the gated
+// metrics. Unknown fields are ignored, so the summary schema can grow
+// without breaking committed gates.
+func ParseWhyloadSummary(r io.Reader) (ServiceEntry, error) {
+	var s struct {
+		Requests        int     `json:"requests"`
+		Errors          int     `json:"errors"`
+		BatchItemErrors int     `json:"batchItemErrors"`
+		RPS             float64 `json:"rps"`
+		ItemRPS         float64 `json:"itemRps"`
+		P50Ms           float64 `json:"p50Ms"`
+		P99Ms           float64 `json:"p99Ms"`
+	}
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return ServiceEntry{}, fmt.Errorf("benchparse: bad whyload summary: %w", err)
+	}
+	if s.Requests == 0 || s.RPS == 0 {
+		return ServiceEntry{}, fmt.Errorf("benchparse: whyload summary carries no completed requests")
+	}
+	return ServiceEntry{
+		RPS:     s.RPS,
+		ItemRPS: s.ItemRPS,
+		P50Ms:   s.P50Ms,
+		P99Ms:   s.P99Ms,
+		Errors:  s.Errors + s.BatchItemErrors,
+	}, nil
+}
+
+// ReadServiceBaseline parses a committed BENCH_service.json.
+func ReadServiceBaseline(r io.Reader) (*ServiceReport, error) {
+	blob, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var rep ServiceReport
+	if err := json.Unmarshal(blob, &rep); err != nil {
+		return nil, fmt.Errorf("benchparse: bad service baseline JSON: %w", err)
+	}
+	if len(rep.Scenarios) == 0 {
+		return nil, fmt.Errorf("benchparse: service baseline has no scenarios")
+	}
+	return &rep, nil
+}
+
+// WriteJSON renders the report in the committed-baseline format: scenario →
+// metrics, names sorted, one scenario per line.
+func (r *ServiceReport) WriteJSON(w io.Writer) error {
+	names := make([]string, 0, len(r.Scenarios))
+	for name := range r.Scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var buf strings.Builder
+	buf.WriteString("{\n  \"scenarios\": {\n")
+	for i, name := range names {
+		blob, err := json.Marshal(r.Scenarios[name])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(&buf, "    %q: %s", name, blob)
+		if i < len(names)-1 {
+			buf.WriteByte(',')
+		}
+		buf.WriteByte('\n')
+	}
+	buf.WriteString("  }\n}\n")
+	_, err := io.WriteString(w, buf.String())
+	return err
+}
+
+// Service gate metrics. Latency metrics gate with a ratio ceiling
+// (measured ≤ baseline × ratio); throughput metrics with a ratio floor
+// (measured ≥ baseline × ratio).
+const (
+	ServiceP50     = "p50"
+	ServiceP99     = "p99"
+	ServiceRPS     = "rps"
+	ServiceItemRPS = "itemRps"
+)
+
+// ServiceGate is one service-level regression bound on a scenario's metric.
+type ServiceGate struct {
+	Scenario string
+	Metric   string
+	Ratio    float64
+}
+
+// ParseServiceGate parses a `scenario=R` gate specification for the given
+// metric (R > 0).
+func ParseServiceGate(metric, s string) (ServiceGate, error) {
+	switch metric {
+	case ServiceP50, ServiceP99, ServiceRPS, ServiceItemRPS:
+	default:
+		return ServiceGate{}, fmt.Errorf("benchparse: unknown service metric %q", metric)
+	}
+	eq := strings.LastIndex(s, "=")
+	if eq <= 0 || eq == len(s)-1 {
+		return ServiceGate{}, fmt.Errorf("benchparse: service gate %q not of the form scenario=ratio", s)
+	}
+	ratio, err := strconv.ParseFloat(s[eq+1:], 64)
+	if err != nil || ratio <= 0 {
+		return ServiceGate{}, fmt.Errorf("benchparse: service gate %q has a bad ratio", s)
+	}
+	return ServiceGate{Scenario: s[:eq], Metric: metric, Ratio: ratio}, nil
+}
+
+func (e ServiceEntry) metric(name string) float64 {
+	switch name {
+	case ServiceP50:
+		return e.P50Ms
+	case ServiceP99:
+		return e.P99Ms
+	case ServiceRPS:
+		return e.RPS
+	case ServiceItemRPS:
+		return e.ItemRPS
+	}
+	return 0
+}
+
+// CheckServiceGates evaluates every gate against the baseline and describes
+// each violation. Independent of the gates, any measured scenario that
+// recorded hard errors fails: latency numbers from a partially failing run
+// are not comparable to a clean baseline.
+func (r *ServiceReport) CheckServiceGates(baseline *ServiceReport, gates []ServiceGate) []string {
+	var failures []string
+	names := make([]string, 0, len(r.Scenarios))
+	for name := range r.Scenarios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if e := r.Scenarios[name]; e.Errors > 0 {
+			failures = append(failures, fmt.Sprintf("%s: run recorded %d hard errors; gates need a clean run", name, e.Errors))
+		}
+	}
+	for _, g := range gates {
+		e, ok := r.Scenarios[g.Scenario]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: scenario missing from measured input", g.Scenario))
+			continue
+		}
+		b, ok := baseline.Scenarios[g.Scenario]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: scenario missing from baseline", g.Scenario))
+			continue
+		}
+		got, base := e.metric(g.Metric), b.metric(g.Metric)
+		if base == 0 {
+			failures = append(failures, fmt.Sprintf("%s: baseline has no %s to gate against", g.Scenario, g.Metric))
+			continue
+		}
+		switch g.Metric {
+		case ServiceP50, ServiceP99:
+			if limit := base * g.Ratio; got > limit {
+				failures = append(failures, fmt.Sprintf("%s: %s regressed to %.2fms (baseline %.2fms, ceiling ×%.2f = %.2fms)",
+					g.Scenario, g.Metric, got, base, g.Ratio, limit))
+			}
+		default:
+			if floor := base * g.Ratio; got < floor {
+				failures = append(failures, fmt.Sprintf("%s: %s fell to %.1f (baseline %.1f, floor ×%.2f = %.1f)",
+					g.Scenario, g.Metric, got, base, g.Ratio, floor))
+			}
+		}
+	}
+	return failures
+}

@@ -1,0 +1,179 @@
+package benchparse
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const whyloadSummary = `{
+  "target": "http://127.0.0.1:8091",
+  "mix": "batch",
+  "requests": 40,
+  "errors": 0,
+  "batchItemErrors": 0,
+  "rps": 21.5,
+  "itemRps": 172.3,
+  "p50Ms": 310.2,
+  "p99Ms": 890.7,
+  "kernel": {"ldbc": {"relax": {"executions": 10}}}
+}`
+
+func TestParseWhyloadSummary(t *testing.T) {
+	e, err := ParseWhyloadSummary(strings.NewReader(whyloadSummary))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ServiceEntry{RPS: 21.5, ItemRPS: 172.3, P50Ms: 310.2, P99Ms: 890.7}
+	if e != want {
+		t.Fatalf("parsed %+v, want %+v", e, want)
+	}
+	if _, err := ParseWhyloadSummary(strings.NewReader(`{"requests": 0}`)); err == nil {
+		t.Fatal("empty run parsed without error")
+	}
+	if _, err := ParseWhyloadSummary(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage parsed without error")
+	}
+}
+
+func TestParseWhyloadSummaryFoldsItemErrors(t *testing.T) {
+	e, err := ParseWhyloadSummary(strings.NewReader(
+		`{"requests": 10, "rps": 5, "p50Ms": 1, "p99Ms": 2, "errors": 1, "batchItemErrors": 3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Errors != 4 {
+		t.Fatalf("Errors = %d, want request + item errors = 4", e.Errors)
+	}
+}
+
+func TestServiceBaselineRoundTrip(t *testing.T) {
+	rep := &ServiceReport{Scenarios: map[string]ServiceEntry{
+		"mixed": {RPS: 100.5, P50Ms: 12.1, P99Ms: 80.4},
+		"batch": {RPS: 20.25, ItemRPS: 162, P50Ms: 300, P99Ms: 900},
+	}}
+	var buf strings.Builder
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadServiceBaseline(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Scenarios) != 2 || back.Scenarios["batch"] != rep.Scenarios["batch"] ||
+		back.Scenarios["mixed"] != rep.Scenarios["mixed"] {
+		t.Fatalf("round trip changed the report: %+v", back.Scenarios)
+	}
+	// The committed format is stable: sorted scenarios, one per line.
+	var buf2 strings.Builder
+	if err := back.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatalf("WriteJSON not stable:\n%s\nvs\n%s", buf.String(), buf2.String())
+	}
+	if _, err := ReadServiceBaseline(strings.NewReader(`{"scenarios": {}}`)); err == nil {
+		t.Fatal("empty baseline read without error")
+	}
+}
+
+// TestCommittedServiceBaseline pins the committed BENCH_service.json the
+// service-bench CI job gates against: it must parse, carry both gated
+// scenarios, and record clean runs (batch includes item throughput).
+func TestCommittedServiceBaseline(t *testing.T) {
+	f, err := os.Open("../../BENCH_service.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := ReadServiceBaseline(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"mixed", "batch"} {
+		e, ok := rep.Scenarios[name]
+		if !ok {
+			t.Fatalf("committed baseline missing scenario %q", name)
+		}
+		if e.RPS <= 0 || e.P50Ms <= 0 || e.P99Ms < e.P50Ms || e.Errors != 0 {
+			t.Fatalf("committed %s scenario not gateable: %+v", name, e)
+		}
+	}
+	if rep.Scenarios["batch"].ItemRPS <= rep.Scenarios["batch"].RPS {
+		t.Fatalf("committed batch scenario has no item throughput: %+v", rep.Scenarios["batch"])
+	}
+}
+
+func TestParseServiceGate(t *testing.T) {
+	g, err := ParseServiceGate(ServiceP99, "mixed=1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != (ServiceGate{Scenario: "mixed", Metric: ServiceP99, Ratio: 1.5}) {
+		t.Fatalf("parsed %+v", g)
+	}
+	for _, bad := range []string{"mixed", "=1.5", "mixed=", "mixed=0", "mixed=-1", "mixed=x"} {
+		if _, err := ParseServiceGate(ServiceP50, bad); err == nil {
+			t.Fatalf("gate %q parsed without error", bad)
+		}
+	}
+	if _, err := ParseServiceGate("p75", "mixed=1.5"); err == nil {
+		t.Fatal("unknown metric parsed without error")
+	}
+}
+
+func TestCheckServiceGates(t *testing.T) {
+	baseline := &ServiceReport{Scenarios: map[string]ServiceEntry{
+		"mixed": {RPS: 100, P50Ms: 10, P99Ms: 50},
+		"batch": {RPS: 20, ItemRPS: 160, P50Ms: 300, P99Ms: 900},
+	}}
+	gates := []ServiceGate{
+		{Scenario: "mixed", Metric: ServiceP50, Ratio: 2},
+		{Scenario: "mixed", Metric: ServiceP99, Ratio: 2},
+		{Scenario: "mixed", Metric: ServiceRPS, Ratio: 0.5},
+		{Scenario: "batch", Metric: ServiceItemRPS, Ratio: 0.5},
+	}
+
+	pass := &ServiceReport{Scenarios: map[string]ServiceEntry{
+		"mixed": {RPS: 60, P50Ms: 19, P99Ms: 99},
+		"batch": {RPS: 25, ItemRPS: 200, P50Ms: 250, P99Ms: 800},
+	}}
+	if f := pass.CheckServiceGates(baseline, gates); len(f) != 0 {
+		t.Fatalf("clean run failed gates: %v", f)
+	}
+
+	slow := &ServiceReport{Scenarios: map[string]ServiceEntry{
+		"mixed": {RPS: 40, P50Ms: 21, P99Ms: 101},
+		"batch": {RPS: 25, ItemRPS: 79, P50Ms: 250, P99Ms: 800},
+	}}
+	f := slow.CheckServiceGates(baseline, gates)
+	if len(f) != 4 {
+		t.Fatalf("regressed run produced %d failures, want 4: %v", len(f), f)
+	}
+
+	// Hard errors in any measured scenario fail regardless of the gates.
+	dirty := &ServiceReport{Scenarios: map[string]ServiceEntry{
+		"mixed": {RPS: 60, P50Ms: 19, P99Ms: 99, Errors: 2},
+		"batch": {RPS: 25, ItemRPS: 200, P50Ms: 250, P99Ms: 800},
+	}}
+	f = dirty.CheckServiceGates(baseline, gates)
+	if len(f) != 1 || !strings.Contains(f[0], "hard errors") {
+		t.Fatalf("dirty run failures: %v", f)
+	}
+
+	// Missing scenarios and un-gateable baselines are named violations.
+	missing := &ServiceReport{Scenarios: map[string]ServiceEntry{"mixed": {RPS: 60, P50Ms: 19, P99Ms: 99}}}
+	f = missing.CheckServiceGates(baseline, []ServiceGate{
+		{Scenario: "batch", Metric: ServiceP50, Ratio: 2},
+		{Scenario: "mixed", Metric: ServiceRPS, Ratio: 0.5},
+		{Scenario: "mixed", Metric: ServiceItemRPS, Ratio: 0.5}, // baseline mixed has no itemRps
+	})
+	if len(f) != 2 {
+		t.Fatalf("missing-scenario failures: %v", f)
+	}
+	f = missing.CheckServiceGates(&ServiceReport{Scenarios: map[string]ServiceEntry{}},
+		[]ServiceGate{{Scenario: "mixed", Metric: ServiceP50, Ratio: 2}})
+	if len(f) != 1 || !strings.Contains(f[0], "missing from baseline") {
+		t.Fatalf("missing-baseline failures: %v", f)
+	}
+}

@@ -152,6 +152,12 @@ type Options struct {
 	// Control.Probe: it runs before each candidate execution with the
 	// execution count — whydbd's fault-injection hook.
 	Probe func(executions int)
+	// SpecBudget, when non-nil, is forwarded to every search kernel as
+	// Control.SpecBudget: the shared admission-aware speculation-token pool
+	// that throttles prefetch waves while the server is loaded. Outputs are
+	// unchanged — speculation is byte-identical by construction — only the
+	// amount of prefetched work varies.
+	SpecBudget *search.SpecPool
 	// OnImprovement, when non-nil, is invoked on the calling goroutine each
 	// time an explanation family's incumbent strictly improves — the anytime
 	// hook behind whydbd's /v1/explain/stream. The callback sequence is fired
@@ -320,6 +326,7 @@ func (e *Engine) ExplainCtx(ctx context.Context, q *query.Query, opts Options) (
 			Ctx:           ctx,
 			Metrics:       &e.kMCS,
 			Probe:         opts.Probe,
+			SpecBudget:    opts.SpecBudget,
 			OnImprovement: improve("mcs"),
 		},
 		UseWCC:      true,
@@ -355,6 +362,7 @@ func (e *Engine) ExplainCtx(ctx context.Context, q *query.Query, opts Options) (
 				Metrics:       &e.kModtree,
 				Stop:          stop,
 				Probe:         opts.Probe,
+				SpecBudget:    opts.SpecBudget,
 				OnImprovement: improve("modtree"),
 			},
 			Goal:          opts.Expected,
@@ -378,6 +386,7 @@ func (e *Engine) ExplainCtx(ctx context.Context, q *query.Query, opts Options) (
 				Ctx:           ctx,
 				Metrics:       &e.kRelax,
 				Probe:         opts.Probe,
+				SpecBudget:    opts.SpecBudget,
 				OnImprovement: improve("relax"),
 			},
 			Goal:          opts.Expected,

@@ -1,0 +1,129 @@
+package match
+
+// Cross-request coalescing (singleflight) under the compiled-plan and
+// executed-count caches.
+//
+// The caches dedup work only *after* someone finishes it: N concurrent
+// requests that miss on the same novel binary key each compile the plan and
+// execute the count, and the last writer wins. On one request that is
+// harmless; under fleet traffic — a cold burst of identical explains after a
+// deploy or an epoch swap — it is the classic cache stampede, and it is what
+// dominated the cold explain tail (p99 153ms vs 24ms warm, PR 4). The flight
+// groups below put exactly one caller per key on the hook for the work:
+// the leader compiles/counts and publishes to the cache as before, while
+// followers park on the flight's done channel and share the result.
+//
+// Semantics are unchanged by construction: counting and compilation are
+// deterministic over the frozen graph, so a shared result is byte-identical
+// to a recomputed one. Followers honor their request context — a cancelled
+// follower stops waiting and falls back to computing locally, exactly the
+// uncoalesced behavior — and a leader that dies before publishing (panic
+// unwinding through the search) releases its followers to the same fallback,
+// so a flight can never wedge the requests behind it.
+//
+// Two counters make stampedes observable in /v1/stats: coalescedWaits is the
+// number of callers that parked behind an in-flight computation instead of
+// duplicating it, and coalescedShared is the number of computations whose
+// result was handed to at least one waiter. Followers bump neither the hit
+// nor the miss counter of the underlying cache, so "misses == compilations
+// (or executions)" stays exact.
+
+import (
+	"sync"
+
+	"repro/internal/query"
+)
+
+// flightCall is one in-flight computation. val and ok are written by the
+// leader before the done channel closes; followers read them only after the
+// close, which orders the accesses.
+type flightCall[V any] struct {
+	done   chan struct{}
+	val    V
+	ok     bool // false: leader died before publishing; followers recompute
+	shared bool // a follower joined; guarded by the group mutex
+}
+
+// flightGroup is a by-key registry of in-flight computations.
+type flightGroup[V any] struct {
+	mu sync.Mutex
+	m  map[string]*flightCall[V]
+}
+
+// join returns the flight for key, creating it when none is in progress.
+// leader is true for the caller that must perform the work and then leave.
+func (g *flightGroup[V]) join(key string) (fc *flightCall[V], leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if fc := g.m[key]; fc != nil {
+		fc.shared = true
+		return fc, false
+	}
+	if g.m == nil {
+		g.m = make(map[string]*flightCall[V])
+	}
+	fc = &flightCall[V]{done: make(chan struct{})}
+	g.m[key] = fc
+	return fc, true
+}
+
+// leave retires the leader's flight and releases its followers, reporting
+// whether any follower joined. The map delete runs under the same mutex as
+// join's shared flag write, so the report is exact.
+func (g *flightGroup[V]) leave(key string, fc *flightCall[V]) (shared bool) {
+	g.mu.Lock()
+	delete(g.m, key)
+	shared = fc.shared
+	g.mu.Unlock()
+	close(fc.done)
+	return shared
+}
+
+// CoalesceStats reports the stampede counters: waits is the number of
+// lookups that parked behind another request's in-flight compile or count
+// instead of duplicating it, shared the number of compiles/counts whose
+// result was delivered to at least one waiter.
+func (m *Matcher) CoalesceStats() (waits, shared int64) {
+	return m.coalescedWaits.Load(), m.coalescedShared.Load()
+}
+
+// coalescedCount resolves a missed count-cache key (already materialized in
+// c.cntBuf by the caller) through the count flight group: one leader runs
+// run(plan) and publishes, concurrent missers on the same key wait and share.
+func (m *Matcher) coalescedCount(c *Ctx, q *query.Query, run func(p *Plan) int) int {
+	key := string(c.cntBuf)
+	fc, leader := m.countFlight.join(key)
+	if !leader {
+		m.coalescedWaits.Add(1)
+		select {
+		case <-fc.done:
+			if fc.ok {
+				return fc.val
+			}
+		case <-c.Request().Done():
+		}
+		// The leader died before publishing, or our request was cancelled
+		// mid-wait: count locally, exactly as an uncoalesced miss would.
+		m.countMisses.Add(1)
+		n := run(m.cachedPlan(c, q))
+		m.countPut(c.cntBuf, n)
+		return n
+	}
+	defer func() {
+		if m.countFlight.leave(key, fc) {
+			m.coalescedShared.Add(1)
+		}
+	}()
+	// Double-check under flight leadership: a previous leader may have
+	// published and left between our cache miss and our join.
+	if n, ok := m.countGet(c.cntBuf); ok {
+		m.countHits.Add(1)
+		fc.val, fc.ok = n, true
+		return n
+	}
+	m.countMisses.Add(1)
+	n := run(m.cachedPlan(c, q))
+	m.countPut(c.cntBuf, n)
+	fc.val, fc.ok = n, true
+	return n
+}

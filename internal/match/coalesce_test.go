@@ -1,0 +1,148 @@
+package match
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/query"
+)
+
+// TestCoalescedCountSharesOneExecution drives the count flight group
+// directly: a leader whose count is held open until every follower has
+// parked, then released — so the stampede counters are deterministic. All
+// 16 callers must see the same count, the cache must record exactly one
+// miss, and the 15 followers must be counted as waits on one shared flight.
+func TestCoalescedCountSharesOneExecution(t *testing.T) {
+	m := New(testGraph())
+	q := query.New()
+	q.AddVertex(personType())
+
+	const callers = 16
+	key := string(q.AppendKey(nil))
+
+	var leaders atomic.Int32
+	counts := make([]int, callers)
+
+	run := func(i int) {
+		c := m.NewContext()
+		c.loadKey(q, key)
+		c.cntBuf = append(c.cntBuf[:0], c.keyBuf...)
+		c.cntBuf = append(c.cntBuf, 0) // cap 0, uvarint-encoded
+		counts[i] = m.coalescedCount(c, q, func(p *Plan) int {
+			// Only the flight leader reaches this closure. Hold the count
+			// open until all 15 followers have bumped the waits counter
+			// (they do so before parking on the flight), so the stampede
+			// counters below are exact, not racy.
+			leaders.Add(1)
+			deadline := time.Now().Add(10 * time.Second)
+			for m.coalescedWaits.Load() < int64(callers-1) {
+				if time.Now().After(deadline) {
+					t.Error("followers never reached the flight")
+					break
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+			return p.Count(c, 0)
+		})
+	}
+
+	// Caller 0 takes flight leadership first; only then start the followers,
+	// so all 15 deterministically join the in-flight computation.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		run(0)
+	}()
+	for leaders.Load() == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	for i := 1; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			run(i)
+		}(i)
+	}
+	wg.Wait()
+
+	if got := leaders.Load(); got != 1 {
+		t.Fatalf("flight leaders = %d, want 1", got)
+	}
+	for i, n := range counts {
+		if n != 4 {
+			t.Fatalf("caller %d count = %d, want 4", i, n)
+		}
+	}
+	if _, misses, _ := m.CountCacheStats(); misses != 1 {
+		t.Fatalf("count-cache misses = %d, want 1", misses)
+	}
+	waits, shared := m.CoalesceStats()
+	if waits != callers-1 {
+		t.Fatalf("coalescedWaits = %d, want %d", waits, callers-1)
+	}
+	if shared != 1 {
+		t.Fatalf("coalescedShared = %d, want 1", shared)
+	}
+	// The published entry serves everyone from here on: no new flights.
+	c := m.NewContext()
+	if n := m.CountKeyed(c, q, key, 0); n != 4 {
+		t.Fatalf("post-flight count = %d, want 4", n)
+	}
+	if hits, misses, _ := m.CountCacheStats(); misses != 1 || hits == 0 {
+		t.Fatalf("post-flight hits/misses = %d/%d, want >0/1", hits, misses)
+	}
+}
+
+// TestCoalescedFollowerCancellation parks a follower behind a stuck leader,
+// cancels the follower's request context, and checks it falls back to
+// counting locally instead of wedging.
+func TestCoalescedFollowerCancellation(t *testing.T) {
+	m := New(testGraph())
+	q := query.New()
+	q.AddVertex(personType())
+	key := string(q.AppendKey(nil))
+
+	hold := make(chan struct{})
+	leaderIn := make(chan struct{})
+	go func() {
+		c := m.NewContext()
+		c.loadKey(q, key)
+		c.cntBuf = append(c.cntBuf[:0], c.keyBuf...)
+		c.cntBuf = append(c.cntBuf, 0)
+		m.coalescedCount(c, q, func(p *Plan) int {
+			close(leaderIn)
+			<-hold
+			return p.Count(c, 0)
+		})
+	}()
+	<-leaderIn
+
+	ctx, cancel := context.WithCancel(context.Background())
+	followerDone := make(chan int, 1)
+	go func() {
+		c := m.NewContext()
+		c.SetRequest(ctx)
+		followerDone <- m.CountKeyed(c, q, key, 0)
+	}()
+	// The follower is parked on the flight; release it by cancellation.
+	for {
+		if w, _ := m.CoalesceStats(); w >= 1 {
+			break
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	cancel()
+	select {
+	case n := <-followerDone:
+		if n != 4 {
+			t.Fatalf("cancelled follower count = %d, want 4", n)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled follower never returned")
+	}
+	close(hold)
+}

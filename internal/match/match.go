@@ -101,6 +101,13 @@ type Matcher struct {
 	countHits   atomic.Int64
 	countMisses atomic.Int64
 
+	// flight groups coalesce concurrent misses on the same key: one caller
+	// compiles/counts, the rest wait and share the result (see coalesce.go).
+	planFlight      flightGroup[*Plan]
+	countFlight     flightGroup[int]
+	coalescedWaits  atomic.Int64
+	coalescedShared atomic.Int64
+
 	// countDelegate, when set, intercepts every CountKeyed-routed count —
 	// internal/shard installs its scatter-gather eval here. The delegate runs
 	// before the aggregate count cache is consulted, so sharded requests never
@@ -304,10 +311,7 @@ func (m *Matcher) CountKeyed(c *Ctx, q *query.Query, key string, cap int) int {
 		m.countHits.Add(1)
 		return n
 	}
-	m.countMisses.Add(1)
-	n := m.cachedPlan(c, q).Count(c, cap)
-	m.countPut(c.cntBuf, n)
-	return n
+	return m.coalescedCount(c, q, func(p *Plan) int { return p.Count(c, cap) })
 }
 
 // CountUnder is Count with the serving request's context attached to the
@@ -362,10 +366,7 @@ func (m *Matcher) CountRangeKeyed(c *Ctx, q *query.Query, key string, cap, lo, h
 		m.countHits.Add(1)
 		return n
 	}
-	m.countMisses.Add(1)
-	n := m.cachedPlan(c, q).CountRange(c, cap, lo, hi)
-	m.countPut(c.cntBuf, n)
-	return n
+	return m.coalescedCount(c, q, func(p *Plan) int { return p.CountRange(c, cap, lo, hi) })
 }
 
 // Exists reports whether q has at least one embedding.

@@ -142,8 +142,9 @@ func (c *Ctx) loadKey(q *query.Query, key string) {
 
 // cachedPlan resolves the shared compiled plan for the query whose binary
 // canonical key sits in c.keyBuf (see loadKey). Concurrent misses on the
-// same novel key may both compile; the first published plan wins and the
-// duplicate is dropped (plans for one key are interchangeable).
+// same novel key coalesce through the plan flight group (coalesce.go): one
+// caller compiles and publishes, the rest wait and share the plan, so every
+// plan-cache miss is exactly one compilation even under a cold burst.
 func (m *Matcher) cachedPlan(c *Ctx, q *query.Query) *Plan {
 	m.planMu.RLock()
 	p, ok := m.planCache[string(c.keyBuf)]
@@ -152,10 +153,47 @@ func (m *Matcher) cachedPlan(c *Ctx, q *query.Query) *Plan {
 		m.planHits.Add(1)
 		return p
 	}
-	m.planMisses.Add(1)
-	p = &Plan{}
-	m.compileInto(p, q)
 	key := string(c.keyBuf)
+	fc, leader := m.planFlight.join(key)
+	if !leader {
+		m.coalescedWaits.Add(1)
+		select {
+		case <-fc.done:
+			if fc.ok {
+				return fc.val
+			}
+		case <-c.Request().Done():
+		}
+		// Leader died before publishing, or our request was cancelled
+		// mid-wait: compile locally, exactly as an uncoalesced miss would.
+		return m.compilePublish(q, key)
+	}
+	defer func() {
+		if m.planFlight.leave(key, fc) {
+			m.coalescedShared.Add(1)
+		}
+	}()
+	// Double-check under flight leadership: a previous leader may have
+	// published and left between our cache miss and our join.
+	m.planMu.RLock()
+	p, ok = m.planCache[key]
+	m.planMu.RUnlock()
+	if ok {
+		m.planHits.Add(1)
+		fc.val, fc.ok = p, true
+		return p
+	}
+	p = m.compilePublish(q, key)
+	fc.val, fc.ok = p, true
+	return p
+}
+
+// compilePublish is the plan-cache miss path: compile q and publish the plan
+// under key, with the wholesale epoch eviction when the cache is full.
+func (m *Matcher) compilePublish(q *query.Query, key string) *Plan {
+	m.planMisses.Add(1)
+	p := &Plan{}
+	m.compileInto(p, q)
 	size := planBytes(key, p)
 	m.planMu.Lock()
 	if prev, ok := m.planCache[key]; ok {

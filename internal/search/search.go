@@ -73,6 +73,14 @@ type Control struct {
 	// probe that cancels Ctx stops the search before the next execution,
 	// exactly like a client cancellation.
 	Probe func(executions int)
+	// SpecBudget, when non-nil, gates speculative evaluations on a shared
+	// (typically server-wide) token pool: every prefetch wave acquires one
+	// token per candidate and returns them when the wave completes, so
+	// speculation across concurrent searches never exceeds what the server's
+	// free admission slots can absorb. Denied tokens silently shrink (or
+	// skip) the wave — the sequential loop and its outputs are unchanged,
+	// only less work is prefetched. Nil means ungated (full speculation).
+	SpecBudget *SpecPool
 	// OnImprovement, when non-nil, is invoked from the deterministic
 	// sequential loop each time the strategy's incumbent explanation strictly
 	// improves, with the run's Progress and the new incumbent. Because only
@@ -240,9 +248,14 @@ func (e *Executor) End() {
 			c.SetRequest(nil)
 		}
 	}
+	c := e.Counters()
 	if e.ctrl.Metrics != nil {
-		e.ctrl.Metrics.add(e.Counters())
+		e.ctrl.Metrics.add(c)
 	}
+	// Feed the run's speculation outcome into the shared pool's waste
+	// steering: a workload whose prefetches keep missing gets its grant
+	// fraction cut even while the server idles.
+	e.ctrl.SpecBudget.NoteOutcome(c.Speculated, c.SpecWaste)
 }
 
 // Counters returns this run's kernel counters.
@@ -450,10 +463,17 @@ func SpeculateSlice[N any](e *Executor, nodes []N, key func(N) string, eval func
 	if !e.parallel {
 		return
 	}
-	budget := e.speculationBudget()
+	// The wave is bounded by the shared speculation budget (one token per
+	// prefetched candidate, nil pool = everything granted): under fleet load
+	// the pool grants nothing and the run silently stays sequential.
+	granted := e.ctrl.SpecBudget.Acquire(e.speculationBudget())
+	if granted < 2 {
+		e.ctrl.SpecBudget.Release(granted)
+		return
+	}
 	e.wave.Reset()
 	for i, n := range nodes {
-		if e.wave.Len() >= budget {
+		if e.wave.Len() >= granted {
 			break
 		}
 		k := key(n)
@@ -463,6 +483,7 @@ func SpeculateSlice[N any](e *Executor, nodes []N, key func(N) string, eval func
 		e.wave.Add(k, i, e.spec)
 	}
 	e.runWave(func(ctx *match.Ctx, i int) int { return eval(ctx, nodes[i]) })
+	e.ctrl.SpecBudget.Release(granted)
 }
 
 // SpeculateTop speculatively evaluates the frontier's best candidates —
@@ -475,14 +496,25 @@ func SpeculateTop[N any](e *Executor, f *Frontier[N], key func(N) string, eval f
 	if !e.parallel {
 		return
 	}
+	want := e.pool.Workers()
+	if r := e.Remaining(); r < want {
+		want = r
+	}
+	// One shared-pool token per prefetched candidate (nil pool = everything
+	// granted). Under a zero grant the frontier round trip below would be a
+	// no-op, so skip it entirely — byte-identical either way.
+	granted := e.ctrl.SpecBudget.Acquire(want)
+	if granted < 2 {
+		e.ctrl.SpecBudget.Release(granted)
+		return
+	}
 	width := e.pool.Workers()
-	budget := e.Remaining()
 	f.batch = f.batch[:0]
 	e.wave.Reset()
 	for len(f.batch) < width && f.Len() > 0 {
 		r := f.popRanked()
 		f.batch = append(f.batch, r)
-		if e.wave.Len() >= budget {
+		if e.wave.Len() >= granted {
 			continue // keep popping the full batch, just don't evaluate more
 		}
 		k := key(r.node)
@@ -492,6 +524,7 @@ func SpeculateTop[N any](e *Executor, f *Frontier[N], key func(N) string, eval f
 		e.wave.Add(k, len(f.batch)-1, e.spec)
 	}
 	e.runWave(func(ctx *match.Ctx, i int) int { return eval(ctx, f.batch[i].node) })
+	e.ctrl.SpecBudget.Release(granted)
 	for _, r := range f.batch {
 		f.pushRanked(r)
 	}

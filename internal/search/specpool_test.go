@@ -1,0 +1,68 @@
+package search
+
+import "testing"
+
+func TestSpecPoolGrantsTrackFreeSlots(t *testing.T) {
+	free := 4
+	p := NewSpecPool(4, 8, func() int { return free })
+	if got := p.Acquire(8); got != 8 {
+		t.Fatalf("idle server granted %d, want 8", got)
+	}
+	// 8 outstanding against 4*8 = 32: 24 left.
+	if got := p.Acquire(100); got != 24 {
+		t.Fatalf("second acquire granted %d, want 24", got)
+	}
+	p.Release(24)
+	free = 0 // server saturated: nothing grantable
+	if got := p.Acquire(4); got != 0 {
+		t.Fatalf("saturated server granted %d, want 0", got)
+	}
+	free = 1
+	if got := p.Acquire(100); got != 0 {
+		t.Fatalf("one free slot with 8 outstanding granted %d, want 0", got)
+	}
+	p.Release(8)
+	if got := p.Acquire(100); got != 8 {
+		t.Fatalf("one free slot granted %d, want 8 (perSlot)", got)
+	}
+	p.Release(8)
+	s := p.Snapshot()
+	if s.Capacity != 32 || s.Granted != 8+24+8 || s.Returned != s.Granted || s.Denied == 0 {
+		t.Fatalf("snapshot %+v", s)
+	}
+}
+
+func TestSpecPoolNilGrantsEverything(t *testing.T) {
+	var p *SpecPool
+	if got := p.Acquire(17); got != 17 {
+		t.Fatalf("nil pool granted %d, want 17", got)
+	}
+	p.Release(17)
+	p.NoteOutcome(10, 10)
+	if s := p.Snapshot(); s != (PoolCounters{}) {
+		t.Fatalf("nil snapshot %+v", s)
+	}
+}
+
+func TestSpecPoolWasteSteering(t *testing.T) {
+	p := NewSpecPool(1, 100, nil) // nil free: permanently idle, steering only
+	// Below the signal threshold nothing is throttled.
+	p.NoteOutcome(32, 32)
+	if got := p.Acquire(100); got != 100 {
+		t.Fatalf("under-signal acquire granted %d, want 100", got)
+	}
+	p.Release(100)
+	// All-waste outcomes past the threshold throttle to the floor, not zero.
+	p.NoteOutcome(1000, 1000)
+	if got := p.Acquire(100); got != wasteFloor {
+		t.Fatalf("all-waste acquire granted %d, want floor %d", got, wasteFloor)
+	}
+	p.Release(wasteFloor)
+	// Useful outcomes decay the waste estimate back toward full grants.
+	for i := 0; i < 20; i++ {
+		p.NoteOutcome(1000, 0)
+	}
+	if got := p.Acquire(100); got <= wasteFloor {
+		t.Fatalf("recovered pool granted %d, want > floor", got)
+	}
+}

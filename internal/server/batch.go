@@ -1,0 +1,246 @@
+package server
+
+// POST /v1/explain/batch — fleet-grade request batching.
+//
+// A batch carries up to -max-batch independent explain specs and answers
+// them in one round trip. The contract is strict: Items[i] of the response
+// is the full v1 envelope request Items[i] would have received from a
+// separate /v1/explain call, byte for byte (request ids aside — an item's
+// id is "<batchId>/<i>"). Items validate, fail, degrade, and go partial
+// independently; one malformed item costs nothing to its neighbours.
+//
+// The point of the transport is work sharing. Items are grouped by their
+// full execution identity — dataset, engine epoch, canonical query key, and
+// every knob that reaches core.Options — and each group runs the search
+// exactly once, fanning the marshaled payload out to all its items. A
+// duplicate-heavy batch therefore costs one admission slot and one search
+// per distinct spec instead of one per item. Distinct groups of one dataset
+// fan out concurrently, bounded by the dataset's admission capacity so a
+// wide batch cannot starve single-request traffic, and each group passes
+// the same admission gate (shed, queue, slot wait) an individual request
+// would.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/resilience"
+	"repro/internal/shard"
+	"repro/internal/wire"
+)
+
+// batchGroup is one unit of distinct work in a batch: a representative
+// validated prep plus the indices of every item that shares its execution
+// identity.
+type batchGroup struct {
+	prep  explainPrep
+	items []int
+}
+
+// groupKey is an item's full execution identity. Two items map to the same
+// key only if a single /v1/explain call would run them identically: same
+// dataset and engine epoch (the pointer pins the epoch — a mutation swap
+// between items must not share work across graphs), same canonical query,
+// and the same resolved options and timeout.
+func groupKey(p *explainPrep) string {
+	fg := byte(0)
+	if p.req.FineGrained != nil {
+		fg = 1
+		if *p.req.FineGrained {
+			fg = 2
+		}
+	}
+	key := p.q.AppendKey(nil)
+	return fmt.Sprintf("%s\x00%p\x00%d\x00%d\x00%d\x00%d\x00%c\x00%t\x00%d\x00%d\x00%d\x00%d\x00%t\x00%s",
+		p.ds.name, p.eng,
+		p.opts.Expected.Lower, p.opts.Expected.Upper,
+		p.opts.MaxRewritings, p.opts.Budget, fg, p.opts.AllowTopology,
+		p.opts.ResultSample, p.opts.Workers,
+		p.req.TimeoutMs, p.opts.Epsilon, p.req.AllowPartial, key)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.reqTotal.Add(1)
+	s.reqBatch.Add(1)
+	started := time.Now()
+	defer func() { s.res.ObserveLatency("batch", time.Since(started)) }()
+	inject := s.cfg.Injector.Decide("batch", s.batchSeq.Add(1)-1)
+	if inject.Kind == faultinject.Latency {
+		time.Sleep(inject.Latency)
+	}
+	var breq wire.BatchExplainRequest
+	if code, err := decodeBody(w, r, &breq); err != nil {
+		s.fail(w, r, code, wire.CodeInvalidSpec, "bad request body: %v", err)
+		return
+	}
+	if len(breq.Items) == 0 {
+		s.fail(w, r, http.StatusBadRequest, wire.CodeInvalidSpec, "batch must carry at least one item")
+		return
+	}
+	if len(breq.Items) > s.cfg.MaxBatch {
+		s.fail(w, r, http.StatusBadRequest, wire.CodeInvalidSpec, "batch of %d items exceeds the maximum of %d", len(breq.Items), s.cfg.MaxBatch)
+		return
+	}
+	if inject.Kind == faultinject.Error {
+		s.failInjected(w, r, http.StatusInternalServerError, "injected fault: error")
+		return
+	}
+	s.reqBatchItems.Add(int64(len(breq.Items)))
+	batchID := requestID(r)
+
+	// Validate every item through the single-call path and fold the valid
+	// ones into work groups. Validation faults become that item's envelope
+	// immediately; the whole-batch injection draw was consumed above, so
+	// items validate injection-free.
+	envs := make([]wire.Envelope, len(breq.Items))
+	groups := make(map[string]*batchGroup)
+	order := make([]*batchGroup, 0, len(breq.Items))
+	for i, item := range breq.Items {
+		itemID := fmt.Sprintf("%s/%d", batchID, i)
+		prep, _, werr := s.validateExplain(item, faultinject.Decision{})
+		if werr != nil {
+			envs[i] = wire.Envelope{RequestID: itemID, Error: werr}
+			continue
+		}
+		key := groupKey(&prep)
+		g, ok := groups[key]
+		if !ok {
+			g = &batchGroup{prep: prep}
+			groups[key] = g
+			order = append(order, g)
+		}
+		g.items = append(g.items, i)
+	}
+
+	// Fan the groups out per dataset, bounded by each dataset's admission
+	// capacity: distinct work runs concurrently on ordinary execution slots,
+	// but one batch can never hold more of a dataset than cap(sem) requests
+	// could.
+	byDataset := make(map[*dataset][]*batchGroup)
+	for _, g := range order {
+		byDataset[g.prep.ds] = append(byDataset[g.prep.ds], g)
+	}
+	done := make(chan struct{})
+	running := 0
+	for ds, list := range byDataset {
+		workers := cap(ds.sem)
+		if workers > len(list) {
+			workers = len(list)
+		}
+		work := make(chan *batchGroup)
+		for w := 0; w < workers; w++ {
+			running++
+			go func() {
+				defer func() { done <- struct{}{} }()
+				for g := range work {
+					s.runBatchGroup(r, batchID, g, inject, envs)
+				}
+			}()
+		}
+		go func(list []*batchGroup, work chan *batchGroup) {
+			for _, g := range list {
+				work <- g
+			}
+			close(work)
+		}(list, work)
+	}
+	for ; running > 0; running-- {
+		<-done
+	}
+	s.writeData(w, r, wire.BatchExplainResponse{Items: envs})
+}
+
+// runBatchGroup executes one distinct work group end to end — admission,
+// brownout degradation, shard session, search, response stamping — exactly
+// as handleExplain would for a single request, then fans the one marshaled
+// payload (or the one structured error) out to every item envelope of the
+// group. envs is written at the group's own indices only, so concurrent
+// groups never contend.
+func (s *Server) runBatchGroup(r *http.Request, batchID string, g *batchGroup, inject faultinject.Decision, envs []wire.Envelope) {
+	prep := &g.prep
+	fanError := func(werr wire.Error) {
+		for _, i := range g.items {
+			e := werr
+			envs[i] = wire.Envelope{RequestID: fmt.Sprintf("%s/%d", batchID, i), Error: &e}
+		}
+	}
+	ctx, cancel := s.requestContext(r, prep.req.TimeoutMs)
+	defer cancel()
+	release, state, _, werr := s.admitItem(r, ctx, prep.ds)
+	if release == nil {
+		fanError(*werr)
+		return
+	}
+	if inject.Kind == faultinject.Starve {
+		release = starveRelease(release, inject.Starve)
+	}
+	defer release()
+	var sess *shard.Session
+	if prep.ds.shards != nil {
+		sess = shard.NewSession(prep.req.AllowPartial, cancel)
+		ctx = shard.WithSession(ctx, sess)
+	}
+	opts := prep.opts
+	degraded := state == resilience.Degraded
+	var qbBudget, qbEps int
+	if degraded {
+		qbBudget, qbEps = degradeExplain(&opts, s.res.Degraded())
+	}
+	if inject.Kind == faultinject.Cancel {
+		after := inject.CancelAfter
+		opts.Probe = func(executions int) {
+			if executions >= after {
+				cancel()
+			}
+		}
+	}
+	rep, err := prep.eng.ExplainCtx(ctx, prep.q, opts)
+	if err != nil {
+		// The same classification ladder as handleExplain, built without
+		// writing: shard loss first (it cancels the context), then context
+		// faults, then a plain invalid-spec failure.
+		if sess != nil {
+			if serr := sess.Err(); serr != nil && errors.Is(serr, shard.ErrUnavailable) {
+				fanError(s.newError(http.StatusServiceUnavailable, wire.CodeShardUnavailable, "%v", serr))
+				return
+			}
+		}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			if inject.Kind == faultinject.Cancel && r.Context().Err() == nil && s.drainCtx.Err() == nil {
+				fanError(s.newInjectedError(http.StatusServiceUnavailable, "injected fault: mid-search cancellation"))
+				return
+			}
+			_, e := s.ctxError(r, ctxErr, false)
+			fanError(e)
+			return
+		}
+		fanError(s.newError(http.StatusBadRequest, wire.CodeInvalidSpec, "%v", err))
+		return
+	}
+	resp := wire.FromReport(rep)
+	if degraded {
+		s.degradedServed.Add(int64(len(g.items)))
+		resp.Degraded = true
+		resp.QualityBound = qualityBound(rep, qbBudget, qbEps)
+	}
+	if sess != nil && sess.Partial() {
+		prep.ds.shards.NotePartialServed()
+		resp.Partial = true
+		if resp.QualityBound == nil {
+			resp.QualityBound = qualityBound(rep, opts.Budget, 0)
+		}
+		resp.QualityBound.Coverage = sess.Coverage(prep.ds.shards.Names())
+	}
+	blob, err := json.Marshal(resp)
+	if err != nil {
+		fanError(s.newError(http.StatusInternalServerError, wire.CodeInternal, "encoding failure: %v", err))
+		return
+	}
+	for _, i := range g.items {
+		envs[i] = wire.Envelope{RequestID: fmt.Sprintf("%s/%d", batchID, i), Data: blob}
+	}
+}

@@ -57,6 +57,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/query"
 	"repro/internal/resilience"
+	"repro/internal/search"
 	"repro/internal/shard"
 	"repro/internal/wire"
 	"repro/internal/workload"
@@ -103,6 +104,10 @@ type Config struct {
 	// MaxQueueWait bounds how long an admitted-to-queue request may wait for
 	// an execution slot before answering 504 (0 = 5s).
 	MaxQueueWait time.Duration
+	// MaxBatch caps the number of items one /v1/explain/batch request may
+	// carry (0 = 64). A batch is admitted per work group, not per item, so
+	// the cap bounds how much distinct work one request can enqueue.
+	MaxBatch int
 	// Resilience tunes the brownout controller.
 	Resilience resilience.Config
 	// Injector, when non-nil, injects deterministic faults (whydbd -inject).
@@ -144,6 +149,9 @@ func (c *Config) fill() {
 	}
 	if c.MaxMutationBatch == 0 {
 		c.MaxMutationBatch = 100000
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 64
 	}
 }
 
@@ -207,19 +215,31 @@ type Server struct {
 	mu       sync.RWMutex
 	datasets map[string]*dataset
 
+	// specPool is the server-wide speculation budget: every explain served
+	// by this server runs its speculative waves against tokens sized off the
+	// free admission slots, so speculation throttles itself to zero exactly
+	// when the admission layer is saturated. Resized under mu as datasets
+	// register (specSlots = total admission capacity, specPerSlot = the
+	// widest engine's worker count).
+	specPool    *search.SpecPool
+	specSlots   int
+	specPerSlot int
+
 	notReady atomic.Value // string: why /readyz answers 503 ("" = ready)
 	draining atomic.Bool
 
 	drainCtx    context.Context // cancelled by CancelInFlight
 	cancelDrain context.CancelFunc
 
-	reqTotal     atomic.Int64
-	reqExplain   atomic.Int64
-	reqStream    atomic.Int64
-	reqMatch     atomic.Int64
-	reqMutate    atomic.Int64
-	reqErrors    atomic.Int64
-	reqCancelled atomic.Int64
+	reqTotal      atomic.Int64
+	reqExplain    atomic.Int64
+	reqStream     atomic.Int64
+	reqBatch      atomic.Int64
+	reqBatchItems atomic.Int64
+	reqMatch      atomic.Int64
+	reqMutate     atomic.Int64
+	reqErrors     atomic.Int64
+	reqCancelled  atomic.Int64
 
 	shed           atomic.Int64
 	queueFull      atomic.Int64
@@ -232,6 +252,7 @@ type Server struct {
 	reqSeq     atomic.Uint64 // request ids
 	explainSeq atomic.Uint64 // fault-injection draw sequence per site
 	streamSeq  atomic.Uint64
+	batchSeq   atomic.Uint64
 	matchSeq   atomic.Uint64
 	countSeq   atomic.Uint64
 	mutateSeq  atomic.Uint64
@@ -250,9 +271,27 @@ func New(cfg Config) *Server {
 		drainCtx:    drainCtx,
 		cancelDrain: cancelDrain,
 	}
+	s.specPool = search.NewSpecPool(1, 1, s.freeSlots)
 	s.notReady.Store("loading")
 	return s
 }
+
+// freeSlots reports the server's free admission slots across all datasets —
+// the speculation pool's live sizing signal.
+func (s *Server) freeSlots() int {
+	s.mu.RLock()
+	free := 0
+	for _, ds := range s.datasets {
+		if f := cap(ds.sem) - int(ds.inFlight.Load()); f > 0 {
+			free += f
+		}
+	}
+	s.mu.RUnlock()
+	return free
+}
+
+// SpecPool returns the server's shared speculation budget (stats, tests).
+func (s *Server) SpecPool() *search.SpecPool { return s.specPool }
 
 // Resilience returns the server's brownout controller (whydbd flags and
 // tests reach through it; ForceState pins the state for drills).
@@ -305,6 +344,11 @@ func (s *Server) AddDataset(name string, eng *core.Engine, builtins []workload.N
 	}
 	s.mu.Lock()
 	s.datasets[name] = ds
+	s.specSlots += admitCap
+	if w := eng.Workers(); w > s.specPerSlot {
+		s.specPerSlot = w
+	}
+	s.specPool.Resize(s.specSlots, s.specPerSlot)
 	s.mu.Unlock()
 }
 
@@ -349,6 +393,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	mux.HandleFunc("POST /v1/explain/stream", s.handleExplainStream)
+	mux.HandleFunc("POST /v1/explain/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/match", s.handleMatch)
 	mux.HandleFunc("POST /v1/graph/mutate", s.handleMutate)
 	mux.HandleFunc("POST /v1/internal/count", s.handleCount)
@@ -508,32 +553,46 @@ func retryable(code wire.ErrorCode) (bool, int) {
 	}
 }
 
-// fail writes a v1 error envelope and bumps the error counters.
-func (s *Server) fail(w http.ResponseWriter, r *http.Request, status int, code wire.ErrorCode, format string, args ...any) {
+// newError builds a structured v1 error and bumps the error counters — the
+// shared failure path of whole-request errors (fail) and per-item batch
+// envelopes, so an item's error object is byte-identical to the one the
+// same request would have received from /v1/explain.
+func (s *Server) newError(status int, code wire.ErrorCode, format string, args ...any) wire.Error {
 	s.reqErrors.Add(1)
 	if status == StatusClientClosedRequest || status == http.StatusGatewayTimeout {
 		s.reqCancelled.Add(1)
 	}
 	retry, afterMs := retryable(code)
-	s.writeError(w, r, status, wire.Error{
+	return wire.Error{
 		Code:         code,
 		Message:      fmt.Sprintf(format, args...),
 		Retryable:    retry,
 		RetryAfterMs: afterMs,
-	})
+	}
 }
 
-// failInjected writes a fault-injected failure, marked so load generators
-// count it as explained rather than as a service defect. Injected 503s are
-// retryable (the fault models a transient outage); injected 500s are not.
-func (s *Server) failInjected(w http.ResponseWriter, r *http.Request, status int, msg string) {
+// fail writes a v1 error envelope and bumps the error counters.
+func (s *Server) fail(w http.ResponseWriter, r *http.Request, status int, code wire.ErrorCode, format string, args ...any) {
+	s.writeError(w, r, status, s.newError(status, code, format, args...))
+}
+
+// newInjectedError builds a fault-injected failure, marked so load
+// generators count it as explained rather than as a service defect.
+// Injected 503s are retryable (the fault models a transient outage);
+// injected 500s are not.
+func (s *Server) newInjectedError(status int, msg string) wire.Error {
 	s.injected.Add(1)
 	s.reqErrors.Add(1)
 	e := wire.Error{Code: wire.CodeInjected, Message: msg, Injected: true}
 	if status == http.StatusServiceUnavailable {
 		e.Retryable, e.RetryAfterMs = true, 1000
 	}
-	s.writeError(w, r, status, e)
+	return e
+}
+
+// failInjected writes a fault-injected failure (see newInjectedError).
+func (s *Server) failInjected(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	s.writeError(w, r, status, s.newInjectedError(status, msg))
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -585,16 +644,26 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := wire.StatsResponse{
 		UptimeMs: time.Since(s.start).Milliseconds(),
 		Requests: wire.ServerCounters{
-			Total:     s.reqTotal.Load(),
-			Explain:   s.reqExplain.Load(),
-			Stream:    s.reqStream.Load(),
-			Match:     s.reqMatch.Load(),
-			Mutate:    s.reqMutate.Load(),
-			Errors:    s.reqErrors.Load(),
-			Cancelled: s.reqCancelled.Load(),
+			Total:      s.reqTotal.Load(),
+			Explain:    s.reqExplain.Load(),
+			Stream:     s.reqStream.Load(),
+			Batch:      s.reqBatch.Load(),
+			BatchItems: s.reqBatchItems.Load(),
+			Match:      s.reqMatch.Load(),
+			Mutate:     s.reqMutate.Load(),
+			Errors:     s.reqErrors.Load(),
+			Cancelled:  s.reqCancelled.Load(),
 		},
 		Datasets:   make(map[string]wire.DatasetStats, len(s.datasets)),
 		Resilience: s.resilienceStats(),
+	}
+	pool := s.specPool.Snapshot()
+	resp.Speculation = &wire.SpeculationPoolStats{
+		Size:     pool.Size,
+		Capacity: pool.Capacity,
+		Granted:  pool.Granted,
+		Denied:   pool.Denied,
+		Returned: pool.Returned,
 	}
 	for name, ds := range s.datasets {
 		eng := ds.engine()
@@ -613,6 +682,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st.CountCache = wire.NewCacheStats(m.CountCacheStats())
 		st.CandCache = wire.NewCacheStats(m.CandCacheStats())
 		st.StatsCache = wire.NewCacheStats(eng.Stats().CacheStats())
+		waits, shared := m.CoalesceStats()
+		st.Coalescing = wire.CoalescingStats{Waits: waits, Shared: shared}
 		kernel := eng.KernelCounters()
 		st.Kernel = make(map[string]wire.KernelCounters, len(kernel))
 		for family, c := range kernel {
@@ -726,17 +797,29 @@ func (s *Server) resolveQuery(ds *dataset, builtin string, failing bool, wq *wir
 // been written); otherwise the returned state is the brownout state the
 // request must be served under.
 func (s *Server) admit(w http.ResponseWriter, r *http.Request, ctx context.Context, ds *dataset) (func(), resilience.State) {
+	release, state, status, werr := s.admitItem(r, ctx, ds)
+	if release == nil {
+		s.writeError(w, r, status, *werr)
+	}
+	return release, state
+}
+
+// admitItem is admit without the response write — the batch handler admits
+// each work group through it and turns a failure into per-item error
+// envelopes. On failure release is nil and (status, werr) carry the answer;
+// the counters fail would have bumped are already bumped.
+func (s *Server) admitItem(r *http.Request, ctx context.Context, ds *dataset) (func(), resilience.State, int, *wire.Error) {
 	state := s.res.ObserveAdmission(int(ds.queued.Load()), ds.queueCap, int(ds.inFlight.Load()), cap(ds.sem))
 	if state == resilience.Shedding {
 		s.shed.Add(1)
-		s.fail(w, r, http.StatusTooManyRequests, wire.CodeShed, "server shedding load, retry later")
-		return nil, state
+		e := s.newError(http.StatusTooManyRequests, wire.CodeShed, "server shedding load, retry later")
+		return nil, state, http.StatusTooManyRequests, &e
 	}
 	if int(ds.queued.Add(1)) > ds.queueCap {
 		ds.queued.Add(-1)
 		s.queueFull.Add(1)
-		s.fail(w, r, http.StatusTooManyRequests, wire.CodeShed, "admission queue full (%d queued), retry later", ds.queueCap)
-		return nil, state
+		e := s.newError(http.StatusTooManyRequests, wire.CodeShed, "admission queue full (%d queued), retry later", ds.queueCap)
+		return nil, state, http.StatusTooManyRequests, &e
 	}
 	defer ds.queued.Add(-1)
 	maxWait := time.NewTimer(s.cfg.MaxQueueWait)
@@ -747,22 +830,23 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request, ctx context.Conte
 		return func() {
 			ds.inFlight.Add(-1)
 			<-ds.sem
-		}, state
+		}, state, 0, nil
 	case <-maxWait.C:
 		s.expiredQueued.Add(1)
-		s.fail(w, r, http.StatusGatewayTimeout, wire.CodeDeadlineQueued, "no execution slot within %s", s.cfg.MaxQueueWait)
-		return nil, state
+		e := s.newError(http.StatusGatewayTimeout, wire.CodeDeadlineQueued, "no execution slot within %s", s.cfg.MaxQueueWait)
+		return nil, state, http.StatusGatewayTimeout, &e
 	case <-ctx.Done():
-		s.failCtx(w, r, ctx.Err(), true)
-		return nil, state
+		status, e := s.ctxError(r, ctx.Err(), true)
+		return nil, state, status, &e
 	}
 }
 
-// failCtx maps a context error to its HTTP status: 504 for an expired
-// deadline (counted as expired-queued or expired-running), 503 + Retry-After
-// when the drain cancelled the request (the client did nothing wrong — it
-// should retry against another instance), 499 when the client went away.
-func (s *Server) failCtx(w http.ResponseWriter, r *http.Request, err error, queued bool) {
+// ctxError maps a context error to its HTTP status and structured error:
+// 504 for an expired deadline (counted as expired-queued or
+// expired-running), 503 + Retry-After when the drain cancelled the request
+// (the client did nothing wrong — it should retry against another
+// instance), 499 when the client went away.
+func (s *Server) ctxError(r *http.Request, err error, queued bool) (int, wire.Error) {
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		code := wire.CodeDeadlineRunning
@@ -772,12 +856,18 @@ func (s *Server) failCtx(w http.ResponseWriter, r *http.Request, err error, queu
 		} else {
 			s.expiredRunning.Add(1)
 		}
-		s.fail(w, r, http.StatusGatewayTimeout, code, "request deadline exceeded")
+		return http.StatusGatewayTimeout, s.newError(http.StatusGatewayTimeout, code, "request deadline exceeded")
 	case s.drainCtx.Err() != nil && r.Context().Err() == nil:
-		s.fail(w, r, http.StatusServiceUnavailable, wire.CodeDraining, "server draining, retry against another instance")
+		return http.StatusServiceUnavailable, s.newError(http.StatusServiceUnavailable, wire.CodeDraining, "server draining, retry against another instance")
 	default:
-		s.fail(w, r, StatusClientClosedRequest, wire.CodeCanceled, "client closed request")
+		return StatusClientClosedRequest, s.newError(StatusClientClosedRequest, wire.CodeCanceled, "client closed request")
 	}
+}
+
+// failCtx writes the ctxError classification of a context failure.
+func (s *Server) failCtx(w http.ResponseWriter, r *http.Request, err error, queued bool) {
+	status, e := s.ctxError(r, err, queued)
+	s.writeError(w, r, status, e)
 }
 
 // requestContext derives the request's processing context: the client's
@@ -856,35 +946,48 @@ func (s *Server) prepareExplain(w http.ResponseWriter, r *http.Request, inject f
 		s.fail(w, r, code, wire.CodeInvalidSpec, "bad request body: %v", err)
 		return prep, false
 	}
-	req := &prep.req
+	prep, status, werr := s.validateExplain(prep.req, inject)
+	if werr != nil {
+		s.writeError(w, r, status, *werr)
+		return prep, false
+	}
+	return prep, true
+}
+
+// validateExplain is prepareExplain after body decoding, without the
+// response write: the batch handler validates each item through it and
+// turns a failure into that item's error envelope. The validation sequence
+// (and therefore which error a multiply broken spec reports) is identical
+// to a single /v1/explain call by construction.
+func (s *Server) validateExplain(req wire.ExplainRequest, inject faultinject.Decision) (prep explainPrep, status int, werr *wire.Error) {
+	fail := func(st int, code wire.ErrorCode, format string, args ...any) (explainPrep, int, *wire.Error) {
+		e := s.newError(st, code, format, args...)
+		return prep, st, &e
+	}
+	prep.req = req
 	ds, found := s.lookup(req.Dataset)
 	if !found {
-		s.fail(w, r, http.StatusNotFound, wire.CodeInvalidSpec, "unknown dataset %q (see /v1/datasets)", req.Dataset)
-		return prep, false
+		return fail(http.StatusNotFound, wire.CodeInvalidSpec, "unknown dataset %q (see /v1/datasets)", req.Dataset)
 	}
 	prep.ds = ds
 	prep.eng = ds.engine()
 	if req.Lower < 0 || req.Upper < 0 {
-		s.fail(w, r, http.StatusBadRequest, wire.CodeBoundViolation, "cardinality bounds must be non-negative (lower=%d upper=%d)", req.Lower, req.Upper)
-		return prep, false
+		return fail(http.StatusBadRequest, wire.CodeBoundViolation, "cardinality bounds must be non-negative (lower=%d upper=%d)", req.Lower, req.Upper)
 	}
 	if req.Upper > 0 && req.Upper < req.Lower {
-		s.fail(w, r, http.StatusBadRequest, wire.CodeBoundViolation, "upper bound %d below lower bound %d", req.Upper, req.Lower)
-		return prep, false
+		return fail(http.StatusBadRequest, wire.CodeBoundViolation, "upper bound %d below lower bound %d", req.Upper, req.Lower)
 	}
 	if req.Budget < 0 || req.ResultSample < 0 || req.MaxRewritings < 0 || req.Workers < 0 || req.TimeoutMs < 0 {
-		s.fail(w, r, http.StatusBadRequest, wire.CodeBoundViolation, "budget, resultSample, maxRewritings, workers, and timeoutMs must be non-negative")
-		return prep, false
+		return fail(http.StatusBadRequest, wire.CodeBoundViolation, "budget, resultSample, maxRewritings, workers, and timeoutMs must be non-negative")
 	}
 	q, code, err := s.resolveQuery(ds, req.Builtin, req.Failing, req.Query)
 	if err != nil {
-		s.fail(w, r, code, wire.CodeInvalidSpec, "%v", err)
-		return prep, false
+		return fail(code, wire.CodeInvalidSpec, "%v", err)
 	}
 	prep.q = q
 	if inject.Kind == faultinject.Error {
-		s.failInjected(w, r, http.StatusInternalServerError, "injected fault: error")
-		return prep, false
+		e := s.newInjectedError(http.StatusInternalServerError, "injected fault: error")
+		return prep, http.StatusInternalServerError, &e
 	}
 	budget := req.Budget
 	if budget == 0 {
@@ -909,8 +1012,9 @@ func (s *Server) prepareExplain(w http.ResponseWriter, r *http.Request, inject f
 		Budget:        budget,
 		ResultSample:  resultSample,
 		Workers:       workers,
+		SpecBudget:    s.specPool,
 	}
-	return prep, true
+	return prep, 0, nil
 }
 
 // starveRelease wraps an admission release in the slot-leak fault: the slot

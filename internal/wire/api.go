@@ -48,6 +48,26 @@ type ExplainRequest struct {
 	AllowPartial bool `json:"allowPartial,omitempty"`
 }
 
+// BatchExplainRequest is the body of POST /v1/explain/batch: up to the
+// server's -max-batch independent explain specs answered in one round trip.
+// Every item carries its own dataset, bounds, and knobs; the per-request
+// TimeoutMs of each item bounds that item alone. Items sharing a canonical
+// query run the search once and fan the answer out (coalescing), which is
+// observable only in /v1/stats — each item's payload is byte-identical to
+// what a separate /v1/explain call would have returned.
+type BatchExplainRequest struct {
+	Items []ExplainRequest `json:"items"`
+}
+
+// BatchExplainResponse answers POST /v1/explain/batch. Items[i] is the full
+// v1 envelope — {requestId, data} or {requestId, error} — that request
+// Items[i] would have received from /v1/explain: items fail, degrade, and
+// go partial independently. The enclosing response is itself wrapped in the
+// usual envelope, whose requestId identifies the batch.
+type BatchExplainResponse struct {
+	Items []Envelope `json:"items"`
+}
+
 // MatchRequest is the body of POST /v1/match: count or enumerate the
 // results of a query through the compiled-plan path.
 type MatchRequest struct {
@@ -260,6 +280,30 @@ func NewCacheStats(hits, misses, entries int) CacheStats {
 	return cs
 }
 
+// CoalescingStats reports the matcher's cross-request singleflight counters
+// (GET /v1/stats): Waits is the number of lookups that parked behind another
+// request's in-flight plan compile or executed count instead of duplicating
+// it, Shared the number of compiles/counts whose result was handed to at
+// least one waiter. Both zero means no cache stampede occurred.
+type CoalescingStats struct {
+	Waits  int64 `json:"waits"`
+	Shared int64 `json:"shared"`
+}
+
+// SpeculationPoolStats reports the server-wide admission-aware speculation
+// budget (GET /v1/stats): the pool grants speculative-execution tokens to
+// search workers only while admission slots sit free, so speculation
+// throttles to zero under load. Size is the current number of grantable
+// tokens, Capacity the idle-server maximum, and Granted/Denied/Returned
+// count token requests over the server's lifetime.
+type SpeculationPoolStats struct {
+	Size     int   `json:"size"`
+	Capacity int   `json:"capacity"`
+	Granted  int64 `json:"granted"`
+	Denied   int64 `json:"denied"`
+	Returned int64 `json:"returned"`
+}
+
 // KernelCounters reports one explanation family's accumulated search-kernel
 // counters (GET /v1/stats): candidate executions, executed-key dedup hits,
 // speculative evaluations launched on the worker pool, and the speculative
@@ -293,6 +337,8 @@ type DatasetStats struct {
 	CandCache      CacheStats                `json:"candCache"`
 	StatsCache     CacheStats                `json:"statsCache"`
 	Kernel         map[string]KernelCounters `json:"kernel"`
+	// Coalescing reports the matcher's singleflight stampede counters.
+	Coalescing CoalescingStats `json:"coalescing"`
 	// Sharding reports the scatter-gather fan-out's health when the dataset
 	// is served by a shard group (whydbd -shards / -peers).
 	Sharding *ShardingStats `json:"sharding,omitempty"`
@@ -340,6 +386,8 @@ type StatsResponse struct {
 	Requests   ServerCounters          `json:"requests"`
 	Datasets   map[string]DatasetStats `json:"datasets"`
 	Resilience *ResilienceStats        `json:"resilience,omitempty"`
+	// Speculation reports the server-wide admission-aware speculation budget.
+	Speculation *SpeculationPoolStats `json:"speculation,omitempty"`
 }
 
 // ResilienceStats reports the brownout controller and overload counters
@@ -384,15 +432,19 @@ type ReadyResponse struct {
 }
 
 // ServerCounters are the daemon's request counters. Stream counts
-// /v1/explain/stream requests (not included in Explain).
+// /v1/explain/stream requests and Batch counts /v1/explain/batch requests
+// (neither is included in Explain; BatchItems counts the specs inside batch
+// requests, each of which answers its own per-item envelope).
 type ServerCounters struct {
-	Total     int64 `json:"total"`
-	Explain   int64 `json:"explain"`
-	Stream    int64 `json:"stream"`
-	Match     int64 `json:"match"`
-	Mutate    int64 `json:"mutate"`
-	Errors    int64 `json:"errors"`
-	Cancelled int64 `json:"cancelled"`
+	Total      int64 `json:"total"`
+	Explain    int64 `json:"explain"`
+	Stream     int64 `json:"stream"`
+	Batch      int64 `json:"batch"`
+	BatchItems int64 `json:"batchItems"`
+	Match      int64 `json:"match"`
+	Mutate     int64 `json:"mutate"`
+	Errors     int64 `json:"errors"`
+	Cancelled  int64 `json:"cancelled"`
 }
 
 // HealthResponse answers GET /healthz.
